@@ -1,0 +1,183 @@
+// Command barracuda runs a PTX kernel (from a .ptx file, a fat binary, or
+// a named built-in benchmark) under the BARRACUDA race detector and
+// prints the race report.
+//
+// Usage:
+//
+//	barracuda -ptx kernel.ptx -kernel k -grid 4 -block 64 -bufs 1024,64
+//	barracuda -fatbin app.fatbin -kernel k -grid 2 -block 32 -bufs 256
+//	barracuda -bench hashtable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"barracuda/internal/bench"
+	"barracuda/internal/detector"
+	"barracuda/internal/gpusim"
+	"barracuda/internal/profile"
+	"barracuda/internal/ptvc"
+)
+
+func main() {
+	var (
+		ptxPath   = flag.String("ptx", "", "PTX source file to analyze")
+		fatbinArg = flag.String("fatbin", "", "fat binary file to analyze")
+		benchName = flag.String("bench", "", "run a named built-in benchmark instead")
+		kernel    = flag.String("kernel", "", "kernel name (default: the module's first kernel)")
+		grid      = flag.Int("grid", 1, "grid size in blocks (1-D)")
+		block     = flag.Int("block", 32, "block size in threads (1-D)")
+		bufs      = flag.String("bufs", "", "comma-separated byte sizes of zeroed global buffers passed as u64 args")
+		queues    = flag.Int("queues", 1, "number of logging queues / detector threads")
+		gran      = flag.Int("granularity", 1, "shadow-memory bytes per cell")
+		fullvc    = flag.Bool("fullvc", false, "use the uncompressed vector-clock baseline")
+		budget    = flag.Uint64("budget", 1<<24, "dynamic warp-instruction budget (0 = unlimited)")
+		warpsize  = flag.Int("warpsize", 0, "simulated warp width (0 = the architecture's 32); smaller widths expose latent warp-size bugs")
+		profileF  = flag.Bool("profile", false, "run the memory-access profiler instead of the race detector")
+		verbose   = flag.Bool("v", false, "print per-race dynamic counts and PTVC format stats")
+	)
+	flag.Parse()
+	if err := run(runOpts{
+		ptxPath: *ptxPath, fatbinPath: *fatbinArg, benchName: *benchName,
+		kernel: *kernel, grid: *grid, block: *block, bufs: *bufs,
+		queues: *queues, gran: *gran, fullvc: *fullvc, budget: *budget,
+		warpsize: *warpsize, profile: *profileF, verbose: *verbose,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "barracuda:", err)
+		os.Exit(1)
+	}
+}
+
+type runOpts struct {
+	ptxPath, fatbinPath, benchName, kernel, bufs string
+	grid, block, queues, gran, warpsize          int
+	fullvc, profile, verbose                     bool
+	budget                                       uint64
+}
+
+func run(o runOpts) error {
+	cfg := detector.Config{Queues: o.queues, Granularity: o.gran, FullVC: o.fullvc}
+
+	var (
+		s   *detector.Session
+		err error
+	)
+	switch {
+	case o.benchName != "":
+		b := bench.ByName(o.benchName)
+		if b == nil {
+			var names []string
+			for _, bb := range bench.All() {
+				names = append(names, bb.Name)
+			}
+			return fmt.Errorf("unknown benchmark %q; available: %s", o.benchName, strings.Join(names, ", "))
+		}
+		res, err := bench.Detect(b, cfg)
+		if err != nil {
+			return err
+		}
+		return printResult(b.Name+"/main", res, o.verbose)
+	case o.ptxPath != "":
+		src, rerr := os.ReadFile(o.ptxPath)
+		if rerr != nil {
+			return rerr
+		}
+		s, err = detector.OpenPTX(string(src), cfg)
+		if err != nil {
+			return err
+		}
+	case o.fatbinPath != "":
+		bin, rerr := os.ReadFile(o.fatbinPath)
+		if rerr != nil {
+			return rerr
+		}
+		s, err = detector.OpenFatBinary(bin, cfg)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of -ptx, -fatbin or -bench is required")
+	}
+
+	kernel := o.kernel
+	if kernel == "" {
+		ks := s.Native.KernelNames()
+		if len(ks) == 0 {
+			return fmt.Errorf("module has no kernels")
+		}
+		kernel = ks[0]
+	}
+	var args []uint64
+	if o.bufs != "" {
+		for _, part := range strings.Split(o.bufs, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -bufs entry %q", part)
+			}
+			a, err := s.Dev.Alloc(n)
+			if err != nil {
+				return err
+			}
+			args = append(args, a)
+		}
+	}
+	launch := gpusim.LaunchConfig{
+		Grid:          gpusim.D1(o.grid),
+		Block:         gpusim.D1(o.block),
+		Args:          args,
+		MaxWarpInstrs: o.budget,
+		WarpSize:      o.warpsize,
+	}
+	if o.profile {
+		p := profile.New()
+		launch.Sink = p
+		launch.EmitBranchEvents = true
+		if _, err := s.Instr.Launch(kernel, launch); err != nil {
+			return err
+		}
+		fmt.Print(p.Report().String())
+		return nil
+	}
+	res, err := s.Detect(kernel, launch)
+	if err != nil {
+		return err
+	}
+	return printResult(kernel, res, o.verbose)
+}
+
+func printResult(kernel string, res *detector.Result, verbose bool) error {
+	rep := res.Report
+	fmt.Printf("kernel %s: %d warp instructions, %d records, %v\n",
+		kernel, res.SimStats.WarpInstrs, res.SimStats.Records, res.Duration.Round(0))
+	for _, d := range rep.Divergences {
+		fmt.Printf("BARRIER DIVERGENCE: block %d warp %d at line %d (mask %#x)\n",
+			d.Block, d.Warp, d.PC, d.Mask)
+	}
+	if rep.RaceCount() == 0 {
+		fmt.Println("no races detected")
+	}
+	for _, r := range rep.Races {
+		fmt.Println(r.String())
+		if verbose {
+			fmt.Printf("  %d dynamic occurrence(s)\n", r.Count)
+		}
+	}
+	if rep.SameValueGag > 0 {
+		fmt.Printf("%d same-value intra-warp write(s) filtered\n", rep.SameValueGag)
+	}
+	if verbose {
+		for _, f := range []ptvc.Format{ptvc.Converged, ptvc.Diverged, ptvc.NestedDiverged, ptvc.SparseVC} {
+			if n := res.Formats[f]; n > 0 {
+				fmt.Printf("PTVC %s: %d group(s)\n", f, n)
+			}
+		}
+	}
+	if rep.RaceCount() > 0 || len(rep.Divergences) > 0 {
+		os.Exit(2)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Command bugsuite runs the 66-program concurrency bug suite (§6.1)
+// under both the BARRACUDA detector and the racecheck-like baseline and
+// prints the comparison table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"barracuda/internal/bugsuite"
+)
+
+func main() {
+	var (
+		verbose = flag.Bool("v", false, "per-test verdicts")
+		only    = flag.String("only", "", "run a single named test")
+	)
+	flag.Parse()
+	if err := run(*verbose, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "bugsuite:", err)
+		os.Exit(1)
+	}
+}
+
+func run(verbose bool, only string) error {
+	tests := bugsuite.Tests()
+	if only != "" {
+		var filtered []*bugsuite.Test
+		for _, t := range tests {
+			if t.Name == only {
+				filtered = append(filtered, t)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("no test named %q", only)
+		}
+		tests = filtered
+	}
+	bar, err := bugsuite.RunSuite(tests, bugsuite.RunBarracuda)
+	if err != nil {
+		return err
+	}
+	rc, err := bugsuite.RunSuite(tests, bugsuite.RunRacecheck)
+	if err != nil {
+		return err
+	}
+	if verbose || only != "" {
+		fmt.Printf("%-36s %-18s %-18s %-18s\n", "test", "expected", "barracuda", "racecheck")
+		for _, t := range tests {
+			bv, rv := bar.Verdicts[t.Name], rc.Verdicts[t.Name]
+			mark := func(ok bool) string {
+				if ok {
+					return ""
+				}
+				return " (wrong)"
+			}
+			fmt.Printf("%-36s %-18s %-18s %-18s\n", t.Name, t.Expect,
+				bv.String()+mark(t.Expect.Correct(bv)),
+				rv.String()+mark(t.Expect.Correct(rv)))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("BARRACUDA reports correctly on %d of %d tests\n", bar.Correct, bar.Total)
+	fmt.Printf("racecheck reports correctly on %d of %d tests\n", rc.Correct, rc.Total)
+	return nil
+}

@@ -1,0 +1,31 @@
+// Command litmus reproduces the memory fence litmus tests of Figure 4:
+// the message-passing test under all four fence combinations, on a weak
+// (Kepler-like) and a strong (Maxwell-like) architecture profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"barracuda/internal/memmodel"
+)
+
+func main() {
+	var (
+		runs = flag.Int("runs", 1000000, "randomized executions per combination")
+		seed = flag.Int64("seed", 1, "scheduler seed")
+	)
+	flag.Parse()
+
+	fmt.Println("mp litmus test (Figure 4):")
+	fmt.Println("  init: x = y = 0                       final: r1=1 /\\ r2=0")
+	fmt.Println("  T1: st.global.cg [x],1                T2: ld.global.cg r1,[y]")
+	fmt.Println("      fence1                                fence2")
+	fmt.Println("      st.global.cg [y],1                    ld.global.cg r2,[x]")
+	fmt.Println()
+	fmt.Printf("observations per %d runs\n", *runs)
+	fmt.Printf("%-14s %-14s %12s %14s\n", "fence1", "fence2", "K520", "GTX Titan X")
+	for _, row := range memmodel.Figure4(*runs, *seed) {
+		fmt.Printf("%-14s %-14s %12d %14d\n", row.Fence1, row.Fence2, row.Kepler, row.Maxwell)
+	}
+}

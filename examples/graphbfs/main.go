@@ -1,0 +1,138 @@
+// graphbfs reproduces the SHOC bfs bug study of §6.3: a level-synchronous
+// breadth-first search whose frontier expansion updates the distance
+// array and a global "changed" flag with plain stores from many blocks
+// at once. The CUDA documentation only defines concurrent same-location
+// writes within one warp, so both update sites are races — exactly the
+// ones BARRACUDA reported in SHOC — even though the algorithm happens to
+// converge to correct distances.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"barracuda"
+)
+
+const kernel = `
+.visible .entry bfs_step(.param .u64 rowptr, .param .u64 cols,
+                         .param .u64 dist, .param .u64 changed,
+                         .param .u32 level, .param .u32 nverts)
+{
+	.reg .u32 %r<16>;
+	.reg .u64 %rd<16>;
+	.reg .pred %p<4>;
+	ld.param.u64 %rd1, [rowptr];
+	ld.param.u64 %rd2, [cols];
+	ld.param.u64 %rd3, [dist];
+	ld.param.u64 %rd4, [changed];
+	ld.param.u32 %r10, [level];
+	ld.param.u32 %r11, [nverts];
+	mov.u32 %r1, %tid.x;
+	mov.u32 %r2, %ctaid.x;
+	mov.u32 %r3, %ntid.x;
+	mad.lo.u32 %r4, %r2, %r3, %r1;
+	setp.ge.u32 %p1, %r4, %r11;
+	@%p1 ret;
+	// Only frontier vertices (dist == level) expand.
+	shl.b32 %r5, %r4, 2;
+	cvt.u64.u32 %rd5, %r5;
+	add.u64 %rd6, %rd3, %rd5;
+	ld.global.u32 %r6, [%rd6];
+	setp.ne.u32 %p2, %r6, %r10;
+	@%p2 ret;
+	// Neighbour range from CSR row pointers.
+	add.u64 %rd7, %rd1, %rd5;
+	ld.global.u32 %r7, [%rd7];
+	ld.global.u32 %r8, [%rd7+4];
+LOOP:
+	setp.ge.u32 %p3, %r7, %r8;
+	@%p3 ret;
+	shl.b32 %r9, %r7, 2;
+	cvt.u64.u32 %rd8, %r9;
+	add.u64 %rd9, %rd2, %rd8;
+	ld.global.u32 %r12, [%rd9];
+	shl.b32 %r13, %r12, 2;
+	cvt.u64.u32 %rd10, %r13;
+	add.u64 %rd11, %rd3, %rd10;
+	ld.global.u32 %r14, [%rd11];
+	setp.ne.u32 %p3, %r14, 0xffffffff;
+	@%p3 bra NEXT;
+	add.u32 %r15, %r10, 1;
+	st.global.u32 [%rd11], %r15;    // unsynchronized distance update
+	st.global.u32 [%rd4], 1;        // unsynchronized changed flag
+NEXT:
+	add.u32 %r7, %r7, 1;
+	bra.uni LOOP;
+}`
+
+// buildGraph makes a ring of n vertices with chords (i -> i+7).
+func buildGraph(n int) (rowptr, cols []uint32) {
+	rowptr = make([]uint32, n+1)
+	for v := 0; v < n; v++ {
+		rowptr[v] = uint32(len(cols))
+		cols = append(cols, uint32((v+1)%n), uint32((v+n-1)%n), uint32((v+7)%n))
+	}
+	rowptr[n] = uint32(len(cols))
+	return
+}
+
+func toBytes(xs []uint32) []byte {
+	b := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(b[4*i:], x)
+	}
+	return b
+}
+
+func main() {
+	const n = 256
+	s, err := barracuda.Open(kernel, barracuda.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rowptr, cols := buildGraph(n)
+	rp := s.MustAlloc(4 * len(rowptr))
+	cl := s.MustAlloc(4 * len(cols))
+	dist := s.MustAlloc(4 * n)
+	changed := s.MustAlloc(4)
+	check(s.WriteBytes(rp, toBytes(rowptr)))
+	check(s.WriteBytes(cl, toBytes(cols)))
+	for v := 1; v < n; v++ {
+		check(s.WriteU32(dist+uint64(4*v), 0xffffffff))
+	}
+	check(s.WriteU32(dist, 0)) // source vertex
+
+	totalRaces := 0
+	for level := uint32(0); ; level++ {
+		check(s.WriteU32(changed, 0))
+		res, err := s.Detect("bfs_step", barracuda.D1(n/64), barracuda.D1(64),
+			rp, cl, dist, changed, uint64(level), uint64(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalRaces += res.Report.RaceCount()
+		ch, _ := s.ReadU32(changed)
+		fmt.Printf("level %2d: %d race site(s) this step\n", level, res.Report.RaceCount())
+		if level == 0 {
+			for _, r := range res.Report.Races {
+				fmt.Println("  ", r)
+			}
+		}
+		if ch == 0 {
+			break
+		}
+	}
+	// The algorithm still converges to correct distances under the SC
+	// simulator — the bug is latent, like in SHOC.
+	d100, _ := s.ReadU32(dist + 4*100)
+	fmt.Printf("\nBFS converged; dist[100] = %d; races were reported at %s\n",
+		d100, map[bool]string{true: "the distance and flag stores", false: "(none)"}[totalRaces > 0])
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+// memprofile demonstrates that BARRACUDA's binary instrumentation
+// framework supports analyses beyond race detection (§1): it profiles a
+// kernel's memory behaviour — per-site access counts, warp coalescing
+// quality, divergence and footprint — from the same record stream the
+// race detector consumes.
+//
+// The kernel reads an array twice: once with unit stride (coalesced) and
+// once with a 32-element stride (every lane in its own 128-byte segment,
+// the classic uncoalesced pattern the profiler is meant to catch).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"barracuda"
+)
+
+const kernel = `
+.visible .entry sweep(.param .u64 in, .param .u64 out, .param .u32 n)
+{
+	.reg .u32 %r<16>;
+	.reg .u64 %rd<16>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [in];
+	ld.param.u64 %rd2, [out];
+	ld.param.u32 %r10, [n];
+	mov.u32 %r1, %tid.x;
+	mov.u32 %r2, %ctaid.x;
+	mov.u32 %r3, %ntid.x;
+	mad.lo.u32 %r4, %r2, %r3, %r1;
+
+	// Coalesced: in[gtid]
+	shl.b32 %r5, %r4, 2;
+	cvt.u64.u32 %rd3, %r5;
+	add.u64 %rd4, %rd1, %rd3;
+	ld.global.u32 %r6, [%rd4];
+
+	// Strided: in[(gtid * 32) mod n]
+	mul.lo.u32 %r7, %r4, 32;
+	rem.u32 %r7, %r7, %r10;
+	shl.b32 %r8, %r7, 2;
+	cvt.u64.u32 %rd5, %r8;
+	add.u64 %rd6, %rd1, %rd5;
+	ld.global.u32 %r9, [%rd6];
+
+	add.u32 %r11, %r6, %r9;
+	add.u64 %rd7, %rd2, %rd3;
+	st.global.u32 [%rd7], %r11;
+	ret;
+}`
+
+func main() {
+	const n = 4096
+	s, err := barracuda.Open(kernel, barracuda.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := s.MustAlloc(4 * n)
+	out := s.MustAlloc(4 * n)
+	rep, err := s.Profile("sweep", barracuda.Launch{
+		Grid: barracuda.D1(n / 64), Block: barracuda.D1(64),
+		Args: []uint64{in, out, n},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.String())
+	fmt.Println("\nThe unit-stride load and store are 100% coalesced; the")
+	fmt.Println("32-element-stride load is 0% coalesced — each warp touches 32")
+	fmt.Println("separate 128-byte segments, a 32x memory-traffic amplification.")
+}

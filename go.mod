@@ -1,0 +1,3 @@
+module barracuda
+
+go 1.22

@@ -1,0 +1,194 @@
+// Package racecheck models Nvidia's cuda-memcheck racecheck tool as a
+// comparison baseline for the §6.1 bug-suite experiment. It is a
+// barrier-interval hazard detector with the tool's documented
+// limitations, each of which the paper's evaluation observes:
+//
+//   - it tracks SHARED memory only, so every global-memory race is
+//     invisible to it;
+//   - it divides execution into intervals separated by block-wide
+//     barriers and flags any intra-interval conflicting pair (WAW, RAW,
+//     WAR) between different threads — so warp-synchronous (lockstep)
+//     programming is reported as racy even when BARRACUDA's endi
+//     semantics prove it ordered ("reporting races where there are
+//     none");
+//   - atomics are treated as ordinary writes: they neither synchronize
+//     nor are exempt from hazards, so atomic-to-atomic accesses are
+//     false positives and fence/flag synchronization is not understood;
+//   - under the tool the target is effectively serialized, which breaks
+//     cross-block spin synchronization — the run never terminates
+//     ("even hanging on the tests involving spinlocks"). The bug-suite
+//     runner models this by executing one block at a time with a step
+//     budget.
+package racecheck
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"barracuda/internal/logging"
+	"barracuda/internal/trace"
+)
+
+// Hazard is one reported intra-interval conflict.
+type Hazard struct {
+	Block   int32
+	Addr    uint64
+	PrevTID int32
+	CurTID  int32
+	PrevPC  uint32
+	CurPC   uint32
+	PrevWr  bool
+	CurWr   bool
+}
+
+func (h Hazard) String() string {
+	rw := func(w bool) string {
+		if w {
+			return "write"
+		}
+		return "read"
+	}
+	return fmt.Sprintf("racecheck hazard on shared %#x (block %d): %s (line %d, thread %d) vs %s (line %d, thread %d)",
+		h.Addr, h.Block, rw(h.PrevWr), h.PrevPC, h.PrevTID, rw(h.CurWr), h.CurPC, h.CurTID)
+}
+
+// interval is per-address access state within the current barrier
+// interval of one block.
+type interval struct {
+	hasWrite bool
+	writeTID int32
+	writePC  uint32
+	readers  map[int32]uint32 // tid -> pc
+}
+
+// Detector is the racecheck-like analysis.
+type Detector struct {
+	blockSize int
+	warpSize  int
+
+	mu      sync.Mutex
+	state   map[int32]map[uint64]*interval // block -> addr -> interval
+	hazards map[string]*Hazard
+	records uint64
+}
+
+// New creates a detector. blockSize is threads per block (for TID
+// computation from warp/lane).
+func New(blockSize, warpSize int) *Detector {
+	return &Detector{
+		blockSize: blockSize,
+		warpSize:  warpSize,
+		state:     make(map[int32]map[uint64]*interval),
+		hazards:   make(map[string]*Hazard),
+	}
+}
+
+// Handle consumes one record.
+func (d *Detector) Handle(r *logging.Record) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.records++
+	switch r.Op {
+	case trace.OpBarRel:
+		// A completed block barrier ends the interval.
+		delete(d.state, int32(r.Block))
+		return
+	case trace.OpRead, trace.OpWrite, trace.OpAtom,
+		trace.OpAcqBlk, trace.OpRelBlk, trace.OpArBlk,
+		trace.OpAcqGlb, trace.OpRelGlb, trace.OpArGlb:
+		// Only shared memory is tracked at all.
+		if r.Space != logging.SpaceShared {
+			return
+		}
+	default:
+		return
+	}
+	// Classify: atomics and releases count as writes; acquires as reads
+	// (they are loads) — but none of them synchronize.
+	write := r.Op.Writes()
+	blk := int32(r.Block)
+	addrs := d.state[blk]
+	if addrs == nil {
+		addrs = make(map[uint64]*interval)
+		d.state[blk] = addrs
+	}
+	wpb := (d.blockSize + d.warpSize - 1) / d.warpSize
+	widx := int(r.Warp) % wpb
+	for lane := 0; lane < d.warpSize && lane < logging.WarpWidth; lane++ {
+		if r.Mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		tid := int32(widx*d.warpSize + lane) // thread index within block
+		for b := uint64(0); b < uint64(maxInt(int(r.Size), 1)); b++ {
+			d.access(blk, addrs, r.Addrs[lane]+b, tid, r.PC, write)
+		}
+	}
+}
+
+func (d *Detector) access(blk int32, addrs map[uint64]*interval, addr uint64, tid int32, pc uint32, write bool) {
+	iv := addrs[addr]
+	if iv == nil {
+		iv = &interval{readers: make(map[int32]uint32)}
+		addrs[addr] = iv
+	}
+	if write {
+		if iv.hasWrite && iv.writeTID != tid {
+			d.add(Hazard{Block: blk, Addr: addr, PrevTID: iv.writeTID, CurTID: tid,
+				PrevPC: iv.writePC, CurPC: pc, PrevWr: true, CurWr: true})
+		}
+		for rt, rpc := range iv.readers {
+			if rt != tid {
+				d.add(Hazard{Block: blk, Addr: addr, PrevTID: rt, CurTID: tid,
+					PrevPC: rpc, CurPC: pc, PrevWr: false, CurWr: true})
+			}
+		}
+		iv.hasWrite = true
+		iv.writeTID = tid
+		iv.writePC = pc
+		return
+	}
+	if iv.hasWrite && iv.writeTID != tid {
+		d.add(Hazard{Block: blk, Addr: addr, PrevTID: iv.writeTID, CurTID: tid,
+			PrevPC: iv.writePC, CurPC: pc, PrevWr: true, CurWr: false})
+	}
+	iv.readers[tid] = pc
+}
+
+func (d *Detector) add(h Hazard) {
+	key := fmt.Sprintf("%d/%d/%v/%v", h.PrevPC, h.CurPC, h.PrevWr, h.CurWr)
+	if _, ok := d.hazards[key]; !ok {
+		d.hazards[key] = &h
+	}
+}
+
+// Report returns the distinct hazards, ordered by source position.
+func (d *Detector) Report() []Hazard {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Hazard, 0, len(d.hazards))
+	for _, h := range d.hazards {
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PrevPC != out[j].PrevPC {
+			return out[i].PrevPC < out[j].PrevPC
+		}
+		return out[i].CurPC < out[j].CurPC
+	})
+	return out
+}
+
+// HasHazards reports whether anything was flagged.
+func (d *Detector) HasHazards() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.hazards) > 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+package racecheck
+
+import (
+	"testing"
+
+	"barracuda/internal/logging"
+	"barracuda/internal/trace"
+)
+
+func mkRec(op trace.OpKind, warp int, mask uint32, addr uint64, pc uint32, space logging.SpaceID) *logging.Record {
+	r := &logging.Record{Op: op, Warp: uint32(warp), Block: uint32(warp / 2),
+		Mask: mask, Size: 4, PC: pc, Space: space}
+	for i := range r.Addrs {
+		r.Addrs[i] = addr
+	}
+	return r
+}
+
+func newDet() *Detector { return New(8, 4) } // 2 warps x 4 lanes per block
+
+func TestSharedHazardDetected(t *testing.T) {
+	d := newDet()
+	d.Handle(mkRec(trace.OpWrite, 0, 0x1, 16, 10, logging.SpaceShared))
+	d.Handle(mkRec(trace.OpWrite, 1, 0x1, 16, 20, logging.SpaceShared))
+	if !d.HasHazards() {
+		t.Fatal("shared WAW hazard missed")
+	}
+	h := d.Report()[0]
+	if h.PrevPC != 10 || h.CurPC != 20 || !h.PrevWr || !h.CurWr {
+		t.Errorf("hazard = %+v", h)
+	}
+}
+
+func TestGlobalMemoryInvisible(t *testing.T) {
+	// The headline limitation: global-memory races are missed entirely.
+	d := newDet()
+	d.Handle(mkRec(trace.OpWrite, 0, 0x1, 0x10000, 10, logging.SpaceGlobal))
+	d.Handle(mkRec(trace.OpWrite, 1, 0x1, 0x10000, 20, logging.SpaceGlobal))
+	if d.HasHazards() {
+		t.Fatal("racecheck model tracked global memory")
+	}
+}
+
+func TestBarrierResetsInterval(t *testing.T) {
+	d := newDet()
+	d.Handle(mkRec(trace.OpWrite, 0, 0x1, 16, 10, logging.SpaceShared))
+	d.Handle(&logging.Record{Op: trace.OpBarRel, Block: 0, Mask: 0b11})
+	d.Handle(mkRec(trace.OpRead, 1, 0x1, 16, 20, logging.SpaceShared))
+	if d.HasHazards() {
+		t.Fatalf("barrier-separated accesses flagged: %v", d.Report())
+	}
+}
+
+func TestWarpSynchronousFalsePositive(t *testing.T) {
+	// Lockstep-ordered intra-warp accesses (ordered under BARRACUDA's
+	// endi rule) are flagged by the interval model.
+	d := newDet()
+	d.Handle(mkRec(trace.OpWrite, 0, 0x1, 16, 10, logging.SpaceShared)) // lane 0 writes
+	d.Handle(mkRec(trace.OpRead, 0, 0x2, 16, 20, logging.SpaceShared))  // lane 1 reads next instr
+	if !d.HasHazards() {
+		t.Fatal("warp-synchronous access not flagged (limitation not modeled)")
+	}
+}
+
+func TestAtomicsFlaggedAsWrites(t *testing.T) {
+	d := newDet()
+	d.Handle(mkRec(trace.OpAtom, 0, 0x1, 16, 10, logging.SpaceShared))
+	d.Handle(mkRec(trace.OpAtom, 1, 0x1, 16, 20, logging.SpaceShared))
+	if !d.HasHazards() {
+		t.Fatal("atomic pair not flagged (racecheck treats atomics as writes)")
+	}
+}
+
+func TestFenceSyncNotUnderstood(t *testing.T) {
+	// Release/acquire on shared memory does not suppress hazards.
+	d := newDet()
+	d.Handle(mkRec(trace.OpWrite, 0, 0x1, 32, 10, logging.SpaceShared))
+	d.Handle(mkRec(trace.OpRelBlk, 0, 0x1, 16, 11, logging.SpaceShared))
+	d.Handle(mkRec(trace.OpAcqBlk, 1, 0x1, 16, 20, logging.SpaceShared))
+	d.Handle(mkRec(trace.OpRead, 1, 0x1, 32, 21, logging.SpaceShared))
+	found := false
+	for _, h := range d.Report() {
+		if h.Addr >= 32 && h.Addr < 36 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("flag-synchronized data access not flagged: %v", d.Report())
+	}
+}
+
+func TestSameThreadNoHazard(t *testing.T) {
+	d := newDet()
+	d.Handle(mkRec(trace.OpWrite, 0, 0x1, 16, 10, logging.SpaceShared))
+	d.Handle(mkRec(trace.OpRead, 0, 0x1, 16, 20, logging.SpaceShared))
+	d.Handle(mkRec(trace.OpWrite, 0, 0x1, 16, 30, logging.SpaceShared))
+	if d.HasHazards() {
+		t.Fatalf("same-thread accesses flagged: %v", d.Report())
+	}
+}
+
+func TestReadReadNoHazard(t *testing.T) {
+	d := newDet()
+	d.Handle(mkRec(trace.OpRead, 0, 0x1, 16, 10, logging.SpaceShared))
+	d.Handle(mkRec(trace.OpRead, 1, 0x1, 16, 20, logging.SpaceShared))
+	if d.HasHazards() {
+		t.Fatal("read-read flagged")
+	}
+}
+
+func TestHazardDedup(t *testing.T) {
+	d := newDet()
+	for i := 0; i < 5; i++ {
+		d.Handle(mkRec(trace.OpWrite, 0, 0x1, 16, 10, logging.SpaceShared))
+		d.Handle(mkRec(trace.OpWrite, 1, 0x1, 16, 20, logging.SpaceShared))
+	}
+	if n := len(d.Report()); n != 2 {
+		// write(10) vs write(20) and write(20) vs write(10) count as
+		// two static orderings at most.
+		if n > 2 {
+			t.Errorf("hazards = %d, want <= 2", n)
+		}
+	}
+}
+
+func TestHazardString(t *testing.T) {
+	h := Hazard{Block: 1, Addr: 16, PrevWr: true}
+	if h.String() == "" {
+		t.Error("empty hazard string")
+	}
+}

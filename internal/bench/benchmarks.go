@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"sync"
+
+	"barracuda/internal/gpusim"
+)
+
+// Benchmark describes one synthetic stand-in for a paper benchmark.
+type Benchmark struct {
+	Name  string
+	Suite string // rodinia | shoc | gpu-tm | sdk | cub
+	Spec  Spec
+	Grid  gpusim.Dim3
+	Block gpusim.Dim3
+
+	// Paper-reported reference values (Table 1), for EXPERIMENTS.md
+	// side-by-side reporting. PaperRaces is the paper's "races found"
+	// cell, e.g. "3 global".
+	PaperStatic  int
+	PaperThreads int
+	PaperMemMB   int
+	PaperRaces   string
+
+	// Engineered ground truth for our scaled reproduction.
+	ExpectRaces int
+	RaceSpace   string // "shared" | "global" | ""
+
+	once sync.Once
+	ptx  string
+}
+
+// PTX returns the generated kernel source (cached).
+func (b *Benchmark) PTX() string {
+	b.once.Do(func() { b.ptx = Generate(b.Spec) })
+	return b.ptx
+}
+
+// Threads returns the launch's total thread count.
+func (b *Benchmark) Threads() int { return b.Grid.Count() * b.Block.Count() }
+
+// Buffers returns the sizes of the three kernel buffers (out, racy, aux).
+func (b *Benchmark) Buffers() []int {
+	out := b.Threads() * b.Spec.Slots() * 4
+	racy := (b.Spec.RacyGlobal + 1) * 4
+	return []int{out, racy, 64}
+}
+
+// MemBytes is the total global-memory footprint.
+func (b *Benchmark) MemBytes() int64 {
+	var t int64
+	for _, n := range b.Buffers() {
+		t += int64(n)
+	}
+	return t
+}
+
+// All returns the 26 benchmarks of Table 1. Thread counts are the
+// paper's scaled down to laptop size (large kernels by 64x; the CUB
+// samples, already tiny, keep their exact launch sizes).
+func All() []*Benchmark {
+	return []*Benchmark{
+		{
+			Name: "bfs", Suite: "rodinia",
+			Spec: Spec{MemSites: 35, Arith: 160, Loops: 2, Private: 2},
+			Grid: gpusim.D1(245), Block: gpusim.D1(64),
+			PaperStatic: 281, PaperThreads: 1000448, PaperMemMB: 155,
+		},
+		{
+			Name: "backprop", Suite: "rodinia",
+			Spec: Spec{MemSites: 40, Arith: 150, Loops: 2, Private: 2, SharedComm: true},
+			Grid: gpusim.D1(256), Block: gpusim.D1(64),
+			PaperStatic: 272, PaperThreads: 1048576, PaperMemMB: 9,
+		},
+		{
+			Name: "dwt2d", Suite: "rodinia",
+			Spec: Spec{MemSites: 260, Arith: 2200, Loops: 6, Private: 8, SharedComm: true, RacyGlobal: 3},
+			Grid: gpusim.D1(36), Block: gpusim.D1(64),
+			PaperStatic: 35385, PaperThreads: 2304, PaperMemMB: 6644,
+			PaperRaces: "3 global", ExpectRaces: 3, RaceSpace: "global",
+		},
+		{
+			Name: "gaussian", Suite: "rodinia",
+			Spec: Spec{MemSites: 25, Arith: 140, Loops: 2, Private: 1},
+			Grid: gpusim.D1(256), Block: gpusim.D1(64),
+			PaperStatic: 246, PaperThreads: 1048576, PaperMemMB: 124,
+		},
+		{
+			Name: "hotspot", Suite: "rodinia",
+			Spec: Spec{MemSites: 48, Arith: 200, Loops: 2, Private: 2, SharedComm: true},
+			Grid: gpusim.D1(116), Block: gpusim.D1(64),
+			PaperStatic: 338, PaperThreads: 473344, PaperMemMB: 119,
+		},
+		{
+			Name: "hybridsort", Suite: "rodinia",
+			Spec: Spec{MemSites: 75, Arith: 520, Loops: 2, Private: 2, SharedComm: true, RacyShared: 1},
+			Grid: gpusim.D1(16), Block: gpusim.D1(32),
+			PaperStatic: 906, PaperThreads: 32768, PaperMemMB: 252,
+			PaperRaces: "1 shared", ExpectRaces: 1, RaceSpace: "shared",
+		},
+		{
+			Name: "kmeans", Suite: "rodinia",
+			Spec: Spec{MemSites: 36, Arith: 220, Loops: 3, Private: 2},
+			Grid: gpusim.D1(121), Block: gpusim.D1(64),
+			PaperStatic: 384, PaperThreads: 495616, PaperMemMB: 252,
+		},
+		{
+			Name: "lavamd", Suite: "rodinia",
+			Spec: Spec{MemSites: 95, Arith: 760, Loops: 4, Private: 3, SharedComm: true},
+			Grid: gpusim.D1(16), Block: gpusim.D1(128),
+			PaperStatic: 1320, PaperThreads: 128000, PaperMemMB: 965,
+		},
+		{
+			Name: "needle", Suite: "rodinia",
+			Spec: Spec{MemSites: 85, Arith: 580, Loops: 2, Private: 2, SharedComm: true},
+			Grid: gpusim.D1(121), Block: gpusim.D1(64),
+			PaperStatic: 1006, PaperThreads: 495616, PaperMemMB: 64,
+		},
+		{
+			Name: "nn", Suite: "rodinia",
+			Spec: Spec{MemSites: 16, Arith: 130, Loops: 1, Private: 1},
+			Grid: gpusim.D1(21), Block: gpusim.D1(32),
+			PaperStatic: 234, PaperThreads: 43008, PaperMemMB: 188,
+		},
+		{
+			Name: "pathfinder", Suite: "rodinia",
+			Spec: Spec{MemSites: 48, Arith: 160, Loops: 2, Private: 2, SharedComm: true, RacyShared: 7},
+			Grid: gpusim.D1(29), Block: gpusim.D1(64),
+			PaperStatic: 285, PaperThreads: 118528, PaperMemMB: 155,
+			PaperRaces: "7 shared", ExpectRaces: 7, RaceSpace: "shared",
+		},
+		{
+			Name: "streamcluster", Suite: "rodinia",
+			Spec: Spec{MemSites: 26, Arith: 170, Loops: 2, Private: 2},
+			Grid: gpusim.D1(16), Block: gpusim.D1(64),
+			PaperStatic: 299, PaperThreads: 65536, PaperMemMB: 188,
+		},
+		{
+			Name: "bfs_shoc", Suite: "shoc",
+			Spec: Spec{MemSites: 60, Arith: 420, Loops: 2, Private: 2, RacyGlobal: 3},
+			Grid: gpusim.D1(16), Block: gpusim.D1(64),
+			PaperStatic: 770, PaperThreads: 1024, PaperMemMB: 68,
+			PaperRaces: "3 global", ExpectRaces: 3, RaceSpace: "global",
+		},
+		{
+			Name: "hashtable", Suite: "gpu-tm",
+			Spec: Spec{MemSites: 32, Arith: 90, Loops: 1, Private: 1, Atomics: 2, RacyGlobal: 3},
+			Grid: gpusim.D1(2), Block: gpusim.D1(32),
+			PaperStatic: 193, PaperThreads: 64, PaperMemMB: 103,
+			PaperRaces: "3 global", ExpectRaces: 3, RaceSpace: "global",
+		},
+		{
+			Name: "dxtc", Suite: "sdk",
+			Spec: Spec{MemSites: 160, Arith: 900, Loops: 3, Private: 2, SharedComm: true, RacyShared: 120},
+			Grid: gpusim.D1(256), Block: gpusim.D1(64),
+			PaperStatic: 1578, PaperThreads: 1048576, PaperMemMB: 17,
+			PaperRaces: "120 shared", ExpectRaces: 120, RaceSpace: "shared",
+		},
+		{
+			Name: "threadfencereduction", Suite: "sdk",
+			Spec: Spec{MemSites: 95, Arith: 800, Loops: 2, Private: 2, SharedComm: true,
+				Atomics: 1, Fences: true, RacyShared: 12},
+			Grid: gpusim.D1(256), Block: gpusim.D1(64),
+			PaperStatic: 5037, PaperThreads: 16384, PaperMemMB: 787,
+			PaperRaces: "12 shared", ExpectRaces: 12, RaceSpace: "shared",
+		},
+		{
+			Name: "block_radix_sort", Suite: "cub",
+			Spec: Spec{MemSites: 65, Arith: 620, Loops: 3, Private: 2, SharedComm: true},
+			Grid: gpusim.D1(1), Block: gpusim.D1(128),
+			PaperStatic: 2174, PaperThreads: 128, PaperMemMB: 66,
+		},
+		{
+			Name: "block_reduce", Suite: "cub",
+			Spec: Spec{MemSites: 75, Arith: 680, Loops: 3, Private: 2, SharedComm: true},
+			Grid: gpusim.D1(1), Block: gpusim.D1(1024),
+			PaperStatic: 2456, PaperThreads: 1024, PaperMemMB: 70,
+		},
+		{
+			Name: "block_scan", Suite: "cub",
+			Spec: Spec{MemSites: 95, Arith: 920, Loops: 3, Private: 2, SharedComm: true},
+			Grid: gpusim.D1(1), Block: gpusim.D1(128),
+			PaperStatic: 4451, PaperThreads: 128, PaperMemMB: 118,
+		},
+		{
+			Name: "device_partition_flagged", Suite: "cub",
+			Spec: Spec{MemSites: 52, Arith: 540, Loops: 2, Private: 2},
+			Grid: gpusim.D1(1), Block: gpusim.D1(128),
+			PaperStatic: 2834, PaperThreads: 128, PaperMemMB: 66,
+		},
+		{
+			Name: "device_reduce", Suite: "cub",
+			Spec: Spec{MemSites: 48, Arith: 500, Loops: 2, Private: 2, Atomics: 1},
+			Grid: gpusim.D1(1), Block: gpusim.D1(128),
+			PaperStatic: 2397, PaperThreads: 128, PaperMemMB: 66,
+		},
+		{
+			Name: "device_scan", Suite: "cub",
+			Spec: Spec{MemSites: 40, Arith: 400, Loops: 2, Private: 2},
+			Grid: gpusim.D1(1), Block: gpusim.D1(128),
+			PaperStatic: 1661, PaperThreads: 128, PaperMemMB: 65,
+		},
+		{
+			Name: "device_select_flagged", Suite: "cub",
+			Spec: Spec{MemSites: 50, Arith: 520, Loops: 2, Private: 2},
+			Grid: gpusim.D1(1), Block: gpusim.D1(128),
+			PaperStatic: 2615, PaperThreads: 128, PaperMemMB: 66,
+		},
+		{
+			Name: "device_select_if", Suite: "cub",
+			Spec: Spec{MemSites: 49, Arith: 510, Loops: 2, Private: 2},
+			Grid: gpusim.D1(1), Block: gpusim.D1(128),
+			PaperStatic: 2508, PaperThreads: 128, PaperMemMB: 66,
+		},
+		{
+			Name: "device_select_unique", Suite: "cub",
+			Spec: Spec{MemSites: 48, Arith: 505, Loops: 2, Private: 2},
+			Grid: gpusim.D1(1), Block: gpusim.D1(128),
+			PaperStatic: 2484, PaperThreads: 128, PaperMemMB: 66,
+		},
+		{
+			Name: "device_sort_find_non_trivial_runs", Suite: "cub",
+			Spec: Spec{MemSites: 115, Arith: 1150, Loops: 3, Private: 2, SharedComm: true},
+			Grid: gpusim.D1(1), Block: gpusim.D1(128),
+			PaperStatic: 16479, PaperThreads: 128, PaperMemMB: 66,
+		},
+	}
+}
+
+// ByName returns the benchmark with the given name, or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range All() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+// Package bench provides the 26 synthetic benchmarks standing in for the
+// paper's evaluation programs (Rodinia, SHOC, GPU-TM, the CUDA SDK and
+// CUB samples — Table 1), plus the harnesses that regenerate Table 1,
+// Figure 9 and Figure 10.
+//
+// Each benchmark is produced by a kernel generator whose specification
+// controls the structural properties the experiments measure: the
+// arithmetic/memory instruction mix (Figure 9's instrumented fraction),
+// dynamic memory traffic (Figure 10's overhead), thread counts and
+// footprints (Table 1), and the number and placement of engineered races
+// ("races found"). Thread counts and memory sizes are scaled down from
+// the paper's GPU-scale runs; see EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Spec parameterises the kernel generator.
+type Spec struct {
+	Arith      int  // arithmetic filler instructions (total, split across loops)
+	Loops      int  // dynamic iterations of the filler+traffic loop (min 1)
+	Private    int  // per-thread private global store/load slots per iteration
+	MemSites   int  // unrolled store+load site pairs on per-thread slots
+	SharedComm bool // barrier-synchronized shared-memory staging phase
+	RacyShared int  // engineered shared-memory racy store sites
+	RacyGlobal int  // engineered global-memory racy store sites
+	Atomics    int  // global atomic counter updates
+	Fences     bool // a release/acquire pair on an auxiliary flag
+}
+
+// Slots returns the per-thread private slot count the generated kernel
+// addresses (the out-buffer stride).
+func (s Spec) Slots() int {
+	n := s.Private
+	if s.MemSites > n {
+		n = s.MemSites
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// sharedCommSlots is the size of the staging buffer (one slot per thread
+// up to this many).
+const sharedCommSlots = 128
+
+// Generate produces the PTX for a benchmark kernel named "main" with
+// parameters (out, racy, aux).
+func Generate(s Spec) string {
+	var b strings.Builder
+	b.WriteString(".version 4.3\n.target sm_35\n.address_size 64\n\n")
+	b.WriteString(".visible .entry main(.param .u64 out, .param .u64 racy, .param .u64 aux)\n{\n")
+	b.WriteString("\t.reg .u32 %r<40>;\n")
+	b.WriteString("\t.reg .u64 %rd<24>;\n")
+	b.WriteString("\t.reg .pred %p<10>;\n")
+	if s.SharedComm || s.RacyShared > 0 {
+		size := sharedCommSlots*4 + s.RacyShared*4
+		fmt.Fprintf(&b, "\t.shared .align 4 .b8 sm[%d];\n", size)
+	}
+	w := func(format string, args ...any) {
+		b.WriteString("\t")
+		fmt.Fprintf(&b, format, args...)
+		b.WriteString("\n")
+	}
+	// Prologue: parameter loads and the unique TID (%r4), like the
+	// instrumentation framework's TID preamble.
+	w("ld.param.u64 %%rd1, [out];")
+	w("ld.param.u64 %%rd2, [racy];")
+	w("ld.param.u64 %%rd3, [aux];")
+	w("mov.u32 %%r1, %%tid.x;")
+	w("mov.u32 %%r2, %%ctaid.x;")
+	w("mov.u32 %%r3, %%ntid.x;")
+	w("mad.lo.u32 %%r4, %%r2, %%r3, %%r1;")
+	// Per-thread private slot base: out + gtid*Slots*4.
+	w("mul.lo.u32 %%r5, %%r4, %d;", s.Slots()*4)
+	w("cvt.u64.u32 %%rd4, %%r5;")
+	w("add.u64 %%rd5, %%rd1, %%rd4;")
+	// Seed registers for the filler.
+	w("add.u32 %%r16, %%r4, 1;")
+	w("xor.b32 %%r17, %%r4, 0x5bd1;")
+	w("add.u32 %%r18, %%r1, 7;")
+	w("mov.u32 %%r19, 0x9e37;")
+
+	loops := s.Loops
+	if loops < 1 {
+		loops = 1
+	}
+	if loops > 1 {
+		w("mov.u32 %%r30, 0;")
+		b.WriteString("BODY:\n")
+	}
+	perLoop := s.Arith
+	emitFiller(&b, perLoop)
+	// Private traffic: store then load each slot.
+	for i := 0; i < s.Private; i++ {
+		w("st.global.u32 [%%rd5+%d], %%r16;", i*4)
+		w("ld.global.u32 %%r20, [%%rd5+%d];", i*4)
+		w("add.u32 %%r16, %%r16, %%r20;")
+	}
+	if loops > 1 {
+		w("add.u32 %%r30, %%r30, 1;")
+		w("setp.lt.u32 %%p7, %%r30, %d;", loops)
+		w("@%%p7 bra BODY;")
+	}
+
+	// Unrolled memory sites: a store then a load of the same private
+	// slot. The loads are exactly the accesses the intra-basic-block
+	// pruning optimization eliminates (read covered by the preceding
+	// logged write), reproducing Figure 9's unoptimized/optimized gap.
+	for i := 0; i < s.MemSites; i++ {
+		w("st.global.u32 [%%rd5+%d], %%r16;", i*4)
+		w("ld.global.u32 %%r20, [%%rd5+%d];", i*4)
+		w("add.u32 %%r16, %%r16, %%r20;")
+	}
+
+	if s.SharedComm {
+		// Barrier-synchronized staging: the first sharedCommSlots
+		// threads write their slot, everyone barriers, the same
+		// threads read their neighbour's slot, and everyone barriers
+		// again. The guards reconverge before each bar.sync, so larger
+		// blocks do not diverge at the barrier.
+		w("setp.ge.u32 %%p8, %%r1, %d;", sharedCommSlots)
+		w("mov.u64 %%rd7, sm;")
+		w("@%%p8 bra CSKIP1;")
+		w("shl.b32 %%r22, %%r1, 2;")
+		w("cvt.u64.u32 %%rd6, %%r22;")
+		w("add.u64 %%rd8, %%rd7, %%rd6;")
+		w("st.shared.u32 [%%rd8], %%r16;")
+		b.WriteString("CSKIP1:\n")
+		w("bar.sync 0;")
+		w("@%%p8 bra CSKIP2;")
+		w("add.u32 %%r23, %%r1, 1;")
+		w("and.b32 %%r23, %%r23, %d;", sharedCommSlots-1)
+		w("shl.b32 %%r24, %%r23, 2;")
+		w("cvt.u64.u32 %%rd9, %%r24;")
+		w("add.u64 %%rd10, %%rd7, %%rd9;")
+		w("ld.shared.u32 %%r25, [%%rd10];")
+		w("add.u32 %%r16, %%r16, %%r25;")
+		b.WriteString("CSKIP2:\n")
+		w("bar.sync 0;")
+	}
+	for i := 0; i < s.Atomics; i++ {
+		w("atom.global.add.u32 %%r26, [%%rd3], 1;")
+	}
+	if s.Fences {
+		// A correct release/acquire pair on an auxiliary flag: thread 0
+		// of block 0 releases, thread 0 of the last block acquires.
+		w("setp.ne.u32 %%p1, %%r4, 0;")
+		w("@%%p1 bra NOREL;")
+		w("membar.gl;")
+		w("st.global.u32 [%%rd3+8], 1;")
+		b.WriteString("NOREL:\n")
+		w("mov.u32 %%r27, %%nctaid.x;")
+		w("sub.u32 %%r27, %%r27, 1;")
+		w("setp.ne.u32 %%p2, %%r2, %%r27;")
+		w("@%%p2 bra NOACQ;")
+		w("setp.ne.u32 %%p3, %%r1, 0;")
+		w("@%%p3 bra NOACQ;")
+		w("ld.global.u32 %%r28, [%%rd3+8];")
+		w("membar.gl;")
+		b.WriteString("NOACQ:\n")
+	}
+	if s.RacyShared > 0 {
+		// Lanes 0 and 1 of warp 0 write each racy shared site in the
+		// same warp instruction with different values: one distinct
+		// intra-warp race per site.
+		w("setp.gt.u32 %%p4, %%r1, 1;")
+		w("@%%p4 bra SKIPRS;")
+		w("mov.u64 %%rd11, sm;")
+		for i := 0; i < s.RacyShared; i++ {
+			w("st.shared.u32 [%%rd11+%d], %%r4;", sharedCommSlots*4+i*4)
+		}
+		b.WriteString("SKIPRS:\n")
+	}
+	if s.RacyGlobal > 0 {
+		// Thread 0 of block 0 and thread 0 of block 1 write each racy
+		// global site: one distinct inter-block race per site.
+		w("setp.ne.u32 %%p5, %%r1, 0;")
+		w("@%%p5 bra SKIPRG;")
+		w("setp.gt.u32 %%p6, %%r2, 1;")
+		w("@%%p6 bra SKIPRG;")
+		for i := 0; i < s.RacyGlobal; i++ {
+			w("st.global.u32 [%%rd2+%d], %%r4;", i*4)
+		}
+		b.WriteString("SKIPRG:\n")
+	}
+	// Epilogue: publish the accumulated value to the private slot.
+	w("st.global.u32 [%%rd5], %%r16;")
+	w("ret;")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// fillerOps is the instruction mix of the arithmetic filler.
+var fillerOps = []string{
+	"add.u32 %r16, %r16, %r17;",
+	"xor.b32 %r17, %r17, %r16;",
+	"mul.lo.u32 %r18, %r18, %r19;",
+	"shl.b32 %r19, %r16, 3;",
+	"add.u32 %r17, %r17, %r18;",
+	"sub.u32 %r18, %r18, %r16;",
+	"and.b32 %r19, %r19, 0xffff;",
+	"or.b32 %r16, %r16, 1;",
+	"min.u32 %r17, %r17, %r18;",
+	"mad.lo.u32 %r18, %r16, 3, %r17;",
+	"max.u32 %r19, %r19, %r16;",
+	"shr.u32 %r16, %r16, 1;",
+}
+
+func emitFiller(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("\t")
+		b.WriteString(fillerOps[i%len(fillerOps)])
+		b.WriteString("\n")
+	}
+}

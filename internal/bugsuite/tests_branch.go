@@ -1,0 +1,275 @@
+package bugsuite
+
+import "barracuda/internal/gpusim"
+
+// branchTests exercise the paper's new bug class — branch ordering races —
+// together with divergence-free controls and barrier divergence errors.
+func branchTests() []*Test {
+	return []*Test{
+		{
+			Name:     "br-order-gl-racy",
+			Category: "branch",
+			Desc:     "the two sides of a divergent branch write the same global word; the SIMT serialization order is architecture-defined",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	setp.lt.u32 %p1, %r1, 16;
+	@%p1 bra THEN;
+	st.global.u32 [%rd1], 1;
+	bra.uni FI;
+THEN:
+	st.global.u32 [%rd1], 2;
+FI:
+	ret;
+}`,
+		},
+		{
+			Name:     "br-nested-gl-racy",
+			Category: "branch",
+			Desc:     "nested divergence: the inner branch's paths conflict",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<4>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	setp.lt.u32 %p1, %r1, 16;
+	@%p1 bra OUTER;
+	setp.lt.u32 %p2, %r1, 24;
+	@%p2 bra INNER;
+	st.global.u32 [%rd1], 1;
+	bra.uni IFI;
+INNER:
+	st.global.u32 [%rd1], 2;
+IFI:
+OUTER:
+	ret;
+}`,
+		},
+		{
+			Name:     "br-reconverge-sh-free",
+			Category: "branch",
+			Desc:     "divergent paths write disjoint shared slots; cross-path reads happen only after reconvergence",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4 * 32},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<10>;
+	.reg .u64 %rd<10>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 sm[128];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	shl.b32 %r2, %r1, 2;
+	cvt.u64.u32 %rd2, %r2;
+	mov.u64 %rd3, sm;
+	add.u64 %rd4, %rd3, %rd2;
+	setp.lt.u32 %p1, %r1, 16;
+	@%p1 bra THEN;
+	st.shared.u32 [%rd4], 100;
+	bra.uni FI;
+THEN:
+	st.shared.u32 [%rd4], 200;
+FI:
+	add.u32 %r3, %r1, 16;
+	and.b32 %r4, %r3, 31;
+	shl.b32 %r5, %r4, 2;
+	cvt.u64.u32 %rd5, %r5;
+	add.u64 %rd6, %rd3, %rd5;
+	ld.shared.u32 %r6, [%rd6];
+	add.u64 %rd7, %rd1, %rd2;
+	st.global.u32 [%rd7], %r6;
+	ret;
+}`,
+		},
+		{
+			Name:     "br-uniform-sh-free",
+			Category: "branch",
+			Desc:     "a uniformly-false branch never diverges; the following lockstep exchange is ordered",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4 * 32},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<10>;
+	.reg .u64 %rd<10>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 sm[128];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	mov.u32 %r2, %ntid.x;
+	setp.gt.u32 %p1, %r2, 1000;
+	@%p1 bra NEVER;
+	shl.b32 %r3, %r1, 2;
+	cvt.u64.u32 %rd2, %r3;
+	mov.u64 %rd3, sm;
+	add.u64 %rd4, %rd3, %rd2;
+	st.shared.u32 [%rd4], %r1;
+	xor.b32 %r4, %r1, 1;
+	shl.b32 %r5, %r4, 2;
+	cvt.u64.u32 %rd5, %r5;
+	add.u64 %rd6, %rd3, %rd5;
+	ld.shared.u32 %r6, [%rd6];
+	add.u64 %rd7, %rd1, %rd2;
+	st.global.u32 [%rd7], %r6;
+NEVER:
+	ret;
+}`,
+		},
+		{
+			Name:     "br-samevalue-paths-gl-racy",
+			Category: "branch",
+			Desc:     "both paths write the SAME value: the same-value exemption applies only within one instruction, not across paths",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	setp.lt.u32 %p1, %r1, 16;
+	@%p1 bra THEN;
+	st.global.u32 [%rd1], 5;
+	bra.uni FI;
+THEN:
+	st.global.u32 [%rd1], 5;
+FI:
+	ret;
+}`,
+		},
+		{
+			Name:     "br-path-vs-otherwarp-gl-racy",
+			Category: "branch",
+			Desc:     "a divergent path of warp 0 writes what warp 1 reads concurrently",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4, 4 * 64},
+			PTX: `.visible .entry k(.param .u64 data, .param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [data];
+	ld.param.u64 %rd2, [out];
+	mov.u32 %r1, %tid.x;
+	setp.lt.u32 %p1, %r1, 32;
+	@%p1 bra WARP0;
+	ld.global.u32 %r2, [%rd1];
+	shl.b32 %r3, %r1, 2;
+	cvt.u64.u32 %rd3, %r3;
+	add.u64 %rd4, %rd2, %rd3;
+	st.global.u32 [%rd4], %r2;
+	ret;
+WARP0:
+	setp.ne.u32 %p1, %r1, 3;
+	@%p1 ret;
+	st.global.u32 [%rd1], 77;
+	ret;
+}`,
+		},
+		{
+			Name:     "bardiv-branch",
+			Category: "barrier-divergence",
+			Desc:     "bar.sync executed inside a divergent branch",
+			Expect:   BarrierDiv,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	setp.ge.u32 %p1, %r1, 16;
+	@%p1 bra SKIP;
+	bar.sync 0;
+SKIP:
+	ret;
+}`,
+		},
+		{
+			Name:     "bardiv-earlyexit",
+			Category: "barrier-divergence",
+			Desc:     "half the threads return before the barrier",
+			Expect:   BarrierDiv,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	setp.ge.u32 %p1, %r1, 16;
+	@%p1 ret;
+	bar.sync 0;
+	ret;
+}`,
+		},
+		{
+			Name:     "bar-partialwarp-free",
+			Category: "barrier-divergence",
+			Desc:     "a partially-populated last warp at a barrier is NOT divergence; post-barrier lockstep exchange stays ordered",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(48),
+			Bufs:     []int{4 * 48},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<10>;
+	.reg .u64 %rd<10>;
+	.shared .align 4 .b8 sm[192];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	shl.b32 %r2, %r1, 2;
+	cvt.u64.u32 %rd2, %r2;
+	mov.u64 %rd3, sm;
+	add.u64 %rd4, %rd3, %rd2;
+	bar.sync 0;
+	st.shared.u32 [%rd4], %r1;
+	xor.b32 %r3, %r1, 1;
+	shl.b32 %r4, %r3, 2;
+	cvt.u64.u32 %rd5, %r4;
+	add.u64 %rd6, %rd3, %rd5;
+	ld.shared.u32 %r5, [%rd6];
+	add.u64 %rd7, %rd1, %rd2;
+	st.global.u32 [%rd7], %r5;
+	ret;
+}`,
+		},
+	}
+}

@@ -1,0 +1,549 @@
+package bugsuite
+
+import "barracuda/internal/gpusim"
+
+// globalTests cover global memory: inter-block races invisible to
+// shared-memory-only tools, fence-scoped message passing, locks built
+// from atomics and fences, and the §6.3 bug patterns.
+func globalTests() []*Test {
+	// Message-passing skeleton shared by several tests; FENCE1/FENCE2
+	// are spliced in.
+	mp := func(fence1, fence2, writerBlock string) string {
+		return `.visible .entry k(.param .u64 data, .param .u64 flag)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [data];
+	ld.param.u64 %rd2, [flag];
+	mov.u32 %r1, %ctaid.x;
+	setp.ne.u32 %p1, %r1, ` + writerBlock + `;
+	@%p1 bra READER;
+	st.global.u32 [%rd1], 42;
+` + fence1 + `
+	st.global.u32 [%rd2], 1;
+	ret;
+READER:
+WAIT:
+	ld.global.u32 %r2, [%rd2];
+` + fence2 + `
+	setp.eq.u32 %p1, %r2, 0;
+	@%p1 bra WAIT;
+	ld.global.u32 %r3, [%rd1];
+	ret;
+}`
+	}
+	oneThreadBlocks := func(n int) (gpusim.Dim3, gpusim.Dim3) {
+		return gpusim.D1(n), gpusim.D1(1)
+	}
+	g2, b1 := oneThreadBlocks(2)
+
+	return []*Test{
+		{
+			Name:     "gl-waw-interblock-racy",
+			Category: "global",
+			Desc:     "thread 0 of each block writes the same global word",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(2),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 ret;
+	mov.u32 %r2, %ctaid.x;
+	st.global.u32 [%rd1], %r2;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-raw-interblock-racy",
+			Category: "global",
+			Desc:     "block 0 writes a global word block 1 reads, no synchronization",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     g2,
+			Block:    b1,
+			Bufs:     []int{4, 4},
+			PTX: `.visible .entry k(.param .u64 data, .param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [data];
+	ld.param.u64 %rd2, [out];
+	mov.u32 %r1, %ctaid.x;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra READER;
+	st.global.u32 [%rd1], 7;
+	ret;
+READER:
+	ld.global.u32 %r2, [%rd1];
+	st.global.u32 [%rd2], %r2;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-war-interblock-racy",
+			Category: "global",
+			Desc:     "block 0 reads a global word block 1 overwrites",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     g2,
+			Block:    b1,
+			Bufs:     []int{4, 4},
+			PTX: `.visible .entry k(.param .u64 data, .param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [data];
+	ld.param.u64 %rd2, [out];
+	mov.u32 %r1, %ctaid.x;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra WRITER;
+	ld.global.u32 %r2, [%rd1];
+	st.global.u32 [%rd2], %r2;
+	ret;
+WRITER:
+	st.global.u32 [%rd1], 9;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-waw-interwarp-racy",
+			Category: "global",
+			Desc:     "two warps of one block write the same global word",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %laneid;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 ret;
+	mov.u32 %r2, %tid.x;
+	st.global.u32 [%rd1], %r2;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-intrawarp-waw-racy",
+			Category: "global",
+			Desc:     "all lanes of a warp write different values to one global word",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	st.global.u32 [%rd1], %r1;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-samevalue-overwrite-racy",
+			Category: "global",
+			Desc:     "a thread overwrites a global word with its existing value while another block reads it — value-based tools (LDetector) cannot see this write",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(2),
+			Block:    gpusim.D1(1),
+			Bufs:     []int{4, 4},
+			PTX: `.visible .entry k(.param .u64 data, .param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [data];
+	ld.param.u64 %rd2, [out];
+	mov.u32 %r1, %ctaid.x;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra READER;
+	ld.global.u32 %r2, [%rd1];
+	st.global.u32 [%rd1], %r2;
+	ret;
+READER:
+	ld.global.u32 %r3, [%rd1];
+	st.global.u32 [%rd2], %r3;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-mp-nofence-racy",
+			Category: "global",
+			Desc:     "cross-block message passing with no fences at all",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     g2,
+			Block:    b1,
+			Bufs:     []int{4, 4},
+			PTX:      mp("", "", "0"),
+		},
+		{
+			Name:     "gl-mp-cta-racy",
+			Category: "global",
+			Desc:     "cross-block message passing with membar.cta on both sides (Figure 4: insufficient between blocks)",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     g2,
+			Block:    b1,
+			Bufs:     []int{4, 4},
+			PTX:      mp("\tmembar.cta;", "\tmembar.cta;", "0"),
+		},
+		{
+			Name:     "gl-mp-gl-free",
+			Category: "global",
+			Desc:     "cross-block message passing with membar.gl on both sides",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     g2,
+			Block:    b1,
+			Bufs:     []int{4, 4},
+			PTX:      mp("\tmembar.gl;", "\tmembar.gl;", "0"),
+		},
+		{
+			Name:     "gl-mp-gl-waiterfirst-free",
+			Category: "global",
+			Desc:     "gl-fenced message passing where block 0 is the waiter (serializing tools hang here)",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     g2,
+			Block:    b1,
+			Bufs:     []int{4, 4},
+			PTX:      mp("\tmembar.gl;", "\tmembar.gl;", "1"),
+		},
+		{
+			Name:     "gl-lock-nofence-racy",
+			Category: "global",
+			Desc:     "the §6.3 hashtable bug: atomicCAS lock with no fences does not synchronize",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(4),
+			Block:    b1,
+			Bufs:     []int{4, 4},
+			PTX: `.visible .entry k(.param .u64 lock, .param .u64 ctr)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [lock];
+	ld.param.u64 %rd2, [ctr];
+SPIN:
+	atom.global.cas.b32 %r1, [%rd1], 0, 1;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra SPIN;
+	ld.global.u32 %r2, [%rd2];
+	add.u32 %r2, %r2, 1;
+	st.global.u32 [%rd2], %r2;
+	atom.global.exch.b32 %r3, [%rd1], 0;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-lock-plain-unlock-racy",
+			Category: "global",
+			Desc:     "the second §6.3 hashtable bug: the lock is freed by a plain unfenced store",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(4),
+			Block:    b1,
+			Bufs:     []int{4, 4},
+			PTX: `.visible .entry k(.param .u64 lock, .param .u64 ctr)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [lock];
+	ld.param.u64 %rd2, [ctr];
+SPIN:
+	atom.global.cas.b32 %r1, [%rd1], 0, 1;
+	membar.gl;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra SPIN;
+	ld.global.u32 %r2, [%rd2];
+	add.u32 %r2, %r2, 1;
+	st.global.u32 [%rd2], %r2;
+	st.global.u32 [%rd1], 0;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-lock-gl-free",
+			Category: "global",
+			Desc:     "a correct global spinlock: cas+membar.gl acquire, membar.gl+exch release",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(4),
+			Block:    b1,
+			Bufs:     []int{4, 4},
+			PTX: `.visible .entry k(.param .u64 lock, .param .u64 ctr)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [lock];
+	ld.param.u64 %rd2, [ctr];
+SPIN:
+	atom.global.cas.b32 %r1, [%rd1], 0, 1;
+	membar.gl;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra SPIN;
+	ld.global.u32 %r2, [%rd2];
+	add.u32 %r2, %r2, 1;
+	st.global.u32 [%rd2], %r2;
+	membar.gl;
+	atom.global.exch.b32 %r3, [%rd1], 0;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-lock-cta-across-blocks-racy",
+			Category: "global",
+			Desc:     "a lock whose fences are only block-scoped cannot synchronize across blocks",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(4),
+			Block:    b1,
+			Bufs:     []int{4, 4},
+			PTX: `.visible .entry k(.param .u64 lock, .param .u64 ctr)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [lock];
+	ld.param.u64 %rd2, [ctr];
+SPIN:
+	atom.global.cas.b32 %r1, [%rd1], 0, 1;
+	membar.cta;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra SPIN;
+	ld.global.u32 %r2, [%rd2];
+	add.u32 %r2, %r2, 1;
+	st.global.u32 [%rd2], %r2;
+	membar.cta;
+	atom.global.exch.b32 %r3, [%rd1], 0;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-tid-private-free",
+			Category: "global",
+			Desc:     "every thread owns a disjoint global slot",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(4),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4 * 256},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	mov.u32 %r2, %ctaid.x;
+	mov.u32 %r3, %ntid.x;
+	mad.lo.u32 %r4, %r2, %r3, %r1;
+	shl.b32 %r5, %r4, 2;
+	cvt.u64.u32 %rd2, %r5;
+	add.u64 %rd3, %rd1, %rd2;
+	st.global.u32 [%rd3], %r4;
+	ld.global.u32 %r6, [%rd3];
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-atomic-counter-free",
+			Category: "global",
+			Desc:     "a global atomic counter incremented from every thread of every block",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(4),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 ctr)
+{
+	.reg .u32 %r<4>;
+	.reg .u64 %rd<4>;
+	ld.param.u64 %rd1, [ctr];
+	atom.global.add.u32 %r1, [%rd1], 1;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-atomic-vs-write-racy",
+			Category: "global",
+			Desc:     "a global word updated atomically by one block and plainly by another",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     g2,
+			Block:    b1,
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 ctr)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [ctr];
+	mov.u32 %r1, %ctaid.x;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra PLAIN;
+	atom.global.add.u32 %r2, [%rd1], 1;
+	ret;
+PLAIN:
+	st.global.u32 [%rd1], 100;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-bfs-frontier-racy",
+			Category: "global",
+			Desc:     "the §6.3 SHOC bfs pattern: distance updates and a done-flag written plainly from multiple blocks",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(2),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4 * 16, 4},
+			PTX: `.visible .entry k(.param .u64 dist, .param .u64 flag)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	ld.param.u64 %rd1, [dist];
+	ld.param.u64 %rd2, [flag];
+	mov.u32 %r1, %tid.x;
+	and.b32 %r2, %r1, 15;
+	shl.b32 %r3, %r2, 2;
+	cvt.u64.u32 %rd3, %r3;
+	add.u64 %rd4, %rd1, %rd3;
+	st.global.u32 [%rd4], 1;
+	st.global.u32 [%rd2], 1;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-reduce-nosync-racy",
+			Category: "global",
+			Desc:     "per-block partials reduced by block 0 without any grid synchronization",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(4),
+			Block:    b1,
+			Bufs:     []int{4 * 4, 4},
+			PTX: `.visible .entry k(.param .u64 partials, .param .u64 out)
+{
+	.reg .u32 %r<10>;
+	.reg .u64 %rd<10>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [partials];
+	ld.param.u64 %rd2, [out];
+	mov.u32 %r1, %ctaid.x;
+	shl.b32 %r2, %r1, 2;
+	cvt.u64.u32 %rd3, %r2;
+	add.u64 %rd4, %rd1, %rd3;
+	st.global.u32 [%rd4], %r1;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 ret;
+	ld.global.u32 %r3, [%rd1];
+	ld.global.u32 %r4, [%rd1+4];
+	ld.global.u32 %r5, [%rd1+8];
+	ld.global.u32 %r6, [%rd1+12];
+	add.u32 %r7, %r3, %r4;
+	add.u32 %r8, %r5, %r6;
+	add.u32 %r9, %r7, %r8;
+	st.global.u32 [%rd2], %r9;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-gridbarrier-fenced-free",
+			Category: "global",
+			Desc:     "threadFenceReduction: partials published with gl fences around an atomic arrival counter; the last block reduces",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(4),
+			Block:    b1,
+			Bufs:     []int{4 * 4, 4, 4},
+			PTX: `.visible .entry k(.param .u64 partials, .param .u64 count, .param .u64 out)
+{
+	.reg .u32 %r<12>;
+	.reg .u64 %rd<12>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [partials];
+	ld.param.u64 %rd2, [count];
+	ld.param.u64 %rd3, [out];
+	mov.u32 %r1, %ctaid.x;
+	shl.b32 %r2, %r1, 2;
+	cvt.u64.u32 %rd4, %r2;
+	add.u64 %rd5, %rd1, %rd4;
+	st.global.u32 [%rd5], %r1;
+	membar.gl;
+	atom.global.add.u32 %r3, [%rd2], 1;
+	membar.gl;
+	setp.ne.u32 %p1, %r3, 3;
+	@%p1 ret;
+	ld.global.u32 %r4, [%rd1];
+	ld.global.u32 %r5, [%rd1+4];
+	ld.global.u32 %r6, [%rd1+8];
+	ld.global.u32 %r7, [%rd1+12];
+	add.u32 %r8, %r4, %r5;
+	add.u32 %r9, %r6, %r7;
+	add.u32 %r10, %r8, %r9;
+	st.global.u32 [%rd3], %r10;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-gridbarrier-nofence-racy",
+			Category: "global",
+			Desc:     "the same arrival-counter pattern without fences: the bare atomic does not synchronize",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(4),
+			Block:    b1,
+			Bufs:     []int{4 * 4, 4, 4},
+			PTX: `.visible .entry k(.param .u64 partials, .param .u64 count, .param .u64 out)
+{
+	.reg .u32 %r<12>;
+	.reg .u64 %rd<12>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [partials];
+	ld.param.u64 %rd2, [count];
+	ld.param.u64 %rd3, [out];
+	mov.u32 %r1, %ctaid.x;
+	shl.b32 %r2, %r1, 2;
+	cvt.u64.u32 %rd4, %r2;
+	add.u64 %rd5, %rd1, %rd4;
+	st.global.u32 [%rd5], %r1;
+	atom.global.add.u32 %r3, [%rd2], 1;
+	setp.ne.u32 %p1, %r3, 3;
+	@%p1 ret;
+	ld.global.u32 %r4, [%rd1];
+	ld.global.u32 %r5, [%rd1+4];
+	ld.global.u32 %r6, [%rd1+8];
+	ld.global.u32 %r7, [%rd1+12];
+	add.u32 %r8, %r4, %r5;
+	add.u32 %r9, %r6, %r7;
+	add.u32 %r10, %r8, %r9;
+	st.global.u32 [%rd3], %r10;
+	ret;
+}`,
+		},
+	}
+}

@@ -1,0 +1,668 @@
+package bugsuite
+
+import "barracuda/internal/gpusim"
+
+// sharedTests are the shared-memory programs of the suite: intra-block
+// races and their barrier-, lockstep-, atomic- and fence-synchronized
+// race-free variants.
+func sharedTests() []*Test {
+	return []*Test{
+		{
+			Name:     "sh-waw-interwarp-racy",
+			Category: "shared",
+			Desc:     "lane 0 of each warp writes the same shared word, no barrier",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 sm[64];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	mov.u32 %r2, %laneid;
+	setp.ne.u32 %p1, %r2, 0;
+	@%p1 ret;
+	mov.u64 %rd2, sm;
+	st.shared.u32 [%rd2], %r1;
+	ld.shared.u32 %r3, [%rd2];
+	st.global.u32 [%rd1], %r3;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-raw-interwarp-racy",
+			Category: "shared",
+			Desc:     "warp 0 writes shared, warp 1 reads it without a barrier",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4 * 64},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 sm[4];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	mov.u64 %rd2, sm;
+	setp.lt.u32 %p1, %r1, 32;
+	@%p1 bra WRITER;
+	ld.shared.u32 %r2, [%rd2];
+	st.global.u32 [%rd1], %r2;
+	ret;
+WRITER:
+	st.shared.u32 [%rd2], %r1;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-war-interwarp-racy",
+			Category: "shared",
+			Desc:     "warp 0 reads shared, warp 1 overwrites it without a barrier",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4 * 64},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 sm[4];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	mov.u64 %rd2, sm;
+	setp.lt.u32 %p1, %r1, 32;
+	@%p1 bra READER;
+	st.shared.u32 [%rd2], %r1;
+	ret;
+READER:
+	ld.shared.u32 %r2, [%rd2];
+	st.global.u32 [%rd1], %r2;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-barrier-waw-free",
+			Category: "shared",
+			Desc:     "conflicting shared writes separated by __syncthreads",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4 * 64},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 sm[4];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	mov.u64 %rd2, sm;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra SKIP1;
+	st.shared.u32 [%rd2], 1;
+SKIP1:
+	bar.sync 0;
+	setp.ne.u32 %p1, %r1, 33;
+	@%p1 bra SKIP2;
+	st.shared.u32 [%rd2], 2;
+SKIP2:
+	bar.sync 0;
+	ld.shared.u32 %r2, [%rd2];
+	shl.b32 %r3, %r1, 2;
+	cvt.u64.u32 %rd3, %r3;
+	add.u64 %rd4, %rd1, %rd3;
+	st.global.u32 [%rd4], %r2;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-barrier-raw-free",
+			Category: "shared",
+			Desc:     "thread 0 writes shared, barrier, all threads read",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4 * 64},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 sm[4];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	mov.u64 %rd2, sm;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra WAIT;
+	st.shared.u32 [%rd2], 42;
+WAIT:
+	bar.sync 0;
+	ld.shared.u32 %r2, [%rd2];
+	shl.b32 %r3, %r1, 2;
+	cvt.u64.u32 %rd3, %r3;
+	add.u64 %rd4, %rd1, %rd3;
+	st.global.u32 [%rd4], %r2;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-reverse-barrier-free",
+			Category: "shared",
+			Desc:     "classic staged reversal through shared memory with a barrier",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4 * 64},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<10>;
+	.reg .u64 %rd<10>;
+	.shared .align 4 .b8 sm[256];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	shl.b32 %r2, %r1, 2;
+	cvt.u64.u32 %rd2, %r2;
+	mov.u64 %rd3, sm;
+	add.u64 %rd4, %rd3, %rd2;
+	st.shared.u32 [%rd4], %r1;
+	bar.sync 0;
+	mov.u32 %r3, 63;
+	sub.u32 %r4, %r3, %r1;
+	shl.b32 %r5, %r4, 2;
+	cvt.u64.u32 %rd5, %r5;
+	add.u64 %rd6, %rd3, %rd5;
+	ld.shared.u32 %r6, [%rd6];
+	cvt.u64.u32 %rd7, %r2;
+	add.u64 %rd8, %rd1, %rd7;
+	st.global.u32 [%rd8], %r6;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-reverse-nobar-racy",
+			Category: "shared",
+			Desc:     "the same reversal with the barrier omitted",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4 * 64},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<10>;
+	.reg .u64 %rd<10>;
+	.shared .align 4 .b8 sm[256];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	shl.b32 %r2, %r1, 2;
+	cvt.u64.u32 %rd2, %r2;
+	mov.u64 %rd3, sm;
+	add.u64 %rd4, %rd3, %rd2;
+	st.shared.u32 [%rd4], %r1;
+	mov.u32 %r3, 63;
+	sub.u32 %r4, %r3, %r1;
+	shl.b32 %r5, %r4, 2;
+	cvt.u64.u32 %rd5, %r5;
+	add.u64 %rd6, %rd3, %rd5;
+	ld.shared.u32 %r6, [%rd6];
+	cvt.u64.u32 %rd7, %r2;
+	add.u64 %rd8, %rd1, %rd7;
+	st.global.u32 [%rd8], %r6;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-tid-private-free",
+			Category: "shared",
+			Desc:     "every thread uses its own shared slot",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4 * 64},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.shared .align 4 .b8 sm[256];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	shl.b32 %r2, %r1, 2;
+	cvt.u64.u32 %rd2, %r2;
+	mov.u64 %rd3, sm;
+	add.u64 %rd4, %rd3, %rd2;
+	st.shared.u32 [%rd4], %r1;
+	ld.shared.u32 %r3, [%rd4];
+	add.u64 %rd5, %rd1, %rd2;
+	st.global.u32 [%rd5], %r3;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-read-read-free",
+			Category: "shared",
+			Desc:     "thread 0 initializes, barrier, then everyone only reads",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4 * 64},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 sm[4];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	mov.u64 %rd2, sm;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra B;
+	st.shared.u32 [%rd2], 99;
+B:
+	bar.sync 0;
+	ld.shared.u32 %r2, [%rd2];
+	ld.shared.u32 %r3, [%rd2];
+	add.u32 %r4, %r2, %r3;
+	shl.b32 %r5, %r1, 2;
+	cvt.u64.u32 %rd3, %r5;
+	add.u64 %rd4, %rd1, %rd3;
+	st.global.u32 [%rd4], %r4;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-two-phase-free",
+			Category: "shared",
+			Desc:     "two barrier-separated phases with role swap",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4 * 64},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<10>;
+	.reg .u64 %rd<10>;
+	.shared .align 4 .b8 sm[256];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	shl.b32 %r2, %r1, 2;
+	cvt.u64.u32 %rd2, %r2;
+	mov.u64 %rd3, sm;
+	add.u64 %rd4, %rd3, %rd2;
+	st.shared.u32 [%rd4], %r1;
+	bar.sync 0;
+	xor.b32 %r3, %r1, 1;
+	shl.b32 %r4, %r3, 2;
+	cvt.u64.u32 %rd5, %r4;
+	add.u64 %rd6, %rd3, %rd5;
+	ld.shared.u32 %r5, [%rd6];
+	bar.sync 0;
+	add.u32 %r6, %r5, 1;
+	st.shared.u32 [%rd4], %r6;
+	bar.sync 0;
+	ld.shared.u32 %r7, [%rd4];
+	add.u64 %rd7, %rd1, %rd2;
+	st.global.u32 [%rd7], %r7;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-warp-lockstep-free",
+			Category: "shared",
+			Desc:     "warp-synchronous neighbour exchange without a barrier (lockstep orders it; racecheck false-positives)",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4 * 32},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<10>;
+	.reg .u64 %rd<10>;
+	.shared .align 4 .b8 sm[128];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	shl.b32 %r2, %r1, 2;
+	cvt.u64.u32 %rd2, %r2;
+	mov.u64 %rd3, sm;
+	add.u64 %rd4, %rd3, %rd2;
+	st.shared.u32 [%rd4], %r1;
+	xor.b32 %r3, %r1, 1;
+	shl.b32 %r4, %r3, 2;
+	cvt.u64.u32 %rd5, %r4;
+	add.u64 %rd6, %rd3, %rd5;
+	ld.shared.u32 %r5, [%rd6];
+	add.u64 %rd7, %rd1, %rd2;
+	st.global.u32 [%rd7], %r5;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-warp-scan-free",
+			Category: "shared",
+			Desc:     "warp-synchronous inclusive scan step pattern (lockstep keeps it ordered)",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4 * 32},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<12>;
+	.reg .u64 %rd<12>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 sm[128];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	shl.b32 %r2, %r1, 2;
+	cvt.u64.u32 %rd2, %r2;
+	mov.u64 %rd3, sm;
+	add.u64 %rd4, %rd3, %rd2;
+	st.shared.u32 [%rd4], %r1;
+	setp.lt.u32 %p1, %r1, 1;
+	@%p1 bra DONE;
+	sub.u32 %r3, %r1, 1;
+	shl.b32 %r4, %r3, 2;
+	cvt.u64.u32 %rd5, %r4;
+	add.u64 %rd6, %rd3, %rd5;
+	ld.shared.u32 %r5, [%rd6];
+	ld.shared.u32 %r6, [%rd4];
+	add.u32 %r7, %r5, %r6;
+	st.shared.u32 [%rd4], %r7;
+DONE:
+	ld.shared.u32 %r8, [%rd4];
+	add.u64 %rd7, %rd1, %rd2;
+	st.global.u32 [%rd7], %r8;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-intrawarp-waw-racy",
+			Category: "shared",
+			Desc:     "all lanes of one warp write different values to one shared word in one instruction",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.shared .align 4 .b8 sm[4];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	mov.u64 %rd2, sm;
+	st.shared.u32 [%rd2], %r1;
+	ld.shared.u32 %r2, [%rd2];
+	st.global.u32 [%rd1], %r2;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-intrawarp-samevalue-free",
+			Category: "shared",
+			Desc:     "all lanes write the SAME value to one shared word (well-defined per the CUDA docs)",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.shared .align 4 .b8 sm[4];
+	ld.param.u64 %rd1, [out];
+	mov.u64 %rd2, sm;
+	st.shared.u32 [%rd2], 7;
+	ld.shared.u32 %r2, [%rd2];
+	st.global.u32 [%rd1], %r2;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-atomic-counter-free",
+			Category: "shared",
+			Desc:     "all threads atomically increment one shared counter (atomics never race with atomics)",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4 * 64},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.shared .align 4 .b8 sm[4];
+	ld.param.u64 %rd1, [out];
+	mov.u64 %rd2, sm;
+	atom.shared.add.u32 %r1, [%rd2], 1;
+	mov.u32 %r2, %tid.x;
+	shl.b32 %r3, %r2, 2;
+	cvt.u64.u32 %rd3, %r3;
+	add.u64 %rd4, %rd1, %rd3;
+	st.global.u32 [%rd4], %r1;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-atomic-bar-read-free",
+			Category: "shared",
+			Desc:     "atomic increments, then a barrier, then plain reads",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4 * 64},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.shared .align 4 .b8 sm[4];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	mov.u64 %rd2, sm;
+	atom.shared.add.u32 %r2, [%rd2], 1;
+	bar.sync 0;
+	ld.shared.u32 %r3, [%rd2];
+	shl.b32 %r4, %r1, 2;
+	cvt.u64.u32 %rd3, %r4;
+	add.u64 %rd4, %rd1, %rd3;
+	st.global.u32 [%rd4], %r3;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-atomic-vs-write-racy",
+			Category: "shared",
+			Desc:     "one warp atomically updates a word another warp plainly writes (PTX gives no atomicity against normal stores)",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 sm[4];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	mov.u64 %rd2, sm;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra OTHER;
+	atom.shared.add.u32 %r2, [%rd2], 1;
+	ret;
+OTHER:
+	setp.ne.u32 %p1, %r1, 33;
+	@%p1 ret;
+	st.shared.u32 [%rd2], 5;
+	st.global.u32 [%rd1], 1;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-flag-cta-free",
+			Category: "shared",
+			Desc:     "shared-memory message passing with membar.cta inside one block (release/acquire inferred)",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 data[4];
+	.shared .align 4 .b8 flag[4];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	mov.u64 %rd2, data;
+	mov.u64 %rd3, flag;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra READER;
+	st.shared.u32 [%rd2], 42;
+	membar.cta;
+	st.shared.u32 [%rd3], 1;
+	ret;
+READER:
+	setp.ne.u32 %p1, %r1, 33;
+	@%p1 ret;
+WAIT:
+	ld.shared.u32 %r2, [%rd3];
+	membar.cta;
+	setp.eq.u32 %p1, %r2, 0;
+	@%p1 bra WAIT;
+	ld.shared.u32 %r3, [%rd2];
+	st.global.u32 [%rd1], %r3;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-flag-nofence-racy",
+			Category: "shared",
+			Desc:     "the same shared-memory message passing without fences: no synchronization is inferred",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 data[4];
+	.shared .align 4 .b8 flag[4];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	mov.u64 %rd2, data;
+	mov.u64 %rd3, flag;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra READER;
+	st.shared.u32 [%rd2], 42;
+	st.shared.u32 [%rd3], 1;
+	ret;
+READER:
+	setp.ne.u32 %p1, %r1, 33;
+	@%p1 ret;
+WAIT:
+	ld.shared.u32 %r2, [%rd3];
+	setp.eq.u32 %p1, %r2, 0;
+	@%p1 bra WAIT;
+	ld.shared.u32 %r3, [%rd2];
+	st.global.u32 [%rd1], %r3;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-lock-cta-free",
+			Category: "shared",
+			Desc:     "shared-memory spinlock (cas+fence / fence+exch) guarding a shared counter, one contender per warp",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 lk[4];
+	.shared .align 4 .b8 ctr[4];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %laneid;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 ret;
+	mov.u64 %rd2, lk;
+	mov.u64 %rd3, ctr;
+SPIN:
+	atom.shared.cas.b32 %r2, [%rd2], 0, 1;
+	membar.cta;
+	setp.ne.u32 %p1, %r2, 0;
+	@%p1 bra SPIN;
+	ld.shared.u32 %r3, [%rd3];
+	add.u32 %r3, %r3, 1;
+	st.shared.u32 [%rd3], %r3;
+	st.global.u32 [%rd1], %r3;
+	membar.cta;
+	atom.shared.exch.b32 %r4, [%rd2], 0;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-lock-nofence-racy",
+			Category: "shared",
+			Desc:     "the same shared-memory lock without fences: the CAS/EXCH do not synchronize",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 lk[4];
+	.shared .align 4 .b8 ctr[4];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %laneid;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 ret;
+	mov.u64 %rd2, lk;
+	mov.u64 %rd3, ctr;
+SPIN:
+	atom.shared.cas.b32 %r2, [%rd2], 0, 1;
+	setp.ne.u32 %p1, %r2, 0;
+	@%p1 bra SPIN;
+	ld.shared.u32 %r3, [%rd3];
+	add.u32 %r3, %r3, 1;
+	st.shared.u32 [%rd3], %r3;
+	atom.shared.exch.b32 %r4, [%rd2], 0;
+	st.global.u32 [%rd1], %r3;
+	ret;
+}`,
+		},
+	}
+}

@@ -1,0 +1,541 @@
+package bugsuite
+
+import "barracuda/internal/gpusim"
+
+// syncTests cover fence scopes, asymmetric synchronization mistakes,
+// lock-discipline bugs, and the warp-synchronous reduction idioms of
+// threadFenceReduction.
+func syncTests() []*Test {
+	g2, b1 := gpusim.D1(2), gpusim.D1(1)
+	return []*Test{
+		{
+			Name:     "gl-mp-sys-waiterfirst-free",
+			Category: "sync",
+			Desc:     "message passing with membar.sys (treated as global scope); the waiter is block 0",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     g2,
+			Block:    b1,
+			Bufs:     []int{4, 4},
+			PTX: `.visible .entry k(.param .u64 data, .param .u64 flag)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [data];
+	ld.param.u64 %rd2, [flag];
+	mov.u32 %r1, %ctaid.x;
+	setp.ne.u32 %p1, %r1, 1;
+	@%p1 bra READER;
+	st.global.u32 [%rd1], 42;
+	membar.sys;
+	st.global.u32 [%rd2], 1;
+	ret;
+READER:
+WAIT:
+	ld.global.u32 %r2, [%rd2];
+	membar.sys;
+	setp.eq.u32 %p1, %r2, 0;
+	@%p1 bra WAIT;
+	ld.global.u32 %r3, [%rd1];
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-rel-only-racy",
+			Category: "sync",
+			Desc:     "the writer releases but the reader never acquires (no fence after its flag load)",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     g2,
+			Block:    b1,
+			Bufs:     []int{4, 4},
+			PTX: `.visible .entry k(.param .u64 data, .param .u64 flag)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [data];
+	ld.param.u64 %rd2, [flag];
+	mov.u32 %r1, %ctaid.x;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra READER;
+	st.global.u32 [%rd1], 42;
+	membar.gl;
+	st.global.u32 [%rd2], 1;
+	ret;
+READER:
+WAIT:
+	ld.global.u32 %r2, [%rd2];
+	setp.eq.u32 %p1, %r2, 0;
+	@%p1 bra WAIT;
+	ld.global.u32 %r3, [%rd1];
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-acq-only-racy",
+			Category: "sync",
+			Desc:     "the reader acquires but the writer never releases (no fence before its flag store)",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     g2,
+			Block:    b1,
+			Bufs:     []int{4, 4},
+			PTX: `.visible .entry k(.param .u64 data, .param .u64 flag)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [data];
+	ld.param.u64 %rd2, [flag];
+	mov.u32 %r1, %ctaid.x;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra READER;
+	st.global.u32 [%rd1], 42;
+	st.global.u32 [%rd2], 1;
+	ret;
+READER:
+WAIT:
+	ld.global.u32 %r2, [%rd2];
+	membar.gl;
+	setp.eq.u32 %p1, %r2, 0;
+	@%p1 bra WAIT;
+	ld.global.u32 %r3, [%rd1];
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-lock-wrong-loc-racy",
+			Category: "sync",
+			Desc:     "block 0 locks lockA, block 1 locks lockB, both update the same counter",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     g2,
+			Block:    b1,
+			Bufs:     []int{4, 4, 4},
+			PTX: `.visible .entry k(.param .u64 lockA, .param .u64 lockB, .param .u64 ctr)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [lockA];
+	ld.param.u64 %rd2, [lockB];
+	ld.param.u64 %rd3, [ctr];
+	mov.u32 %r1, %ctaid.x;
+	setp.eq.u32 %p1, %r1, 0;
+	@%p1 bra USEA;
+	mov.u64 %rd4, %rd2;
+	bra.uni GO;
+USEA:
+	mov.u64 %rd4, %rd1;
+GO:
+SPIN:
+	atom.global.cas.b32 %r2, [%rd4], 0, 1;
+	membar.gl;
+	setp.ne.u32 %p1, %r2, 0;
+	@%p1 bra SPIN;
+	ld.global.u32 %r3, [%rd3];
+	add.u32 %r3, %r3, 1;
+	st.global.u32 [%rd3], %r3;
+	membar.gl;
+	atom.global.exch.b32 %r4, [%rd4], 0;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-two-locks-free",
+			Category: "sync",
+			Desc:     "two shared locks protect two shared counters; warp leaders use the matching lock",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(128),
+			Bufs:     []int{4 * 4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<10>;
+	.reg .u64 %rd<10>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 lkA[4];
+	.shared .align 4 .b8 lkB[4];
+	.shared .align 4 .b8 ctrA[4];
+	.shared .align 4 .b8 ctrB[4];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %laneid;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 ret;
+	mov.u32 %r2, %warpid;
+	setp.lt.u32 %p1, %r2, 2;
+	@%p1 bra GROUPA;
+	mov.u64 %rd2, lkB;
+	mov.u64 %rd3, ctrB;
+	bra.uni GO;
+GROUPA:
+	mov.u64 %rd2, lkA;
+	mov.u64 %rd3, ctrA;
+GO:
+SPIN:
+	atom.shared.cas.b32 %r3, [%rd2], 0, 1;
+	membar.cta;
+	setp.ne.u32 %p1, %r3, 0;
+	@%p1 bra SPIN;
+	ld.shared.u32 %r4, [%rd3];
+	add.u32 %r4, %r4, 1;
+	st.shared.u32 [%rd3], %r4;
+	membar.cta;
+	atom.shared.exch.b32 %r5, [%rd2], 0;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-handoff-reverse-free",
+			Category: "sync",
+			Desc:     "a flag chain in reverse block order (block 2 -> 1 -> 0); serializing tools starve on it",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(3),
+			Block:    b1,
+			Bufs:     []int{4, 4 * 4},
+			PTX: `.visible .entry k(.param .u64 data, .param .u64 flags)
+{
+	.reg .u32 %r<10>;
+	.reg .u64 %rd<10>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [data];
+	ld.param.u64 %rd2, [flags];
+	mov.u32 %r1, %ctaid.x;
+	setp.ne.u32 %p1, %r1, 2;
+	@%p1 bra STAGE;
+	st.global.u32 [%rd1], 1;
+	membar.gl;
+	st.global.u32 [%rd2+8], 1;
+	ret;
+STAGE:
+	add.u32 %r2, %r1, 1;
+	shl.b32 %r3, %r2, 2;
+	cvt.u64.u32 %rd3, %r3;
+	add.u64 %rd4, %rd2, %rd3;
+WAIT:
+	ld.global.u32 %r4, [%rd4];
+	membar.gl;
+	setp.eq.u32 %p1, %r4, 0;
+	@%p1 bra WAIT;
+	ld.global.u32 %r5, [%rd1];
+	add.u32 %r5, %r5, 1;
+	st.global.u32 [%rd1], %r5;
+	shl.b32 %r6, %r1, 2;
+	cvt.u64.u32 %rd5, %r6;
+	add.u64 %rd6, %rd2, %rd5;
+	membar.gl;
+	st.global.u32 [%rd6], 1;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-red-vs-read-racy",
+			Category: "sync",
+			Desc:     "a red (no-result atomic) update concurrent with a plain read",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     g2,
+			Block:    b1,
+			Bufs:     []int{4, 4},
+			PTX: `.visible .entry k(.param .u64 ctr, .param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [ctr];
+	ld.param.u64 %rd2, [out];
+	mov.u32 %r1, %ctaid.x;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra READER;
+	red.global.add.u32 [%rd1], 1;
+	ret;
+READER:
+	ld.global.u32 %r2, [%rd1];
+	st.global.u32 [%rd2], %r2;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-atomic-mix-free",
+			Category: "sync",
+			Desc:     "different atomic operators hammer one shared word; atomics never race with atomics",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<4>;
+	.shared .align 4 .b8 sm[4];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	and.b32 %r2, %r1, 3;
+	mov.u64 %rd2, sm;
+	setp.eq.u32 %p1, %r2, 0;
+	@%p1 bra A0;
+	setp.eq.u32 %p2, %r2, 1;
+	@%p2 bra A1;
+	setp.eq.u32 %p3, %r2, 2;
+	@%p3 bra A2;
+	atom.shared.xor.b32 %r3, [%rd2], %r1;
+	ret;
+A0:
+	atom.shared.add.u32 %r4, [%rd2], 1;
+	ret;
+A1:
+	atom.shared.min.u32 %r5, [%rd2], %r1;
+	ret;
+A2:
+	atom.shared.max.u32 %r6, [%rd2], %r1;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-samevalue-interwarp-racy",
+			Category: "sync",
+			Desc:     "two warps write the same value to one global word: the same-value exemption is warp-local only (§6.3 bfs flag)",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(64),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 flag)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [flag];
+	mov.u32 %r1, %laneid;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 ret;
+	st.global.u32 [%rd1], 1;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-partial-overlap-racy",
+			Category: "sync",
+			Desc:     "4-byte stores at offsets 0 and 2 overlap in their middle bytes",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     g2,
+			Block:    b1,
+			Bufs:     []int{8},
+			PTX: `.visible .entry k(.param .u64 buf)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [buf];
+	mov.u32 %r1, %ctaid.x;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra HIGH;
+	st.global.u32 [%rd1], 0x11111111;
+	ret;
+HIGH:
+	st.global.u32 [%rd1+2], 0x22222222;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-broadcast-free",
+			Category: "sync",
+			Desc:     "lane 0 writes a shared word; the whole warp reads it in the next lockstep instruction",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4 * 32},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 sm[4];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	mov.u64 %rd2, sm;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra READ;
+	st.shared.u32 [%rd2], 99;
+READ:
+	ld.shared.u32 %r2, [%rd2];
+	shl.b32 %r3, %r1, 2;
+	cvt.u64.u32 %rd3, %r3;
+	add.u64 %rd4, %rd1, %rd3;
+	st.global.u32 [%rd4], %r2;
+	ret;
+}`,
+		},
+		{
+			Name:     "gl-atomic-then-plainread-racy",
+			Category: "sync",
+			Desc:     "an atomic counter in one block read plainly by another with no synchronization",
+			Expect:   Racy,
+			Kernel:   "k",
+			Grid:     g2,
+			Block:    b1,
+			Bufs:     []int{4, 4},
+			PTX: `.visible .entry k(.param .u64 ctr, .param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [ctr];
+	ld.param.u64 %rd2, [out];
+	mov.u32 %r1, %ctaid.x;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra READER;
+	atom.global.add.u32 %r2, [%rd1], 1;
+	ret;
+READER:
+	ld.global.u32 %r3, [%rd1];
+	st.global.u32 [%rd2], %r3;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-warp-tree-reduce-free",
+			Category: "sync",
+			Desc:     "the classic warp-synchronous tree reduction (threadFenceReduction's warpReduce): lockstep reconvergence keeps every step ordered",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<12>;
+	.reg .u64 %rd<12>;
+	.reg .pred %p<6>;
+	.shared .align 4 .b8 sm[128];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	shl.b32 %r2, %r1, 2;
+	cvt.u64.u32 %rd2, %r2;
+	mov.u64 %rd3, sm;
+	add.u64 %rd4, %rd3, %rd2;
+	st.shared.u32 [%rd4], %r1;
+	setp.ge.u32 %p1, %r1, 16;
+	@%p1 bra S8;
+	ld.shared.u32 %r3, [%rd4+64];
+	ld.shared.u32 %r4, [%rd4];
+	add.u32 %r4, %r4, %r3;
+	st.shared.u32 [%rd4], %r4;
+S8:
+	setp.ge.u32 %p2, %r1, 8;
+	@%p2 bra S4;
+	ld.shared.u32 %r5, [%rd4+32];
+	ld.shared.u32 %r6, [%rd4];
+	add.u32 %r6, %r6, %r5;
+	st.shared.u32 [%rd4], %r6;
+S4:
+	setp.ge.u32 %p3, %r1, 4;
+	@%p3 bra S2;
+	ld.shared.u32 %r7, [%rd4+16];
+	ld.shared.u32 %r8, [%rd4];
+	add.u32 %r8, %r8, %r7;
+	st.shared.u32 [%rd4], %r8;
+S2:
+	setp.ge.u32 %p4, %r1, 2;
+	@%p4 bra S1;
+	ld.shared.u32 %r9, [%rd4+8];
+	ld.shared.u32 %r10, [%rd4];
+	add.u32 %r10, %r10, %r9;
+	st.shared.u32 [%rd4], %r10;
+S1:
+	setp.ne.u32 %p5, %r1, 0;
+	@%p5 ret;
+	ld.shared.u32 %r11, [%rd4+4];
+	ld.shared.u32 %r10, [%rd4];
+	add.u32 %r11, %r11, %r10;
+	st.global.u32 [%rd1], %r11;
+	ret;
+}`,
+		},
+		{
+			Name:     "bardiv-loop",
+			Category: "barrier-divergence",
+			Desc:     "a barrier inside a loop with a thread-dependent trip count",
+			Expect:   BarrierDiv,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	and.b32 %r2, %r1, 1;
+	add.u32 %r2, %r2, 1;
+	mov.u32 %r3, 0;
+LOOP:
+	bar.sync 0;
+	add.u32 %r3, %r3, 1;
+	setp.lt.u32 %p1, %r3, %r2;
+	@%p1 bra LOOP;
+	ret;
+}`,
+		},
+		{
+			Name:     "sh-stencil-halo-free",
+			Category: "sync",
+			Desc:     "a warp-synchronous 3-point stencil: writes, then guarded neighbour reads in lockstep",
+			Expect:   RaceFree,
+			Kernel:   "k",
+			Grid:     gpusim.D1(1),
+			Block:    gpusim.D1(32),
+			Bufs:     []int{4 * 32},
+			PTX: `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<12>;
+	.reg .u64 %rd<12>;
+	.reg .pred %p<4>;
+	.shared .align 4 .b8 sm[128];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	shl.b32 %r2, %r1, 2;
+	cvt.u64.u32 %rd2, %r2;
+	mov.u64 %rd3, sm;
+	add.u64 %rd4, %rd3, %rd2;
+	st.shared.u32 [%rd4], %r1;
+	mov.u32 %r3, 0;
+	setp.eq.u32 %p1, %r1, 0;
+	@%p1 bra NOLEFT;
+	ld.shared.u32 %r3, [%rd4+-4];
+NOLEFT:
+	mov.u32 %r4, 0;
+	setp.eq.u32 %p2, %r1, 31;
+	@%p2 bra NORIGHT;
+	ld.shared.u32 %r4, [%rd4+4];
+NORIGHT:
+	ld.shared.u32 %r5, [%rd4];
+	add.u32 %r6, %r3, %r4;
+	add.u32 %r6, %r6, %r5;
+	add.u64 %rd5, %rd1, %rd2;
+	st.global.u32 [%rd5], %r6;
+	ret;
+}`,
+		},
+	}
+}
+
+// Tests returns the full 66-program suite.
+func Tests() []*Test {
+	var out []*Test
+	out = append(out, sharedTests()...)
+	out = append(out, globalTests()...)
+	out = append(out, branchTests()...)
+	out = append(out, syncTests()...)
+	return out
+}

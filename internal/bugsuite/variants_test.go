@@ -1,0 +1,75 @@
+package bugsuite
+
+import (
+	"testing"
+
+	"barracuda/internal/detector"
+)
+
+// TestMultiQueueSuiteConsistency re-runs the whole 66-program suite with
+// four logging queues and four concurrent detector threads. The verdicts
+// must match the deterministic single-queue configuration on every test.
+func TestMultiQueueSuiteConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite sweep in -short mode")
+	}
+	for _, tc := range Tests() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			v, err := RunBarracudaWith(tc, detector.Config{Queues: 4, QueueCap: 256})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tc.Expect.Correct(v) {
+				t.Errorf("multi-queue verdict = %v, want %v", v, tc.Expect)
+			}
+		})
+	}
+}
+
+// TestFullVCSuiteConsistency runs the suite under the uncompressed
+// vector-clock baseline: same 66/66.
+func TestFullVCSuiteConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite sweep in -short mode")
+	}
+	res, err := RunSuite(Tests(), func(tc *Test) (Verdict, error) {
+		return RunBarracudaWith(tc, detector.Config{FullVC: true})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Correct != 66 {
+		var wrong []string
+		for _, tc := range Tests() {
+			if !tc.Expect.Correct(res.Verdicts[tc.Name]) {
+				wrong = append(wrong, tc.Name+"="+res.Verdicts[tc.Name].String())
+			}
+		}
+		t.Fatalf("full-VC detector correct on %d/66; wrong: %v", res.Correct, wrong)
+	}
+}
+
+// TestGranularity4SuiteConsistency runs the suite with 4-byte shadow
+// cells; every suite kernel accesses memory at word granularity, so the
+// verdicts must be unchanged.
+func TestGranularity4SuiteConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite sweep in -short mode")
+	}
+	res, err := RunSuite(Tests(), func(tc *Test) (Verdict, error) {
+		return RunBarracudaWith(tc, detector.Config{Granularity: 4})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Correct != 66 {
+		var wrong []string
+		for _, tc := range Tests() {
+			if !tc.Expect.Correct(res.Verdicts[tc.Name]) {
+				wrong = append(wrong, tc.Name+"="+res.Verdicts[tc.Name].String())
+			}
+		}
+		t.Fatalf("granularity-4 detector correct on %d/66; wrong: %v", res.Correct, wrong)
+	}
+}

@@ -1,0 +1,656 @@
+// Package core implements the BARRACUDA data race detection algorithm
+// (PLDI 2017, §3.3): the operational rules of Figures 2 and 3 over the
+// analysis state (K, C, S, R, W), where
+//
+//	K — per-warp SIMT-mirror stacks of compressed per-thread vector
+//	    clocks (package ptvc)
+//	C — per-thread vector clocks, stored at warp granularity
+//	S — per-synchronization-location, per-block vector clocks
+//	R, W — per-location read/write metadata (package shadow)
+//
+// The detector consumes the warp-level records produced by instrumented
+// kernels (package logging) and reports data races classified as
+// intra-warp (divergence), intra-block or inter-block, plus barrier
+// divergence errors. Intra-warp write-write races where every lane stores
+// the same value are filtered, following the CUDA documentation's
+// guarantee that such writes are well-defined.
+//
+// Handle is safe for concurrent use by multiple queue-consumer goroutines
+// as long as all records of one thread block are delivered by the same
+// goroutine (the block-to-queue affinity of package logging guarantees
+// this): per-warp and per-block state is block-affine, while shadow cells,
+// synchronization locations and the report are internally locked.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"barracuda/internal/logging"
+	"barracuda/internal/ptvc"
+	"barracuda/internal/shadow"
+	"barracuda/internal/trace"
+	"barracuda/internal/vc"
+)
+
+// RaceKind classifies a detected race by the threads involved.
+type RaceKind int
+
+// Race classifications (§4.3.3: "the offending TIDs are examined to
+// classify the race as a divergence race, an intra-block race or
+// inter-block race").
+const (
+	IntraWarp RaceKind = iota // same warp: same-instruction or branch-ordering
+	IntraBlock
+	InterBlock
+)
+
+func (k RaceKind) String() string {
+	switch k {
+	case IntraWarp:
+		return "intra-warp"
+	case IntraBlock:
+		return "intra-block"
+	case InterBlock:
+		return "inter-block"
+	}
+	return "?"
+}
+
+// Access describes one side of a race.
+type Access struct {
+	TID    vc.TID
+	PC     uint32 // source line of the access
+	Write  bool
+	Atomic bool
+}
+
+// Race is one detected data race.
+type Race struct {
+	Kind      RaceKind
+	Space     logging.SpaceID
+	Block     int32 // thread block (shared memory), -1 for global
+	Addr      uint64
+	Prev, Cur Access
+	SameInstr bool // both accesses in the same warp instruction
+	Count     int  // dynamic occurrences of this static race
+}
+
+func (r Race) String() string {
+	rw := func(a Access) string {
+		switch {
+		case a.Atomic:
+			return "atomic"
+		case a.Write:
+			return "write"
+		default:
+			return "read"
+		}
+	}
+	return fmt.Sprintf("%s race on %s memory at %#x: %s (line %d, thread %d) vs %s (line %d, thread %d)",
+		r.Kind, r.Space, r.Addr, rw(r.Prev), r.Prev.PC, r.Prev.TID, rw(r.Cur), r.Cur.PC, r.Cur.TID)
+}
+
+// BarrierDivergence is a bar.sync executed with inactive threads.
+type BarrierDivergence struct {
+	Block int
+	Warp  int
+	PC    uint32
+	Mask  uint32 // active mask at the barrier
+}
+
+// Report aggregates everything the detector found.
+type Report struct {
+	Races        []Race
+	Divergences  []BarrierDivergence
+	RecordsSeen  uint64
+	SameValueGag uint64 // intra-warp same-value writes filtered
+}
+
+// RaceCount returns the number of distinct static races.
+func (r *Report) RaceCount() int { return len(r.Races) }
+
+// HasRaces reports whether any race or barrier divergence was found.
+func (r *Report) HasRaces() bool { return len(r.Races) > 0 }
+
+// CountKind returns the number of distinct races of one kind.
+func (r *Report) CountKind(k RaceKind) int {
+	n := 0
+	for _, rc := range r.Races {
+		if rc.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Options tunes the detector.
+type Options struct {
+	// Granularity is the shadow bytes per cell (default 1).
+	Granularity int
+	// MaxRaces bounds the number of distinct races recorded (default
+	// 1024; 0 means the default).
+	MaxRaces int
+	// NoSameValueFilter disables the intra-warp same-value write filter.
+	NoSameValueFilter bool
+	// FullVC replaces the compressed PTVC representation with plain
+	// per-thread vector clocks — the ablation baseline for §4.3.1.
+	FullVC bool
+}
+
+// raceKey dedupes dynamic races into static ones.
+type raceKey struct {
+	kind       RaceKind
+	space      logging.SpaceID
+	prevPC     uint32
+	curPC      uint32
+	prevW      bool
+	curW       bool
+	sameInstr  bool
+	prevAtomic bool
+}
+
+// frame is one divergence level of a warp's mirror stack.
+type frame struct {
+	second    *ptvc.Group // pending second path (nil once it started)
+	firstDone *ptvc.Group // completed first path, kept for the merge
+}
+
+// warpMirror mirrors one warp's SIMT stack.
+type warpMirror struct {
+	stack  []*ptvc.Group // stack[0] is the base group; top is active
+	frames []frame       // one per divergence level
+}
+
+func (w *warpMirror) top() *ptvc.Group { return w.stack[len(w.stack)-1] }
+
+// Detector is the BARRACUDA analysis state plus race reports.
+type Detector struct {
+	geo  ptvc.Geometry
+	opts Options
+	mem  *shadow.Memory
+
+	warps []*warpMirror // indexed by global warp id; block-affine access
+
+	repMu     sync.Mutex
+	races     map[raceKey]*Race
+	diverge   []BarrierDivergence
+	divergeK  map[[2]uint32]bool
+	records   uint64
+	sameValue uint64
+	fullVC    *fullVCState // non-nil in the FullVC ablation mode
+
+	histMu sync.Mutex
+	hist   [4]uint64 // per-format counts sampled at each memory record
+
+	// syncCursor orders synchronization records globally across queue
+	// consumers: a sync record with sequence s is processed only after
+	// every sync record with a smaller sequence (and, by per-queue FIFO
+	// order, everything program-ordered before them). Without this, a
+	// release in one queue could be processed after a dependent acquire
+	// from another queue, losing the synchronization edge.
+	syncCursor atomic.Uint64
+}
+
+// New creates a detector for a launch with the given geometry and
+// per-block static shared-memory size.
+func New(geo ptvc.Geometry, sharedBytes int64, opts Options) *Detector {
+	if opts.Granularity < 1 {
+		opts.Granularity = 1
+	}
+	if opts.MaxRaces <= 0 {
+		opts.MaxRaces = 1024
+	}
+	d := &Detector{
+		geo:      geo,
+		opts:     opts,
+		mem:      shadow.New(opts.Granularity, sharedBytes),
+		warps:    make([]*warpMirror, geo.Blocks*geo.WarpsPerBlock()),
+		races:    make(map[raceKey]*Race),
+		divergeK: make(map[[2]uint32]bool),
+	}
+	if opts.FullVC {
+		d.fullVC = newFullVCState(geo)
+	}
+	return d
+}
+
+// Geometry returns the launch geometry the detector was built for.
+func (d *Detector) Geometry() ptvc.Geometry { return d.geo }
+
+// Shadow exposes the shadow memory (stats and tests).
+func (d *Detector) Shadow() *shadow.Memory { return d.mem }
+
+// warp returns (creating lazily) the mirror state of a global warp.
+func (d *Detector) warp(gwid int) *warpMirror {
+	w := d.warps[gwid]
+	if w == nil {
+		lanes := d.geo.BlockSize - (gwid%d.geo.WarpsPerBlock())*d.geo.WarpSize
+		if lanes > d.geo.WarpSize {
+			lanes = d.geo.WarpSize
+		}
+		var mask uint32
+		if lanes >= 32 {
+			mask = ^uint32(0)
+		} else {
+			mask = 1<<uint(lanes) - 1
+		}
+		w = &warpMirror{stack: []*ptvc.Group{ptvc.NewGroup(d.geo, gwid, mask)}}
+		d.warps[gwid] = w
+	}
+	return w
+}
+
+// Handle processes one record (the detector's per-event entry point).
+func (d *Detector) Handle(r *logging.Record) {
+	d.repMu.Lock()
+	d.records++
+	d.repMu.Unlock()
+	if d.fullVC != nil {
+		d.handleFullVC(r)
+		return
+	}
+	switch r.Op {
+	case trace.OpRead, trace.OpWrite, trace.OpAtom:
+		d.handleMemory(r)
+	case trace.OpAcqBlk, trace.OpRelBlk, trace.OpArBlk,
+		trace.OpAcqGlb, trace.OpRelGlb, trace.OpArGlb:
+		d.handleSync(r)
+	case trace.OpBar:
+		d.handleBarMarker(r)
+	case trace.OpBarRel:
+		d.handleBarRelease(r)
+	case trace.OpIf:
+		d.handleIf(r)
+	case trace.OpElse:
+		d.handleElse(r)
+	case trace.OpFi:
+		d.handleFi(r)
+	case trace.OpEnd, trace.OpNone:
+		// stream control; nothing to do
+	}
+}
+
+// ordered reports whether epoch e happens-before the current operation of
+// the group's active lane `tid`.
+func ordered(g *ptvc.Group, tid vc.TID, e vc.Epoch) bool {
+	if e.IsZero() {
+		return true
+	}
+	if e.T == tid {
+		return e.C <= g.L
+	}
+	return g.EpochOrdered(e)
+}
+
+// handleMemory implements the READ*/WRITE*/ATOM* rules for every active
+// lane of a warp-level memory record, followed by ENDINSN.
+func (d *Detector) handleMemory(r *logging.Record) {
+	w := d.warp(int(r.Warp))
+	g := w.top()
+	d.histMu.Lock()
+	d.hist[g.Format()]++
+	d.histMu.Unlock()
+	blk := int32(-1)
+	if r.Space == logging.SpaceShared {
+		blk = int32(r.Block)
+	}
+	for lane := 0; lane < d.geo.WarpSize && lane < logging.WarpWidth; lane++ {
+		if r.Mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		tid := d.geo.TIDOf(int(r.Warp), lane)
+		d.mem.Span(r.Space, blk, r.Addrs[lane], int(r.Size), func(c *shadow.Cell) {
+			switch r.Op {
+			case trace.OpRead:
+				d.applyRead(c, g, tid, r, lane)
+			case trace.OpWrite:
+				d.applyWrite(c, g, tid, r, lane, false)
+			case trace.OpAtom:
+				d.applyAtomic(c, g, tid, r, lane)
+			}
+		})
+	}
+	g.EndInstr()
+}
+
+func (d *Detector) applyRead(c *shadow.Cell, g *ptvc.Group, tid vc.TID, r *logging.Record, lane int) {
+	if !ordered(g, tid, c.W) {
+		d.report(tid, r, lane, false, c.W.T, c.WritePC, true, c.Atomic, false)
+	}
+	if c.ReadShared {
+		// READSHARED: concurrent readers use the sparse read clock.
+		c.Readers[tid] = g.L
+		c.ReadPC = r.PC
+		return
+	}
+	if ordered(g, tid, c.R) {
+		// READEXCL: totally-ordered reads stay an epoch.
+		c.R = vc.Epoch{T: tid, C: g.L}
+		c.ReadPC = r.PC
+		return
+	}
+	// READINFLATE: first concurrent read inflates to a read map.
+	c.InflateReads()
+	c.Readers[tid] = g.L
+	c.ReadPC = r.PC
+}
+
+func (d *Detector) applyWrite(c *shadow.Cell, g *ptvc.Group, tid vc.TID, r *logging.Record, lane int, atomic bool) {
+	if !ordered(g, tid, c.W) {
+		// Same-instruction intra-warp write-write: filter when the
+		// lanes stored the same value (§3.3.1).
+		sameInstr := d.sameInstruction(g, c.W, tid)
+		filtered := false
+		if sameInstr && !d.opts.NoSameValueFilter && r.Op == trace.OpWrite && !c.Atomic {
+			prevLane := d.geo.LaneOf(c.W.T)
+			if r.Mask&(1<<uint(prevLane)) != 0 && r.Vals[prevLane] == r.Vals[lane] {
+				filtered = true
+				d.repMu.Lock()
+				d.sameValue++
+				d.repMu.Unlock()
+			}
+		}
+		if !filtered {
+			d.report(tid, r, lane, true, c.W.T, c.WritePC, true, c.Atomic, sameInstr)
+		}
+	}
+	d.checkReaders(c, g, tid, r, lane)
+	c.W = vc.Epoch{T: tid, C: g.L}
+	c.Atomic = atomic
+	c.WritePC = r.PC
+	c.ClearReads()
+}
+
+func (d *Detector) applyAtomic(c *shadow.Cell, g *ptvc.Group, tid vc.TID, r *logging.Record, lane int) {
+	if c.Atomic {
+		// ATOMEXCL/ATOMSHARED: atomic-to-atomic needs no write check —
+		// atomics do not race with each other (nor synchronize).
+		d.checkReaders(c, g, tid, r, lane)
+	} else {
+		// INITATOM*: the previous write was non-atomic; PTX gives no
+		// atomicity guarantee against normal stores.
+		if !ordered(g, tid, c.W) {
+			d.report(tid, r, lane, true, c.W.T, c.WritePC, true, false, false)
+		}
+		d.checkReaders(c, g, tid, r, lane)
+	}
+	c.W = vc.Epoch{T: tid, C: g.L}
+	c.Atomic = true
+	c.WritePC = r.PC
+	c.ClearReads()
+}
+
+// checkReaders verifies all previous reads happen-before the current
+// write/atomic.
+func (d *Detector) checkReaders(c *shadow.Cell, g *ptvc.Group, tid vc.TID, r *logging.Record, lane int) {
+	if c.ReadShared {
+		for u, cl := range c.Readers {
+			if !ordered(g, tid, vc.Epoch{T: u, C: cl}) {
+				d.report(tid, r, lane, true, u, c.ReadPC, false, false, false)
+			}
+		}
+		return
+	}
+	if !ordered(g, tid, c.R) {
+		d.report(tid, r, lane, true, c.R.T, c.ReadPC, false, false, false)
+	}
+}
+
+// sameInstruction reports whether the conflicting epoch belongs to an
+// active lane-mate at the current local clock — i.e. the two accesses come
+// from the same warp instruction.
+func (d *Detector) sameInstruction(g *ptvc.Group, e vc.Epoch, tid vc.TID) bool {
+	if e.IsZero() || d.geo.WarpOf(e.T) != d.geo.WarpOf(tid) {
+		return false
+	}
+	lane := d.geo.LaneOf(e.T)
+	return g.Mask&(1<<uint(lane)) != 0 && e.C == g.L
+}
+
+// awaitSyncTurn blocks until every earlier synchronization record has
+// been fully processed (cross-queue sync ordering).
+func (d *Detector) awaitSyncTurn(r *logging.Record) {
+	if r.Seq == 0 {
+		return
+	}
+	for d.syncCursor.Load() != r.Seq-1 {
+		runtime.Gosched()
+	}
+}
+
+// finishSyncTurn publishes that this sync record is done.
+func (d *Detector) finishSyncTurn(r *logging.Record) {
+	if r.Seq != 0 {
+		d.syncCursor.Store(r.Seq)
+	}
+}
+
+// handleSync implements ACQ*/REL*/ACQREL* for every active lane, followed
+// by ENDINSN. A synchronization access updates S_x and does not undergo
+// the plain-access race checks, matching Figure 3.
+func (d *Detector) handleSync(r *logging.Record) {
+	d.awaitSyncTurn(r)
+	defer d.finishSyncTurn(r)
+	w := d.warp(int(r.Warp))
+	g := w.top()
+	block := d.geo.BlockOfWarp(int(r.Warp))
+	blk := int32(-1)
+	if r.Space == logging.SpaceShared {
+		blk = int32(r.Block)
+	}
+	for lane := 0; lane < d.geo.WarpSize && lane < logging.WarpWidth; lane++ {
+		if r.Mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		key := shadow.Key{Space: r.Space, Block: blk, Addr: r.Addrs[lane]}
+		loc := d.mem.SyncFor(key)
+		loc.Lock()
+		if r.Op.IsAcquire() {
+			var snaps []*ptvc.Snapshot
+			if r.Op.GlobalScope() {
+				snaps = loc.AcquireGlobal(d.geo.Blocks)
+			} else {
+				snaps = loc.AcquireBlock(block)
+			}
+			for _, s := range snaps {
+				g.Acquire(s)
+			}
+		}
+		if r.Op.IsRelease() {
+			snap := g.Snapshot(lane)
+			if r.Op.GlobalScope() {
+				loc.ReleaseGlobal(snap)
+			} else {
+				loc.ReleaseBlock(block, snap)
+			}
+		}
+		loc.Unlock()
+	}
+	g.EndInstr()
+}
+
+// handleBarMarker checks a per-warp barrier record for barrier divergence:
+// every populated lane of the warp must be active.
+func (d *Detector) handleBarMarker(r *logging.Record) {
+	w := d.warp(int(r.Warp))
+	g := w.top()
+	if r.Mask == g.FullMask && len(w.stack) == 1 {
+		return
+	}
+	key := [2]uint32{r.Warp, r.PC}
+	d.repMu.Lock()
+	if !d.divergeK[key] {
+		d.divergeK[key] = true
+		d.diverge = append(d.diverge, BarrierDivergence{
+			Block: int(r.Block), Warp: int(r.Warp), PC: r.PC, Mask: r.Mask,
+		})
+	}
+	d.repMu.Unlock()
+}
+
+// handleBarRelease applies the BAR rule: a block-wide join of the arrived
+// warps' clocks, implemented as a broadcast of the block's maximum clock.
+func (d *Detector) handleBarRelease(r *logging.Record) {
+	wpb := d.geo.WarpsPerBlock()
+	base := int(r.Block) * wpb
+	var groups []*ptvc.Group
+	var m vc.Clock
+	for wi := 0; wi < wpb && wi < 32; wi++ {
+		if r.Mask&(1<<uint(wi)) == 0 {
+			continue
+		}
+		g := d.warp(base + wi).top()
+		groups = append(groups, g)
+		if g.L > m {
+			m = g.L
+		}
+	}
+	ptvc.MergeExt(groups)
+	for _, g := range groups {
+		g.Barrier(m)
+	}
+}
+
+// handleIf mirrors the SIMT-stack push of a divergent branch (IF rule).
+func (d *Detector) handleIf(r *logging.Record) {
+	w := d.warp(int(r.Warp))
+	g := w.top()
+	first, second := g.Split(r.Mask)
+	w.frames = append(w.frames, frame{second: second})
+	w.stack = append(w.stack, first)
+}
+
+// handleElse switches to the second divergent path (ELSE rule).
+func (d *Detector) handleElse(r *logging.Record) {
+	w := d.warp(int(r.Warp))
+	if len(w.frames) == 0 {
+		return // tolerate stray events
+	}
+	f := &w.frames[len(w.frames)-1]
+	if f.second == nil {
+		return
+	}
+	f.firstDone = w.top()
+	w.stack[len(w.stack)-1] = f.second
+	f.second = nil
+}
+
+// handleFi reconverges the paths (FI rule).
+func (d *Detector) handleFi(r *logging.Record) {
+	w := d.warp(int(r.Warp))
+	if len(w.frames) == 0 || len(w.stack) < 2 {
+		return
+	}
+	f := w.frames[len(w.frames)-1]
+	w.frames = w.frames[:len(w.frames)-1]
+	second := w.top()
+	w.stack = w.stack[:len(w.stack)-1]
+	firstDone := f.firstDone
+	if firstDone == nil {
+		// The second path never ran (it was empty): merge the single
+		// path with itself.
+		firstDone = second
+	}
+	w.top().Merge(firstDone, second)
+}
+
+// report records one dynamic race, deduplicating into static races.
+func (d *Detector) report(tid vc.TID, r *logging.Record,
+	lane int, curWrite bool, prevTID vc.TID, prevPC uint32, prevWrite, prevAtomic, sameInstr bool) {
+
+	kind := InterBlock
+	switch {
+	case d.geo.WarpOf(prevTID) == d.geo.WarpOf(tid):
+		kind = IntraWarp
+	case d.geo.BlockOf(prevTID) == d.geo.BlockOf(tid):
+		kind = IntraBlock
+	}
+	key := raceKey{
+		kind: kind, space: r.Space, prevPC: prevPC, curPC: r.PC,
+		prevW: prevWrite, curW: curWrite, sameInstr: sameInstr,
+		prevAtomic: prevAtomic,
+	}
+	d.repMu.Lock()
+	defer d.repMu.Unlock()
+	if rc := d.races[key]; rc != nil {
+		rc.Count++
+		return
+	}
+	if len(d.races) >= d.opts.MaxRaces {
+		return
+	}
+	blk := int32(-1)
+	if r.Space == logging.SpaceShared {
+		blk = int32(r.Block)
+	}
+	d.races[key] = &Race{
+		Kind:      kind,
+		Space:     r.Space,
+		Block:     blk,
+		Addr:      r.Addrs[lane],
+		Prev:      Access{TID: prevTID, PC: prevPC, Write: prevWrite, Atomic: prevAtomic},
+		Cur:       Access{TID: tid, PC: r.PC, Write: curWrite, Atomic: r.Op == trace.OpAtom},
+		SameInstr: sameInstr,
+		Count:     1,
+	}
+}
+
+// Report snapshots the detector's findings, with races ordered by source
+// position for stable output.
+func (d *Detector) Report() *Report {
+	d.repMu.Lock()
+	defer d.repMu.Unlock()
+	out := &Report{
+		RecordsSeen:  d.records,
+		SameValueGag: d.sameValue,
+	}
+	for _, rc := range d.races {
+		out.Races = append(out.Races, *rc)
+	}
+	sort.Slice(out.Races, func(i, j int) bool {
+		a, b := out.Races[i], out.Races[j]
+		if a.Prev.PC != b.Prev.PC {
+			return a.Prev.PC < b.Prev.PC
+		}
+		if a.Cur.PC != b.Cur.PC {
+			return a.Cur.PC < b.Cur.PC
+		}
+		return a.Kind < b.Kind
+	})
+	out.Divergences = append(out.Divergences, d.diverge...)
+	return out
+}
+
+// FormatStats counts the PTVC formats currently in use across all warps
+// (the Figure 7 distribution at the current instant).
+func (d *Detector) FormatStats() map[ptvc.Format]int {
+	out := make(map[ptvc.Format]int)
+	for _, w := range d.warps {
+		if w == nil {
+			continue
+		}
+		for _, g := range w.stack {
+			out[g.Format()]++
+		}
+	}
+	return out
+}
+
+// FormatHistogram returns how often each PTVC format was the active
+// group's representation, sampled at every memory record processed — the
+// "roughly 90% of the time PTVCs are compressible" measurement of
+// §4.3.1.
+func (d *Detector) FormatHistogram() map[ptvc.Format]uint64 {
+	d.histMu.Lock()
+	defer d.histMu.Unlock()
+	return map[ptvc.Format]uint64{
+		ptvc.Converged:      d.hist[ptvc.Converged],
+		ptvc.Diverged:       d.hist[ptvc.Diverged],
+		ptvc.NestedDiverged: d.hist[ptvc.NestedDiverged],
+		ptvc.SparseVC:       d.hist[ptvc.SparseVC],
+	}
+}

@@ -1,0 +1,215 @@
+// Package detector assembles the end-to-end BARRACUDA pipeline (Figure 5):
+// fat binary → PTX extraction → binary instrumentation → SIMT simulation
+// with GPU-side logging → multi-queue event transport → host-side race
+// detection threads.
+//
+// A Session owns one simulated device with the native and instrumented
+// variants of a module loaded side by side, so the same kernels can be
+// run natively (for baseline timing) and under detection.
+package detector
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"barracuda/internal/core"
+	"barracuda/internal/fatbin"
+	"barracuda/internal/gpusim"
+	"barracuda/internal/instrument"
+	"barracuda/internal/logging"
+	"barracuda/internal/ptvc"
+	"barracuda/internal/ptx"
+	"barracuda/internal/trace"
+)
+
+// Config tunes the pipeline.
+type Config struct {
+	// Queues is the number of GPU→CPU event queues (and host detector
+	// threads). 1 (the default) gives deterministic detection; the
+	// paper finds ~1.1–1.5 queues per SM optimal for throughput.
+	Queues int
+	// QueueCap is the per-queue capacity in records (default 4096).
+	QueueCap int
+	// Granularity is the shadow-memory granularity in bytes (default 1).
+	Granularity int
+	// MaxRaces bounds distinct race reports (default 1024).
+	MaxRaces int
+	// FullVC selects the uncompressed vector-clock ablation detector.
+	FullVC bool
+	// NoPrune disables the instrumentation pruning optimization.
+	NoPrune bool
+	// NoSameValueFilter disables the intra-warp same-value write filter.
+	NoSameValueFilter bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Queues <= 0 {
+		c.Queues = 1
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4096
+	}
+	if c.Granularity <= 0 {
+		c.Granularity = 1
+	}
+	return c
+}
+
+// Session is one device with a module loaded natively and instrumented.
+type Session struct {
+	cfg     Config
+	Dev     *gpusim.Device
+	Native  *gpusim.Module
+	Instr   *gpusim.Module
+	Stats   map[string]*instrument.KernelStats
+	SrcMod  *ptx.Module
+	InstMod *ptx.Module
+}
+
+// Open instruments a module and loads both variants onto a fresh device.
+func Open(m *ptx.Module, cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	res, err := instrument.Instrument(m, instrument.Options{NoPrune: cfg.NoPrune})
+	if err != nil {
+		return nil, err
+	}
+	dev := gpusim.NewDevice(0)
+	nat, err := dev.LoadModule(m)
+	if err != nil {
+		return nil, err
+	}
+	ins, err := dev.LoadModule(res.Module)
+	if err != nil {
+		return nil, fmt.Errorf("detector: loading instrumented module: %w", err)
+	}
+	return &Session{
+		cfg:     cfg,
+		Dev:     dev,
+		Native:  nat,
+		Instr:   ins,
+		Stats:   res.Stats,
+		SrcMod:  m,
+		InstMod: res.Module,
+	}, nil
+}
+
+// OpenPTX parses PTX text and opens a session.
+func OpenPTX(src string, cfg Config) (*Session, error) {
+	m, err := ptx.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Open(m, cfg)
+}
+
+// OpenFatBinary intercepts a fat binary: extracts the architecture-
+// neutral PTX, strips everything else, and opens a session — the
+// LD_PRELOAD/__cudaRegisterFatBinary flow of §4.1.
+func OpenFatBinary(bin []byte, cfg Config) (*Session, error) {
+	src, err := fatbin.ExtractPTX(bin)
+	if err != nil {
+		return nil, err
+	}
+	return OpenPTX(src, cfg)
+}
+
+// Result is the outcome of one detection run.
+type Result struct {
+	Report   *core.Report
+	SimStats gpusim.Stats
+	// Formats is the PTVC format census at kernel completion; FormatHist
+	// is sampled at every memory record during execution (the §4.3.1
+	// "90% of the time" measurement).
+	Formats    map[ptvc.Format]int
+	FormatHist map[ptvc.Format]uint64
+	Duration   time.Duration
+}
+
+// routeSink routes records to their block's queue.
+type routeSink struct {
+	set *logging.Set
+}
+
+func (s *routeSink) Emit(r *logging.Record) {
+	s.set.ForBlock(int(r.Block)).Enqueue(r)
+}
+
+// Detect runs a kernel under the race detector.
+func (s *Session) Detect(kernelName string, launch gpusim.LaunchConfig) (*Result, error) {
+	grid := launch.Grid
+	block := launch.Block
+	ws := launch.WarpSize
+	if ws == 0 {
+		ws = gpusim.WarpSize
+	}
+	geo := ptvc.Geometry{
+		WarpSize:  ws,
+		BlockSize: block.Count(),
+		Blocks:    grid.Count(),
+	}
+	if geo.BlockSize == 0 {
+		geo.BlockSize = 1
+	}
+	if geo.Blocks == 0 {
+		geo.Blocks = 1
+	}
+	var sharedBytes int64
+	if k := s.InstMod.Kernel(kernelName); k != nil {
+		sharedBytes = k.SharedBytes()
+	} else {
+		return nil, fmt.Errorf("detector: unknown kernel %q", kernelName)
+	}
+
+	det := core.New(geo, sharedBytes, core.Options{
+		Granularity:       s.cfg.Granularity,
+		MaxRaces:          s.cfg.MaxRaces,
+		NoSameValueFilter: s.cfg.NoSameValueFilter,
+		FullVC:            s.cfg.FullVC,
+	})
+	set := logging.NewSet(s.cfg.Queues, s.cfg.QueueCap)
+
+	var wg sync.WaitGroup
+	for _, q := range set.Queues {
+		wg.Add(1)
+		go func(q *logging.Queue) {
+			defer wg.Done()
+			var r logging.Record
+			for {
+				q.Dequeue(&r)
+				if r.Op == trace.OpEnd {
+					return
+				}
+				det.Handle(&r)
+			}
+		}(q)
+	}
+
+	launch.Sink = &routeSink{set: set}
+	launch.EmitBranchEvents = true
+	start := time.Now()
+	stats, err := s.Instr.Launch(kernelName, launch)
+	set.CloseAll()
+	wg.Wait()
+	dur := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Report:     det.Report(),
+		SimStats:   stats,
+		Formats:    det.FormatStats(),
+		FormatHist: det.FormatHistogram(),
+		Duration:   dur,
+	}, nil
+}
+
+// RunNative runs the uninstrumented kernel (baseline timing for the
+// Figure 10 overhead experiment).
+func (s *Session) RunNative(kernelName string, launch gpusim.LaunchConfig) (gpusim.Stats, time.Duration, error) {
+	launch.Sink = nil
+	launch.EmitBranchEvents = false
+	start := time.Now()
+	stats, err := s.Native.Launch(kernelName, launch)
+	return stats, time.Since(start), err
+}

@@ -1,0 +1,206 @@
+package detector
+
+import (
+	"testing"
+
+	"barracuda/internal/core"
+	"barracuda/internal/gpusim"
+)
+
+func TestGranularity4DetectsWordRaces(t *testing.T) {
+	s := open(t, racyAllWriteSrc, Config{Granularity: 4})
+	out := s.Dev.MustAlloc(4)
+	res := detect(t, s, "k", gpusim.LaunchConfig{Grid: gpusim.D1(1), Block: gpusim.D1(32), Args: []uint64{out}})
+	if !res.Report.HasRaces() {
+		t.Fatal("4-byte granularity missed a word-aligned race")
+	}
+}
+
+func TestGranularity4StillSeparatesWords(t *testing.T) {
+	s := open(t, cleanPerThreadSrc, Config{Granularity: 4})
+	out := s.Dev.MustAlloc(4 * 64)
+	res := detect(t, s, "k", gpusim.LaunchConfig{Grid: gpusim.D1(1), Block: gpusim.D1(64), Args: []uint64{out}})
+	if res.Report.HasRaces() {
+		t.Fatalf("false positives at 4-byte granularity: %v", res.Report.Races)
+	}
+}
+
+func TestMaxRacesCap(t *testing.T) {
+	// A kernel with many distinct racy sites: cap at 3.
+	src := `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<4>;
+	.reg .u64 %rd<4>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	st.global.u32 [%rd1], %r1;
+	st.global.u32 [%rd1+4], %r1;
+	st.global.u32 [%rd1+8], %r1;
+	st.global.u32 [%rd1+12], %r1;
+	st.global.u32 [%rd1+16], %r1;
+	st.global.u32 [%rd1+20], %r1;
+	ret;
+}`
+	s := open(t, src, Config{MaxRaces: 3})
+	out := s.Dev.MustAlloc(64)
+	res := detect(t, s, "k", gpusim.LaunchConfig{Grid: gpusim.D1(1), Block: gpusim.D1(32), Args: []uint64{out}})
+	if got := res.Report.RaceCount(); got != 3 {
+		t.Errorf("races = %d, want capped at 3", got)
+	}
+}
+
+func TestRandomScheduleStillDetects(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		s := open(t, racyAllWriteSrc, Config{})
+		out := s.Dev.MustAlloc(4)
+		res := detect(t, s, "k", gpusim.LaunchConfig{
+			Grid: gpusim.D1(4), Block: gpusim.D1(64), Args: []uint64{out},
+			RandomSched: true, Seed: seed,
+		})
+		if !res.Report.HasRaces() {
+			t.Fatalf("seed %d: race missed under randomized scheduling", seed)
+		}
+	}
+}
+
+func TestNoPruneDetectionEquivalent(t *testing.T) {
+	// Pruning removes only redundant logging: the race verdict must not
+	// change.
+	for _, noPrune := range []bool{false, true} {
+		s := open(t, sharedBarrierSrc, Config{NoPrune: noPrune})
+		out := s.Dev.MustAlloc(4 * 64)
+		res := detect(t, s, "k", gpusim.LaunchConfig{Grid: gpusim.D1(1), Block: gpusim.D1(64), Args: []uint64{out, 0}})
+		if !res.Report.HasRaces() {
+			t.Errorf("noPrune=%v: race missed", noPrune)
+		}
+		s2 := open(t, sharedBarrierSrc, Config{NoPrune: noPrune})
+		out2 := s2.Dev.MustAlloc(4 * 64)
+		res2 := detect(t, s2, "k", gpusim.LaunchConfig{Grid: gpusim.D1(1), Block: gpusim.D1(64), Args: []uint64{out2, 1}})
+		for _, r := range res2.Report.Races {
+			t.Errorf("noPrune=%v: false positive with barrier: %v", noPrune, r)
+		}
+	}
+}
+
+func TestLargeLaunchManyBlocks(t *testing.T) {
+	// A wave-scheduled launch (more blocks than resident) detects races
+	// between blocks of different waves too (logical concurrency is not
+	// bounded by co-residency).
+	s := open(t, racyAllWriteSrc, Config{})
+	out := s.Dev.MustAlloc(4)
+	res := detect(t, s, "k", gpusim.LaunchConfig{
+		Grid: gpusim.D1(200), Block: gpusim.D1(32), Args: []uint64{out},
+		MaxResidentBlocks: 4,
+	})
+	interBlock := false
+	for _, r := range res.Report.Races {
+		if r.Kind.String() == "inter-block" {
+			interBlock = true
+		}
+	}
+	if !interBlock {
+		t.Fatal("cross-wave inter-block race missed")
+	}
+}
+
+func TestVectorStoreOverlapRace(t *testing.T) {
+	// Block 0 writes a v4 (16-byte) vector; block 1 scalar-writes the
+	// third component. The detector must see the whole vector footprint.
+	src := `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %ctaid.x;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 bra SCALAR;
+	mov.u32 %r2, 1;
+	mov.u32 %r3, 2;
+	mov.u32 %r4, 3;
+	mov.u32 %r5, 4;
+	st.global.v4.u32 [%rd1], {%r2, %r3, %r4, %r5};
+	ret;
+SCALAR:
+	st.global.u32 [%rd1+8], 99;
+	ret;
+}`
+	s := open(t, src, Config{})
+	out := s.Dev.MustAlloc(16)
+	res := detect(t, s, "k", gpusim.LaunchConfig{Grid: gpusim.D1(2), Block: gpusim.D1(1), Args: []uint64{out}})
+	if !res.Report.HasRaces() {
+		t.Fatal("vector-scalar overlap race missed")
+	}
+	if res.Report.Races[0].Kind != core.InterBlock {
+		t.Errorf("kind = %v", res.Report.Races[0].Kind)
+	}
+}
+
+func Test2DLaunchDetection(t *testing.T) {
+	// 2-D grid and block: per-thread slots are race free; a shared
+	// column write races.
+	src := `.visible .entry k(.param .u64 out, .param .u64 shared)
+{
+	.reg .u32 %r<12>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [out];
+	ld.param.u64 %rd2, [shared];
+	mov.u32 %r1, %tid.x;
+	mov.u32 %r2, %tid.y;
+	mov.u32 %r3, %ntid.x;
+	mov.u32 %r4, %ctaid.x;
+	mov.u32 %r5, %ctaid.y;
+	mov.u32 %r6, %nctaid.x;
+	mad.lo.u32 %r7, %r2, %r3, %r1;
+	mad.lo.u32 %r8, %r5, %r6, %r4;
+	mov.u32 %r9, %ntid.y;
+	mul.lo.u32 %r10, %r3, %r9;
+	mad.lo.u32 %r7, %r8, %r10, %r7;
+	shl.b32 %r11, %r7, 2;
+	cvt.u64.u32 %rd3, %r11;
+	add.u64 %rd4, %rd1, %rd3;
+	st.global.u32 [%rd4], %r7;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 ret;
+	st.global.u32 [%rd2], %r7;
+	ret;
+}`
+	s := open(t, src, Config{})
+	threads := 2 * 3 * 4 * 2 // grid 2x3, block 4x2
+	out := s.Dev.MustAlloc(4 * threads)
+	sh := s.Dev.MustAlloc(4)
+	res := detect(t, s, "k", gpusim.LaunchConfig{
+		Grid:  gpusim.Dim3{X: 2, Y: 3},
+		Block: gpusim.Dim3{X: 4, Y: 2},
+		Args:  []uint64{out, sh},
+	})
+	// The per-thread stores are clean; the tid.x==0 column writes race.
+	for _, r := range res.Report.Races {
+		if r.Addr >= out && r.Addr < out+uint64(4*threads) {
+			t.Errorf("false race on per-thread slots: %v", r)
+		}
+	}
+	if !res.Report.HasRaces() {
+		t.Fatal("2-D column race missed")
+	}
+	// The native run fills every slot with the right global id.
+	b, _ := s.Dev.ReadBytes(out, 4*threads)
+	for i := 0; i < threads; i++ {
+		got := uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24
+		if got != uint32(i) {
+			t.Fatalf("slot %d = %d (2-D TID mapping broken)", i, got)
+		}
+	}
+}
+
+func TestQueueBackpressureSmallQueue(t *testing.T) {
+	// A tiny queue forces the simulator to block on the consumer; the
+	// run must still complete and detect.
+	s := open(t, racyAllWriteSrc, Config{QueueCap: 2})
+	out := s.Dev.MustAlloc(4)
+	res := detect(t, s, "k", gpusim.LaunchConfig{Grid: gpusim.D1(8), Block: gpusim.D1(64), Args: []uint64{out}})
+	if !res.Report.HasRaces() {
+		t.Fatal("detection under backpressure failed")
+	}
+}

@@ -1,0 +1,146 @@
+// Package fatbin implements a synthetic CUDA fat-binary container and its
+// loader — the analogue of BARRACUDA's __cudaRegisterFatBinary
+// interception (§4.1). A fat binary bundles several per-architecture
+// entries (opaque machine code) with one architecture-neutral PTX entry,
+// zlib-compressed. The loader strips the architecture-specific entries
+// and extracts and decompresses the PTX, which is what the
+// instrumentation engine consumes; Repack builds a new fat binary around
+// instrumented PTX so the (simulated) runtime loads only instrumented
+// code.
+package fatbin
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Magic identifies the container format.
+const Magic = "BARFATB1"
+
+// EntryKind distinguishes container entries.
+type EntryKind uint32
+
+// Entry kinds.
+const (
+	KindPTX  EntryKind = 1 // architecture-neutral PTX text
+	KindSASS EntryKind = 2 // architecture-specific machine code (opaque)
+)
+
+// Entry is one member of a fat binary.
+type Entry struct {
+	Kind EntryKind
+	Arch uint32 // sm version for SASS entries (e.g. 35, 52); 0 for PTX
+	Data []byte // uncompressed payload
+}
+
+// Pack serialises entries into the container format.
+func Pack(entries []Entry) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(len(entries))); err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		var comp bytes.Buffer
+		zw := zlib.NewWriter(&comp)
+		if _, err := zw.Write(e.Data); err != nil {
+			return nil, err
+		}
+		if err := zw.Close(); err != nil {
+			return nil, err
+		}
+		hdr := []uint32{uint32(e.Kind), e.Arch, uint32(comp.Len()), uint32(len(e.Data))}
+		for _, h := range hdr {
+			if err := binary.Write(&buf, binary.LittleEndian, h); err != nil {
+				return nil, err
+			}
+		}
+		buf.Write(comp.Bytes())
+	}
+	return buf.Bytes(), nil
+}
+
+// Unpack parses a container into its entries.
+func Unpack(data []byte) ([]Entry, error) {
+	r := bytes.NewReader(data)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != Magic {
+		return nil, fmt.Errorf("fatbin: bad magic")
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("fatbin: truncated header")
+	}
+	if count > 1<<16 {
+		return nil, fmt.Errorf("fatbin: implausible entry count %d", count)
+	}
+	entries := make([]Entry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var hdr [4]uint32
+		for j := range hdr {
+			if err := binary.Read(r, binary.LittleEndian, &hdr[j]); err != nil {
+				return nil, fmt.Errorf("fatbin: truncated entry %d", i)
+			}
+		}
+		comp := make([]byte, hdr[2])
+		if _, err := io.ReadFull(r, comp); err != nil {
+			return nil, fmt.Errorf("fatbin: truncated payload %d", i)
+		}
+		zr, err := zlib.NewReader(bytes.NewReader(comp))
+		if err != nil {
+			return nil, fmt.Errorf("fatbin: entry %d: %w", i, err)
+		}
+		raw, err := io.ReadAll(zr)
+		zr.Close()
+		if err != nil {
+			return nil, fmt.Errorf("fatbin: entry %d: %w", i, err)
+		}
+		if uint32(len(raw)) != hdr[3] {
+			return nil, fmt.Errorf("fatbin: entry %d: size mismatch %d != %d", i, len(raw), hdr[3])
+		}
+		entries = append(entries, Entry{Kind: EntryKind(hdr[0]), Arch: hdr[1], Data: raw})
+	}
+	return entries, nil
+}
+
+// ExtractPTX loads a fat binary, strips the architecture-specific entries
+// and returns the architecture-neutral PTX text — the interception step
+// of the paper's instrumentation pipeline.
+func ExtractPTX(data []byte) (string, error) {
+	entries, err := Unpack(data)
+	if err != nil {
+		return "", err
+	}
+	for _, e := range entries {
+		if e.Kind == KindPTX {
+			return string(e.Data), nil
+		}
+	}
+	return "", fmt.Errorf("fatbin: no PTX entry")
+}
+
+// Repack builds a fat binary containing only the given (instrumented) PTX
+// — the "data structures within the CUDA runtime are modified to point to
+// the newly-generated fat binary that includes only the instrumented PTX"
+// step.
+func Repack(ptxText string) ([]byte, error) {
+	return Pack([]Entry{{Kind: KindPTX, Data: []byte(ptxText)}})
+}
+
+// PackWithSASS builds a realistic fat binary: fake machine code for the
+// given architectures plus the PTX entry. Test and demo helper.
+func PackWithSASS(ptxText string, archs ...uint32) ([]byte, error) {
+	var entries []Entry
+	for _, a := range archs {
+		fake := make([]byte, 64)
+		for i := range fake {
+			fake[i] = byte(a + uint32(i))
+		}
+		entries = append(entries, Entry{Kind: KindSASS, Arch: a, Data: fake})
+	}
+	entries = append(entries, Entry{Kind: KindPTX, Data: []byte(ptxText)})
+	return Pack(entries)
+}

@@ -1,0 +1,100 @@
+package fatbin
+
+import (
+	"strings"
+	"testing"
+)
+
+const ptxText = `.visible .entry k() { ret; }`
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	in := []Entry{
+		{Kind: KindSASS, Arch: 35, Data: []byte{1, 2, 3}},
+		{Kind: KindPTX, Data: []byte(ptxText)},
+	}
+	bin, err := Pack(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unpack(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("entries = %d", len(out))
+	}
+	if out[0].Kind != KindSASS || out[0].Arch != 35 || string(out[0].Data) != "\x01\x02\x03" {
+		t.Errorf("entry 0 = %+v", out[0])
+	}
+	if out[1].Kind != KindPTX || string(out[1].Data) != ptxText {
+		t.Errorf("entry 1 = %+v", out[1])
+	}
+}
+
+func TestExtractPTXStripsSASS(t *testing.T) {
+	bin, err := PackWithSASS(ptxText, 35, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExtractPTX(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ptxText {
+		t.Errorf("ExtractPTX = %q", got)
+	}
+}
+
+func TestRepack(t *testing.T) {
+	bin, err := Repack(ptxText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Unpack(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Kind != KindPTX {
+		t.Errorf("repacked entries = %+v", entries)
+	}
+}
+
+func TestCompressionActuallyShrinks(t *testing.T) {
+	big := strings.Repeat("// padding comment line\n", 1000) + ptxText
+	bin, err := Repack(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin) >= len(big) {
+		t.Errorf("container %d bytes >= payload %d bytes; zlib not engaged?", len(bin), len(big))
+	}
+	got, err := ExtractPTX(bin)
+	if err != nil || got != big {
+		t.Error("large payload corrupted")
+	}
+}
+
+func TestUnpackErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("WRONGMAG"),
+		[]byte(Magic),                     // missing count
+		append([]byte(Magic), 1, 0, 0, 0), // count=1, no entry
+		append([]byte(Magic), 255, 255, 255, 255), // absurd count
+	}
+	for i, c := range cases {
+		if _, err := Unpack(c); err == nil {
+			t.Errorf("case %d: Unpack succeeded on garbage", i)
+		}
+	}
+}
+
+func TestExtractPTXNoEntry(t *testing.T) {
+	bin, err := Pack([]Entry{{Kind: KindSASS, Arch: 35, Data: []byte{9}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtractPTX(bin); err == nil {
+		t.Error("ExtractPTX succeeded without a PTX entry")
+	}
+}

@@ -1,0 +1,141 @@
+package gpusim
+
+import (
+	"testing"
+
+	"barracuda/internal/ptx"
+	"barracuda/internal/trace"
+)
+
+const localKernel = `
+.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.local .align 4 .b8 scratch[16];
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	mov.u64 %rd2, scratch;
+	st.local.u32 [%rd2], %r1;
+	st.local.u32 [%rd2+4], 7;
+	ld.local.u32 %r2, [%rd2];
+	ld.local.u32 %r3, [%rd2+4];
+	add.u32 %r4, %r2, %r3;
+	shl.b32 %r5, %r1, 2;
+	cvt.u64.u32 %rd3, %r5;
+	add.u64 %rd4, %rd1, %rd3;
+	st.global.u32 [%rd4], %r4;
+	ret;
+}`
+
+func TestLocalMemoryThreadPrivate(t *testing.T) {
+	d, mod := loadKernel(t, localKernel)
+	out := d.MustAlloc(4 * 64)
+	if _, err := mod.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(64), Args: []uint64{out}}); err != nil {
+		t.Fatal(err)
+	}
+	// Every thread sees only its OWN local memory: out[tid] = tid + 7.
+	for i := 0; i < 64; i++ {
+		v, _ := d.ReadU32(out + uint64(4*i))
+		if v != uint32(i)+7 {
+			t.Fatalf("out[%d] = %d, want %d (local memory leaked across lanes?)", i, v, i+7)
+		}
+	}
+}
+
+func TestLocalMemoryOOB(t *testing.T) {
+	_, mod := loadKernel(t, `
+.visible .entry k()
+{
+	.reg .u64 %rd<4>;
+	.local .align 4 .b8 scratch[8];
+	mov.u64 %rd1, scratch;
+	st.local.u32 [%rd1+8], 1;
+	ret;
+}`)
+	if _, err := mod.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(1)}); err == nil {
+		t.Error("local OOB store succeeded")
+	}
+}
+
+func TestLocalAccessesNotClassified(t *testing.T) {
+	// Local memory is thread-private: the acquire/release inference and
+	// the instrumenter must ignore it entirely.
+	m, err := ptx.Parse(localKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range m.Kernels[0].Instrs() {
+		if in.Space == ptx.SpaceLocal && in.MemoryAccess() {
+			t.Errorf("local access classified as instrumentable: %+v", in)
+		}
+	}
+}
+
+func TestLocalMemoryNotLogged(t *testing.T) {
+	d, mod := loadKernel(t, localKernel)
+	out := d.MustAlloc(4 * 64)
+	sink := &collector{}
+	if _, err := mod.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(32), Args: []uint64{out}, Sink: sink}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sink.recs {
+		if r.Op != trace.OpEnd && r.Space == 2 { // logging.SpaceLocal
+			t.Errorf("local access was logged: %+v", r)
+		}
+	}
+}
+
+func TestSmallWarpSizeExecution(t *testing.T) {
+	d, mod := loadKernel(t, `
+.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	mov.u32 %r2, %laneid;
+	mov.u32 %r3, %warpid;
+	mov.u32 %r4, WARP_SZ;
+	shl.b32 %r5, %r1, 2;
+	cvt.u64.u32 %rd2, %r5;
+	add.u64 %rd3, %rd1, %rd2;
+	mad.lo.u32 %r6, %r3, 1000, %r2;
+	mad.lo.u32 %r6, %r4, 100000, %r6;
+	st.global.u32 [%rd3], %r6;
+	ret;
+}`)
+	out := d.MustAlloc(4 * 32)
+	if _, err := mod.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(32), Args: []uint64{out}, WarpSize: 8}); err != nil {
+		t.Fatal(err)
+	}
+	// With 8-lane warps, thread 19 is warp 2 lane 3; WARP_SZ reads 8.
+	v, _ := d.ReadU32(out + 4*19)
+	if v != 8*100000+2*1000+3 {
+		t.Errorf("thread 19 saw %d, want warp 2 lane 3 ws 8", v)
+	}
+}
+
+func TestWarpSizeBarrierAndAtomics(t *testing.T) {
+	d, mod := loadKernel(t, `
+.visible .entry k(.param .u64 ctr)
+{
+	.reg .u32 %r<4>;
+	.reg .u64 %rd<4>;
+	ld.param.u64 %rd1, [ctr];
+	atom.global.add.u32 %r1, [%rd1], 1;
+	bar.sync 0;
+	atom.global.add.u32 %r2, [%rd1], 1;
+	ret;
+}`)
+	for _, ws := range []int{2, 4, 16, 32} {
+		ctr := d.MustAlloc(4)
+		if _, err := mod.Launch("k", LaunchConfig{Grid: D1(2), Block: D1(48), Args: []uint64{ctr}, WarpSize: ws}); err != nil {
+			t.Fatalf("ws=%d: %v", ws, err)
+		}
+		v, _ := d.ReadU32(ctr)
+		if v != 2*48*2 {
+			t.Errorf("ws=%d: counter = %d, want 192", ws, v)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package gpusim
+
+import (
+	"fmt"
+	"strings"
+
+	"barracuda/internal/kernel"
+	"barracuda/internal/ptx"
+)
+
+// Module is a loaded, executable PTX module: kernels compiled to internal
+// form with register maps, control-flow graphs and resolved symbols.
+type Module struct {
+	Dev     *Device
+	Src     *ptx.Module
+	globals map[string]uint64 // module-level .global symbol -> address
+	kernels map[string]*loadedKernel
+}
+
+// loadedKernel is a kernel prepared for execution.
+type loadedKernel struct {
+	name   string
+	cfg    *kernel.CFG
+	params map[string]int // param name -> index
+	// Register allocation: every general register name maps to a dense
+	// index into the per-thread register file; predicate registers map
+	// into the per-thread predicate file.
+	regIdx  map[string]int
+	predIdx map[string]int
+	nRegs   int
+	nPreds  int
+	// Shared-memory layout: symbol -> offset, plus total static size.
+	sharedOff   map[string]uint64
+	sharedBytes int64
+	// Per-thread local-memory layout.
+	localOff   map[string]uint64
+	localBytes int64
+
+	code []cInstr // lazily compiled executable form
+}
+
+// LoadModule prepares a parsed PTX module for execution on the device,
+// allocating module-level globals and building per-kernel CFGs.
+func (d *Device) LoadModule(m *ptx.Module) (*Module, error) {
+	mod := &Module{
+		Dev:     d,
+		Src:     m,
+		globals: make(map[string]uint64),
+		kernels: make(map[string]*loadedKernel),
+	}
+	for _, g := range m.Globals {
+		addr, err := d.Alloc(int(g.Size))
+		if err != nil {
+			return nil, fmt.Errorf("gpusim: allocating global %s: %w", g.Name, err)
+		}
+		mod.globals[g.Name] = addr
+	}
+	for _, k := range m.Kernels {
+		lk, err := prepareKernel(k)
+		if err != nil {
+			return nil, err
+		}
+		mod.kernels[k.Name] = lk
+	}
+	return mod, nil
+}
+
+// GlobalAddr returns the device address of a module-level .global symbol.
+func (mod *Module) GlobalAddr(name string) (uint64, bool) {
+	a, ok := mod.globals[name]
+	return a, ok
+}
+
+// KernelNames lists the kernels in the module.
+func (mod *Module) KernelNames() []string {
+	var out []string
+	for _, k := range mod.Src.Kernels {
+		out = append(out, k.Name)
+	}
+	return out
+}
+
+// CFG returns the control-flow graph of a loaded kernel, or nil.
+func (mod *Module) CFG(name string) *kernel.CFG {
+	lk := mod.kernels[name]
+	if lk == nil {
+		return nil
+	}
+	return lk.cfg
+}
+
+func prepareKernel(k *ptx.Kernel) (*loadedKernel, error) {
+	cfg, err := kernel.Build(k)
+	if err != nil {
+		return nil, fmt.Errorf("gpusim: kernel %s: %w", k.Name, err)
+	}
+	lk := &loadedKernel{
+		name:      k.Name,
+		cfg:       cfg,
+		params:    make(map[string]int),
+		regIdx:    make(map[string]int),
+		predIdx:   make(map[string]int),
+		sharedOff: make(map[string]uint64),
+		localOff:  make(map[string]uint64),
+	}
+	for i, p := range k.Params {
+		lk.params[p.Name] = i
+	}
+	// Register files from declarations...
+	for _, rd := range k.Regs {
+		for i := 0; i < rd.Count; i++ {
+			name := fmt.Sprintf("%s%d", rd.Prefix, i)
+			if rd.Type == ptx.Pred {
+				lk.addPred(name)
+			} else {
+				lk.addReg(name)
+			}
+		}
+	}
+	// ...plus any registers that appear only in operands.
+	for _, in := range cfg.Instrs {
+		if in.Guard != nil {
+			lk.addPred(in.Guard.Reg)
+		}
+		ops := in.Args
+		if in.HasDst {
+			ops = append([]ptx.Operand{in.Dst}, ops...)
+		}
+		for _, o := range ops {
+			switch o.Kind {
+			case ptx.OpndReg:
+				if isPredName(o.Reg) {
+					lk.addPred(o.Reg)
+				} else {
+					lk.addReg(o.Reg)
+				}
+			case ptx.OpndMem:
+				if o.BaseReg != "" {
+					lk.addReg(o.BaseReg)
+				}
+			}
+		}
+	}
+	// Shared-memory layout.
+	var off int64
+	for _, s := range k.Shared {
+		a := int64(s.Align)
+		if a > 1 {
+			off = (off + a - 1) / a * a
+		}
+		lk.sharedOff[s.Name] = uint64(off)
+		off += s.Size
+	}
+	lk.sharedBytes = off
+	// Per-thread local-memory layout.
+	var loff int64
+	for _, s := range k.Local {
+		a := int64(s.Align)
+		if a > 1 {
+			loff = (loff + a - 1) / a * a
+		}
+		lk.localOff[s.Name] = uint64(loff)
+		loff += s.Size
+	}
+	lk.localBytes = loff
+	return lk, nil
+}
+
+// isPredName reports whether a register name is conventionally a predicate
+// (%p prefix). Registers declared .pred are always predicates regardless of
+// name; this heuristic only applies to undeclared registers.
+func isPredName(name string) bool {
+	return strings.HasPrefix(name, "%p") && !strings.HasPrefix(name, "%pd")
+}
+
+func (lk *loadedKernel) addReg(name string) {
+	if _, ok := lk.regIdx[name]; ok {
+		return
+	}
+	if _, ok := lk.predIdx[name]; ok {
+		return
+	}
+	lk.regIdx[name] = lk.nRegs
+	lk.nRegs++
+}
+
+func (lk *loadedKernel) addPred(name string) {
+	if _, ok := lk.predIdx[name]; ok {
+		return
+	}
+	if _, ok := lk.regIdx[name]; ok {
+		return
+	}
+	lk.predIdx[name] = lk.nPreds
+	lk.nPreds++
+}

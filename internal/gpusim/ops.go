@@ -1,0 +1,954 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"barracuda/internal/logging"
+	"barracuda/internal/ptx"
+	"barracuda/internal/trace"
+)
+
+// symKind classifies a resolved symbol reference.
+type symKind uint8
+
+const (
+	symNone   symKind = iota
+	symGlobal         // module-level .global variable: symAddr is a device address
+	symShared         // kernel .shared variable: symAddr is a shared-memory offset
+	symParam          // kernel parameter: symAddr is the parameter index
+	symLocal          // kernel .local variable: symAddr is a per-thread offset
+)
+
+// cOperand is a compiled operand with registers resolved to dense indices
+// and symbols resolved to addresses.
+type cOperand struct {
+	kind    ptx.OperandKind
+	reg     int // register-file index (general or predicate)
+	isPred  bool
+	imm     uint64
+	f       float64
+	sreg    ptx.Sreg
+	baseReg int // memory base register index, -1 when symbol-based
+	off     int64
+	symK    symKind
+	symAddr uint64
+}
+
+// cInstr is a compiled instruction.
+type cInstr struct {
+	op       ptx.Op
+	in       *ptx.Instr
+	guard    int // predicate index, -1 when unguarded
+	guardNeg bool
+	hasDst   bool
+	dst      cOperand
+	args     []cOperand
+	size     int // operand size in bytes from the instruction type
+	target   int // branch target pc
+	rpc      int // precomputed reconvergence pc for conditional branches
+}
+
+// compile lowers a loaded kernel's instructions into executable form,
+// resolving registers, labels and symbols. The result is cached.
+func (mod *Module) compile(lk *loadedKernel) ([]cInstr, error) {
+	if lk.code != nil {
+		return lk.code, nil
+	}
+	ins := lk.cfg.Instrs
+	code := make([]cInstr, len(ins))
+	for i, in := range ins {
+		ci := cInstr{op: in.Op, in: in, guard: -1, size: in.Type.Size(), target: -1, rpc: -1}
+		if in.Guard != nil {
+			gi, ok := lk.predIdx[in.Guard.Reg]
+			if !ok {
+				return nil, fmt.Errorf("gpusim: %s line %d: undeclared predicate %s", lk.name, in.Line, in.Guard.Reg)
+			}
+			ci.guard = gi
+			ci.guardNeg = in.Guard.Neg
+		}
+		if in.HasDst {
+			d, err := mod.compileOperand(lk, in, in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			ci.dst = d
+			ci.hasDst = true
+		}
+		ci.args = make([]cOperand, len(in.Args))
+		for j, a := range in.Args {
+			ca, err := mod.compileOperand(lk, in, a)
+			if err != nil {
+				return nil, err
+			}
+			ci.args[j] = ca
+		}
+		if in.Op == ptx.OpBra {
+			if len(in.Args) != 1 || in.Args[0].Kind != ptx.OpndLabel {
+				return nil, fmt.Errorf("gpusim: %s line %d: malformed bra", lk.name, in.Line)
+			}
+			t, ok := lk.cfg.LabelAt[in.Args[0].Sym]
+			if !ok {
+				return nil, fmt.Errorf("gpusim: %s line %d: undefined label %s", lk.name, in.Line, in.Args[0].Sym)
+			}
+			ci.target = t
+			ci.rpc = lk.cfg.ReconvergencePC(i)
+		}
+		code[i] = ci
+	}
+	lk.code = code
+	return code, nil
+}
+
+func (mod *Module) compileOperand(lk *loadedKernel, in *ptx.Instr, o ptx.Operand) (cOperand, error) {
+	c := cOperand{kind: o.Kind, reg: -1, baseReg: -1}
+	switch o.Kind {
+	case ptx.OpndReg:
+		if pi, ok := lk.predIdx[o.Reg]; ok {
+			c.reg = pi
+			c.isPred = true
+		} else if ri, ok := lk.regIdx[o.Reg]; ok {
+			c.reg = ri
+		} else {
+			return c, fmt.Errorf("gpusim: %s line %d: undeclared register %s", lk.name, in.Line, o.Reg)
+		}
+	case ptx.OpndImm:
+		c.imm = uint64(o.Imm)
+		c.f = float64(o.Imm)
+	case ptx.OpndFImm:
+		c.f = o.F
+	case ptx.OpndSreg:
+		c.sreg = o.Sreg
+	case ptx.OpndMem:
+		c.off = o.Off
+		if o.BaseReg != "" {
+			ri, ok := lk.regIdx[o.BaseReg]
+			if !ok {
+				return c, fmt.Errorf("gpusim: %s line %d: undeclared register %s", lk.name, in.Line, o.BaseReg)
+			}
+			c.baseReg = ri
+		} else {
+			k, addr, err := mod.resolveSym(lk, o.BaseSym)
+			if err != nil {
+				return c, fmt.Errorf("gpusim: %s line %d: %w", lk.name, in.Line, err)
+			}
+			c.symK, c.symAddr = k, addr
+		}
+	case ptx.OpndSym:
+		k, addr, err := mod.resolveSym(lk, o.Sym)
+		if err != nil {
+			return c, fmt.Errorf("gpusim: %s line %d: %w", lk.name, in.Line, err)
+		}
+		c.symK, c.symAddr = k, addr
+	case ptx.OpndLabel:
+		// handled by the bra special case
+	}
+	return c, nil
+}
+
+func (mod *Module) resolveSym(lk *loadedKernel, name string) (symKind, uint64, error) {
+	if off, ok := lk.sharedOff[name]; ok {
+		return symShared, off, nil
+	}
+	if off, ok := lk.localOff[name]; ok {
+		return symLocal, off, nil
+	}
+	if addr, ok := mod.globals[name]; ok {
+		return symGlobal, addr, nil
+	}
+	if pi, ok := lk.params[name]; ok {
+		return symParam, uint64(pi), nil
+	}
+	return symNone, 0, fmt.Errorf("undefined symbol %q", name)
+}
+
+// reg returns lane's value of general register r.
+func (e *engine) reg(w *warpState, lane, r int) uint64 {
+	return w.regs[lane*e.lk.nRegs+r]
+}
+
+func (e *engine) setRegRaw(w *warpState, lane, r int, v uint64) {
+	w.regs[lane*e.lk.nRegs+r] = v
+}
+
+func (e *engine) pred(w *warpState, lane, p int) bool {
+	return w.preds[lane*e.lk.nPreds+p]
+}
+
+func (e *engine) setPred(w *warpState, lane, p int, v bool) {
+	w.preds[lane*e.lk.nPreds+p] = v
+}
+
+// val evaluates a scalar operand for one lane.
+func (e *engine) val(w *warpState, lane int, o *cOperand) uint64 {
+	switch o.kind {
+	case ptx.OpndReg:
+		if o.isPred {
+			if e.pred(w, lane, o.reg) {
+				return 1
+			}
+			return 0
+		}
+		return e.reg(w, lane, o.reg)
+	case ptx.OpndImm:
+		return o.imm
+	case ptx.OpndFImm:
+		return math.Float64bits(o.f)
+	case ptx.OpndSreg:
+		return e.sregVal(w, lane, o.sreg)
+	case ptx.OpndSym:
+		return o.symAddr // address of a global / offset of a shared var
+	}
+	return 0
+}
+
+// fval evaluates an operand as a floating-point value of the given type.
+func (e *engine) fval(w *warpState, lane int, o *cOperand, t ptx.Type) float64 {
+	switch o.kind {
+	case ptx.OpndFImm, ptx.OpndImm:
+		return o.f
+	default:
+		bits64 := e.val(w, lane, o)
+		if t == ptx.F32 {
+			return float64(math.Float32frombits(uint32(bits64)))
+		}
+		return math.Float64frombits(bits64)
+	}
+}
+
+func fbits(f float64, t ptx.Type) uint64 {
+	if t == ptx.F32 {
+		return uint64(math.Float32bits(float32(f)))
+	}
+	return math.Float64bits(f)
+}
+
+// sregVal computes a special register value for a lane.
+func (e *engine) sregVal(w *warpState, lane int, s ptx.Sreg) uint64 {
+	lin := w.widx*e.ws + lane // thread linear index within block
+	b := e.block
+	g := e.grid
+	blk := w.blk.idx
+	switch s {
+	case ptx.SregTidX:
+		return uint64(lin % b.X)
+	case ptx.SregTidY:
+		return uint64((lin / b.X) % b.Y)
+	case ptx.SregTidZ:
+		return uint64(lin / (b.X * b.Y))
+	case ptx.SregNtidX:
+		return uint64(b.X)
+	case ptx.SregNtidY:
+		return uint64(b.Y)
+	case ptx.SregNtidZ:
+		return uint64(b.Z)
+	case ptx.SregCtaidX:
+		return uint64(blk % g.X)
+	case ptx.SregCtaidY:
+		return uint64((blk / g.X) % g.Y)
+	case ptx.SregCtaidZ:
+		return uint64(blk / (g.X * g.Y))
+	case ptx.SregNctaidX:
+		return uint64(g.X)
+	case ptx.SregNctaidY:
+		return uint64(g.Y)
+	case ptx.SregNctaidZ:
+		return uint64(g.Z)
+	case ptx.SregLaneid:
+		return uint64(lane)
+	case ptx.SregWarpid:
+		return uint64(w.widx)
+	case ptx.SregWarpSize:
+		return uint64(e.ws)
+	}
+	return 0
+}
+
+// laneAddr computes the effective address of a memory operand for a lane.
+func (e *engine) laneAddr(w *warpState, lane int, o *cOperand) uint64 {
+	if o.baseReg >= 0 {
+		return e.reg(w, lane, o.baseReg) + uint64(o.off)
+	}
+	return o.symAddr + uint64(o.off)
+}
+
+func truncTo(v uint64, size int) uint64 {
+	if size >= 8 || size <= 0 {
+		return v
+	}
+	return v & (1<<(8*size) - 1)
+}
+
+func signExt(v uint64, size int) int64 {
+	switch size {
+	case 1:
+		return int64(int8(v))
+	case 2:
+		return int64(int16(v))
+	case 4:
+		return int64(int32(v))
+	default:
+		return int64(v)
+	}
+}
+
+// stepWarp executes one warp-level instruction.
+func (e *engine) stepWarp(w *warpState) error {
+	// Resolve a runnable top entry, popping completed paths.
+	for {
+		if w.done {
+			return nil
+		}
+		top := &w.stack[len(w.stack)-1]
+		if top.pc >= len(e.code) || top.pc == top.rpc || top.mask&^w.exited == 0 {
+			e.popEntry(w)
+			continue
+		}
+		break
+	}
+	top := &w.stack[len(w.stack)-1]
+	pc := top.pc
+	ci := &e.code[pc]
+	eff := top.mask &^ w.exited
+
+	// Apply a guard to non-branch instructions per lane.
+	exec := eff
+	if ci.guard >= 0 && ci.op != ptx.OpBra {
+		exec = 0
+		for lane := 0; lane < e.ws; lane++ {
+			if eff&(1<<uint(lane)) == 0 {
+				continue
+			}
+			if e.pred(w, lane, ci.guard) != ci.guardNeg {
+				exec |= 1 << uint(lane)
+			}
+		}
+	}
+	e.stats.WarpInstrs++
+	e.stats.ThreadInstrs += uint64(bits.OnesCount32(exec))
+
+	switch ci.op {
+	case ptx.OpBra:
+		return e.execBranch(w, top, ci, eff)
+	case ptx.OpRet, ptx.OpExit:
+		w.exited |= exec
+		top.pc++
+		return nil
+	case ptx.OpBar:
+		top.pc++
+		e.parkAtBarrier(w)
+		return nil
+	case ptx.OpMembar:
+		top.pc++
+		return nil
+	case ptx.OpLog:
+		if err := e.execLog(w, ci, exec); err != nil {
+			return e.execError(pc, "%v", err)
+		}
+		top.pc++
+		return nil
+	}
+
+	for lane := 0; lane < e.ws; lane++ {
+		if exec&(1<<uint(lane)) == 0 {
+			continue
+		}
+		if err := e.execLane(w, ci, lane); err != nil {
+			return e.execError(pc, "lane %d: %v", lane, err)
+		}
+	}
+	top.pc++
+	return nil
+}
+
+// execBranch handles (possibly guarded, possibly divergent) branches.
+func (e *engine) execBranch(w *warpState, top *stackEntry, ci *cInstr, eff uint32) error {
+	if ci.guard < 0 {
+		top.pc = ci.target
+		return nil
+	}
+	var taken uint32
+	for lane := 0; lane < e.ws; lane++ {
+		if eff&(1<<uint(lane)) == 0 {
+			continue
+		}
+		if e.pred(w, lane, ci.guard) != ci.guardNeg {
+			taken |= 1 << uint(lane)
+		}
+	}
+	notTaken := eff &^ taken
+	switch {
+	case taken == 0:
+		top.pc++
+	case notTaken == 0:
+		top.pc = ci.target
+	default:
+		// Divergence: the current entry becomes the reconvergence
+		// continuation; the fall-through path executes first, then the
+		// taken path (the order is architecturally arbitrary, §3.3.1).
+		e.stats.Divergences++
+		rpc := ci.rpc
+		fallPC := top.pc + 1
+		top.pc = rpc
+		w.stack = append(w.stack,
+			stackEntry{pc: ci.target, rpc: rpc, mask: taken, role: roleSecond},
+			stackEntry{pc: fallPC, rpc: rpc, mask: notTaken, role: roleFirst},
+		)
+		e.emitBranch(w, trace.OpIf, notTaken)
+	}
+	return nil
+}
+
+// execLog emits a warp-level record for a `_log.*` pseudo-instruction.
+// If/Else/Fi markers are no-ops at runtime: the semantic divergence events
+// are emitted by the SIMT stack machinery, which knows the actual masks.
+func (e *engine) execLog(w *warpState, ci *cInstr, exec uint32) error {
+	if e.cfg.Sink == nil || exec == 0 {
+		return nil
+	}
+	k := trace.FromLogKind(ci.in.LogK)
+	switch k {
+	case trace.OpIf, trace.OpElse, trace.OpFi:
+		return nil
+	case trace.OpBar:
+		e.rec = logging.Record{
+			Warp:  uint32(w.gwid),
+			Block: uint32(w.blk.idx),
+			Op:    trace.OpBar,
+			Mask:  exec,
+			PC:    uint32(ci.in.Line),
+		}
+		e.cfg.Sink.Emit(&e.rec)
+		e.stats.Records++
+		return nil
+	}
+	if len(ci.args) == 0 || ci.args[0].kind != ptx.OpndMem {
+		return fmt.Errorf("_log.%v without address operand", ci.in.LogK)
+	}
+	e.rec = logging.Record{
+		Warp:  uint32(w.gwid),
+		Block: uint32(w.blk.idx),
+		Op:    k,
+		Size:  uint8(ci.in.AccSz),
+		Mask:  exec,
+		PC:    uint32(ci.in.Line),
+	}
+	if k.IsSync() {
+		e.syncSeq++
+		e.rec.Seq = e.syncSeq
+	}
+	switch ci.in.Space {
+	case ptx.SpaceShared:
+		e.rec.Space = logging.SpaceShared
+	case ptx.SpaceLocal:
+		e.rec.Space = logging.SpaceLocal
+	default:
+		e.rec.Space = logging.SpaceGlobal
+	}
+	// The optional second operand is the value being stored (write
+	// records), used by the same-value intra-warp race filter.
+	hasVal := len(ci.args) > 1
+	for lane := 0; lane < e.ws; lane++ {
+		if exec&(1<<uint(lane)) == 0 {
+			continue
+		}
+		e.rec.Addrs[lane] = e.laneAddr(w, lane, &ci.args[0])
+		if hasVal {
+			e.rec.Vals[lane] = e.val(w, lane, &ci.args[1])
+		}
+	}
+	e.cfg.Sink.Emit(&e.rec)
+	e.stats.Records++
+	return nil
+}
+
+// loadSpace reads size bytes from the instruction's memory space for a
+// given lane (local memory is lane-private).
+func (e *engine) loadSpace(w *warpState, lane int, space ptx.Space, addr uint64, size int) (uint64, error) {
+	switch space {
+	case ptx.SpaceShared:
+		if addr+uint64(size) > uint64(len(w.blk.shared)) {
+			return 0, fmt.Errorf("shared access [%#x,+%d) out of bounds (%d bytes)", addr, size, len(w.blk.shared))
+		}
+		return loadLE(w.blk.shared[addr:], size), nil
+	case ptx.SpaceLocal:
+		buf, err := e.localBuf(w, lane, addr, size)
+		if err != nil {
+			return 0, err
+		}
+		return loadLE(buf, size), nil
+	case ptx.SpaceGlobal, ptx.SpaceNone:
+		return e.dev.load(addr, size)
+	}
+	return 0, fmt.Errorf("unsupported memory space %v", space)
+}
+
+func (e *engine) storeSpace(w *warpState, lane int, space ptx.Space, addr uint64, size int, v uint64) error {
+	switch space {
+	case ptx.SpaceShared:
+		if addr+uint64(size) > uint64(len(w.blk.shared)) {
+			return fmt.Errorf("shared access [%#x,+%d) out of bounds (%d bytes)", addr, size, len(w.blk.shared))
+		}
+		storeLE(w.blk.shared[addr:], size, v)
+		return nil
+	case ptx.SpaceLocal:
+		buf, err := e.localBuf(w, lane, addr, size)
+		if err != nil {
+			return err
+		}
+		storeLE(buf, size, v)
+		return nil
+	case ptx.SpaceGlobal, ptx.SpaceNone:
+		return e.dev.store(addr, size, v)
+	}
+	return fmt.Errorf("unsupported memory space %v", space)
+}
+
+// localBuf returns the lane-private slice backing a local-memory access.
+func (e *engine) localBuf(w *warpState, lane int, addr uint64, size int) ([]byte, error) {
+	stride := uint64(e.lk.localBytes)
+	if addr+uint64(size) > stride {
+		return nil, fmt.Errorf("local access [%#x,+%d) out of bounds (%d bytes)", addr, size, stride)
+	}
+	base := uint64(lane) * stride
+	return w.local[base+addr:], nil
+}
+
+// execLane executes one scalar instruction for one lane.
+func (e *engine) execLane(w *warpState, ci *cInstr, lane int) error {
+	in := ci.in
+	t := in.Type
+	size := ci.size
+	switch ci.op {
+	case ptx.OpMov, ptx.OpCvta:
+		if t.Float() {
+			e.setRegRaw(w, lane, ci.dst.reg, fbits(e.fval(w, lane, &ci.args[0], t), t))
+		} else {
+			e.setRegRaw(w, lane, ci.dst.reg, e.val(w, lane, &ci.args[0]))
+		}
+
+	case ptx.OpLd:
+		if in.Space == ptx.SpaceParam {
+			a := &ci.args[0]
+			if a.symK != symParam {
+				return fmt.Errorf("ld.param with non-parameter operand")
+			}
+			e.setRegRaw(w, lane, ci.dst.reg, e.cfg.Args[a.symAddr])
+			return nil
+		}
+		if in.Vec > 1 {
+			// ld.vN {d0..dN-1}, [addr]: dst plus Vec-1 leading args are
+			// destinations; the address operand follows them.
+			if len(ci.args) < in.Vec {
+				return fmt.Errorf("vector load needs %d operands", in.Vec)
+			}
+			addr := e.laneAddr(w, lane, &ci.args[in.Vec-1])
+			for i := 0; i < in.Vec; i++ {
+				v, err := e.loadSpace(w, lane, in.Space, addr+uint64(i*size), size)
+				if err != nil {
+					return err
+				}
+				if t.Signed() {
+					v = uint64(signExt(v, size))
+				}
+				dst := ci.dst.reg
+				if i > 0 {
+					dst = ci.args[i-1].reg
+				}
+				e.setRegRaw(w, lane, dst, v)
+			}
+			return nil
+		}
+		addr := e.laneAddr(w, lane, &ci.args[0])
+		v, err := e.loadSpace(w, lane, in.Space, addr, size)
+		if err != nil {
+			return err
+		}
+		if t.Signed() {
+			v = uint64(signExt(v, size))
+		}
+		e.setRegRaw(w, lane, ci.dst.reg, v)
+
+	case ptx.OpSt:
+		if in.Vec > 1 {
+			// st.vN [addr], {v0..vN-1}
+			if len(ci.args) < in.Vec+1 {
+				return fmt.Errorf("vector store needs %d operands", in.Vec+1)
+			}
+			addr := e.laneAddr(w, lane, &ci.args[0])
+			for i := 0; i < in.Vec; i++ {
+				v := e.val(w, lane, &ci.args[1+i])
+				if t.Float() && ci.args[1+i].kind == ptx.OpndFImm {
+					v = fbits(ci.args[1+i].f, t)
+				}
+				if err := e.storeSpace(w, lane, in.Space, addr+uint64(i*size), size, truncTo(v, size)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		addr := e.laneAddr(w, lane, &ci.args[0])
+		v := e.val(w, lane, &ci.args[1])
+		if t.Float() && ci.args[1].kind == ptx.OpndFImm {
+			v = fbits(ci.args[1].f, t)
+		}
+		return e.storeSpace(w, lane, in.Space, addr, size, truncTo(v, size))
+
+	case ptx.OpAtom, ptx.OpRed:
+		addr := e.laneAddr(w, lane, &ci.args[0])
+		old, err := e.loadSpace(w, lane, in.Space, addr, size)
+		if err != nil {
+			return err
+		}
+		b := truncTo(e.val(w, lane, &ci.args[1]), size)
+		var c uint64
+		if len(ci.args) > 2 {
+			c = truncTo(e.val(w, lane, &ci.args[2]), size)
+		}
+		nv := applyAtom(in.Atom, t, size, old, b, c)
+		if err := e.storeSpace(w, lane, in.Space, addr, size, truncTo(nv, size)); err != nil {
+			return err
+		}
+		if ci.hasDst {
+			e.setRegRaw(w, lane, ci.dst.reg, old)
+		}
+
+	case ptx.OpSetp:
+		a := &ci.args[0]
+		bop := &ci.args[1]
+		var r bool
+		if t.Float() {
+			r = cmpFloat(in.Cmp, e.fval(w, lane, a, t), e.fval(w, lane, bop, t))
+		} else {
+			r = cmpInt(in.Cmp, t, size, e.val(w, lane, a), e.val(w, lane, bop))
+		}
+		e.setPred(w, lane, ci.dst.reg, r)
+
+	case ptx.OpSelp:
+		cond := ci.args[2]
+		var take bool
+		if cond.isPred {
+			take = e.pred(w, lane, cond.reg)
+		} else {
+			take = e.val(w, lane, &cond) != 0
+		}
+		if take {
+			e.setRegRaw(w, lane, ci.dst.reg, truncTo(e.val(w, lane, &ci.args[0]), size))
+		} else {
+			e.setRegRaw(w, lane, ci.dst.reg, truncTo(e.val(w, lane, &ci.args[1]), size))
+		}
+
+	case ptx.OpCvt:
+		e.setRegRaw(w, lane, ci.dst.reg, convert(e, w, lane, ci))
+
+	case ptx.OpNot:
+		v := e.val(w, lane, &ci.args[0])
+		e.setRegRaw(w, lane, ci.dst.reg, truncTo(^v, size))
+
+	case ptx.OpNeg:
+		if t.Float() {
+			e.setRegRaw(w, lane, ci.dst.reg, fbits(-e.fval(w, lane, &ci.args[0], t), t))
+		} else {
+			v := e.val(w, lane, &ci.args[0])
+			e.setRegRaw(w, lane, ci.dst.reg, truncTo(-v, size))
+		}
+
+	default:
+		return e.execArith(w, ci, lane)
+	}
+	return nil
+}
+
+// execArith handles the two/three-operand arithmetic core.
+func (e *engine) execArith(w *warpState, ci *cInstr, lane int) error {
+	in := ci.in
+	t := in.Type
+	size := ci.size
+	if t.Float() {
+		a := e.fval(w, lane, &ci.args[0], t)
+		b := e.fval(w, lane, &ci.args[1], t)
+		var r float64
+		switch ci.op {
+		case ptx.OpAdd:
+			r = a + b
+		case ptx.OpSub:
+			r = a - b
+		case ptx.OpMul:
+			r = a * b
+		case ptx.OpDiv:
+			r = a / b
+		case ptx.OpMin:
+			r = math.Min(a, b)
+		case ptx.OpMax:
+			r = math.Max(a, b)
+		case ptx.OpMad:
+			r = a*b + e.fval(w, lane, &ci.args[2], t)
+		default:
+			return fmt.Errorf("unsupported float op %v", ci.op)
+		}
+		e.setRegRaw(w, lane, ci.dst.reg, fbits(r, t))
+		return nil
+	}
+
+	a := truncTo(e.val(w, lane, &ci.args[0]), size)
+	b := truncTo(e.val(w, lane, &ci.args[1]), size)
+	var r uint64
+	switch ci.op {
+	case ptx.OpAdd:
+		r = a + b
+	case ptx.OpSub:
+		r = a - b
+	case ptx.OpAnd:
+		r = a & b
+	case ptx.OpOr:
+		r = a | b
+	case ptx.OpXor:
+		r = a ^ b
+	case ptx.OpShl:
+		if b >= uint64(8*size) {
+			r = 0
+		} else {
+			r = a << b
+		}
+	case ptx.OpShr:
+		if t.Signed() {
+			sh := b
+			if sh >= uint64(8*size) {
+				sh = uint64(8*size) - 1
+			}
+			r = uint64(signExt(a, size) >> sh)
+		} else if b >= uint64(8*size) {
+			r = 0
+		} else {
+			r = a >> b
+		}
+	case ptx.OpMin:
+		if t.Signed() {
+			if signExt(a, size) < signExt(b, size) {
+				r = a
+			} else {
+				r = b
+			}
+		} else if a < b {
+			r = a
+		} else {
+			r = b
+		}
+	case ptx.OpMax:
+		if t.Signed() {
+			if signExt(a, size) > signExt(b, size) {
+				r = a
+			} else {
+				r = b
+			}
+		} else if a > b {
+			r = a
+		} else {
+			r = b
+		}
+	case ptx.OpMul:
+		switch {
+		case in.Wide:
+			if t.Signed() {
+				r = uint64(signExt(a, size) * signExt(b, size))
+			} else {
+				r = a * b
+			}
+			// result is 2*size wide; no truncation to size
+			e.setRegRaw(w, lane, ci.dst.reg, truncTo(r, 2*size))
+			return nil
+		case in.Hi:
+			if size == 4 {
+				full := a * b
+				if t.Signed() {
+					full = uint64(signExt(a, size) * signExt(b, size))
+				}
+				r = full >> 32
+			} else {
+				hi, _ := bits.Mul64(a, b)
+				r = hi
+			}
+		default: // .lo or unmarked
+			r = a * b
+		}
+	case ptx.OpMad:
+		c := truncTo(e.val(w, lane, &ci.args[2]), size)
+		if in.Wide {
+			var p uint64
+			if t.Signed() {
+				p = uint64(signExt(a, size) * signExt(b, size))
+			} else {
+				p = a * b
+			}
+			e.setRegRaw(w, lane, ci.dst.reg, truncTo(p+e.val(w, lane, &ci.args[2]), 2*size))
+			return nil
+		}
+		r = a*b + c
+	case ptx.OpDiv:
+		if b == 0 {
+			r = 0 // PTX leaves integer division by zero unspecified
+		} else if t.Signed() {
+			r = uint64(signExt(a, size) / signExt(b, size))
+		} else {
+			r = a / b
+		}
+	case ptx.OpRem:
+		if b == 0 {
+			r = 0
+		} else if t.Signed() {
+			r = uint64(signExt(a, size) % signExt(b, size))
+		} else {
+			r = a % b
+		}
+	default:
+		return fmt.Errorf("unsupported op %v", ci.op)
+	}
+	e.setRegRaw(w, lane, ci.dst.reg, truncTo(r, size))
+	return nil
+}
+
+// applyAtom computes the new memory value for an atomic operation.
+func applyAtom(op ptx.AtomOp, t ptx.Type, size int, old, b, c uint64) uint64 {
+	switch op {
+	case ptx.AtomAdd:
+		if t.Float() {
+			return fbits(bitsToF(old, t)+bitsToF(b, t), t)
+		}
+		return old + b
+	case ptx.AtomExch:
+		return b
+	case ptx.AtomCas:
+		if old == b {
+			return c
+		}
+		return old
+	case ptx.AtomMin:
+		if t.Signed() {
+			if signExt(b, size) < signExt(old, size) {
+				return b
+			}
+			return old
+		}
+		if b < old {
+			return b
+		}
+		return old
+	case ptx.AtomMax:
+		if t.Signed() {
+			if signExt(b, size) > signExt(old, size) {
+				return b
+			}
+			return old
+		}
+		if b > old {
+			return b
+		}
+		return old
+	case ptx.AtomAnd:
+		return old & b
+	case ptx.AtomOr:
+		return old | b
+	case ptx.AtomXor:
+		return old ^ b
+	case ptx.AtomInc:
+		if old >= b {
+			return 0
+		}
+		return old + 1
+	case ptx.AtomDec:
+		if old == 0 || old > b {
+			return b
+		}
+		return old - 1
+	}
+	return old
+}
+
+func bitsToF(v uint64, t ptx.Type) float64 {
+	if t == ptx.F32 {
+		return float64(math.Float32frombits(uint32(v)))
+	}
+	return math.Float64frombits(v)
+}
+
+func cmpInt(op ptx.CmpOp, t ptx.Type, size int, a, b uint64) bool {
+	a, b = truncTo(a, size), truncTo(b, size)
+	if t.Signed() {
+		x, y := signExt(a, size), signExt(b, size)
+		switch op {
+		case ptx.CmpEQ:
+			return x == y
+		case ptx.CmpNE:
+			return x != y
+		case ptx.CmpLT:
+			return x < y
+		case ptx.CmpLE:
+			return x <= y
+		case ptx.CmpGT:
+			return x > y
+		case ptx.CmpGE:
+			return x >= y
+		}
+		return false
+	}
+	switch op {
+	case ptx.CmpEQ:
+		return a == b
+	case ptx.CmpNE:
+		return a != b
+	case ptx.CmpLT:
+		return a < b
+	case ptx.CmpLE:
+		return a <= b
+	case ptx.CmpGT:
+		return a > b
+	case ptx.CmpGE:
+		return a >= b
+	}
+	return false
+}
+
+func cmpFloat(op ptx.CmpOp, a, b float64) bool {
+	switch op {
+	case ptx.CmpEQ:
+		return a == b
+	case ptx.CmpNE:
+		return a != b
+	case ptx.CmpLT:
+		return a < b
+	case ptx.CmpLE:
+		return a <= b
+	case ptx.CmpGT:
+		return a > b
+	case ptx.CmpGE:
+		return a >= b
+	}
+	return false
+}
+
+// convert implements cvt.<dtype>.<stype>.
+func convert(e *engine, w *warpState, lane int, ci *cInstr) uint64 {
+	dt, st := ci.in.Type, ci.in.Src
+	v := e.val(w, lane, &ci.args[0])
+	switch {
+	case dt.Float() && st.Float():
+		return fbits(bitsToF(v, st), dt)
+	case dt.Float():
+		if st.Signed() {
+			return fbits(float64(signExt(v, st.Size())), dt)
+		}
+		return fbits(float64(truncTo(v, st.Size())), dt)
+	case st.Float():
+		f := bitsToF(v, st)
+		if dt.Signed() {
+			return truncTo(uint64(int64(f)), dt.Size())
+		}
+		return truncTo(uint64(int64(f)), dt.Size())
+	default:
+		if st.Signed() {
+			return truncTo(uint64(signExt(v, st.Size())), dt.Size())
+		}
+		return truncTo(truncTo(v, st.Size()), dt.Size())
+	}
+}

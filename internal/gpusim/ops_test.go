@@ -1,0 +1,242 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+)
+
+// run1 executes a single-thread kernel that writes results into out.
+func run1(t *testing.T, body string, outWords int) []uint32 {
+	t.Helper()
+	d, mod := loadKernel(t, `
+.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<16>;
+	.reg .u64 %rd<16>;
+	.reg .f32 %f<8>;
+	.reg .f64 %fd<8>;
+	.reg .pred %p<4>;
+	ld.param.u64 %rd1, [out];
+`+body+`
+	ret;
+}`)
+	out := d.MustAlloc(4 * outWords)
+	if _, err := mod.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(1), Args: []uint64{out}}); err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]uint32, outWords)
+	for i := range vals {
+		vals[i], _ = d.ReadU32(out + uint64(4*i))
+	}
+	return vals
+}
+
+func TestCvtFloatToInt(t *testing.T) {
+	v := run1(t, `
+	mov.f32 %f1, 3.75;
+	cvt.u32.f32 %r1, %f1;
+	st.global.u32 [%rd1], %r1;
+	mov.f32 %f2, -2.5;
+	cvt.s32.f32 %r2, %f2;
+	st.global.u32 [%rd1+4], %r2;`, 2)
+	if v[0] != 3 {
+		t.Errorf("cvt.u32.f32(3.75) = %d, want 3", v[0])
+	}
+	if int32(v[1]) != -2 {
+		t.Errorf("cvt.s32.f32(-2.5) = %d, want -2", int32(v[1]))
+	}
+}
+
+func TestCvtIntToFloat(t *testing.T) {
+	v := run1(t, `
+	mov.u32 %r1, 5;
+	cvt.f32.u32 %f1, %r1;
+	st.global.f32 [%rd1], %f1;
+	mov.u32 %r2, -3;
+	cvt.f32.s32 %f2, %r2;
+	st.global.f32 [%rd1+4], %f2;`, 2)
+	if math.Float32frombits(v[0]) != 5.0 {
+		t.Errorf("cvt.f32.u32(5) = %v", math.Float32frombits(v[0]))
+	}
+	if math.Float32frombits(v[1]) != -3.0 {
+		t.Errorf("cvt.f32.s32(-3) = %v", math.Float32frombits(v[1]))
+	}
+}
+
+func TestF64Arithmetic(t *testing.T) {
+	d, mod := loadKernel(t, `
+.visible .entry k(.param .u64 out)
+{
+	.reg .u64 %rd<4>;
+	.reg .f64 %fd<4>;
+	ld.param.u64 %rd1, [out];
+	mov.f64 %fd1, 1.25;
+	mov.f64 %fd2, 2.5;
+	mul.f64 %fd3, %fd1, %fd2;
+	st.global.f64 [%rd1], %fd3;
+	div.f64 %fd3, %fd2, %fd1;
+	st.global.f64 [%rd1+8], %fd3;
+	ret;
+}`)
+	out := d.MustAlloc(16)
+	if _, err := mod.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(1), Args: []uint64{out}}); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := d.ReadU64(out)
+	if math.Float64frombits(v1) != 3.125 {
+		t.Errorf("f64 mul = %v", math.Float64frombits(v1))
+	}
+	v2, _ := d.ReadU64(out + 8)
+	if math.Float64frombits(v2) != 2.0 {
+		t.Errorf("f64 div = %v", math.Float64frombits(v2))
+	}
+}
+
+func TestAtomIncDec(t *testing.T) {
+	// atom.inc wraps to 0 past the bound; atom.dec wraps to the bound
+	// below 0 — the CUDA ring-buffer semantics.
+	v := run1(t, `
+	st.global.u32 [%rd1], 2;
+	atom.global.inc.u32 %r1, [%rd1], 2;
+	atom.global.inc.u32 %r2, [%rd1], 2;
+	st.global.u32 [%rd1+4], %r1;
+	st.global.u32 [%rd1+8], %r2;
+	st.global.u32 [%rd1+12], 0;
+	atom.global.dec.u32 %r3, [%rd1+12], 5;
+	ld.global.u32 %r4, [%rd1+12];
+	st.global.u32 [%rd1+12], %r4;`, 4)
+	if v[1] != 2 { // old value was 2 (== bound) -> wraps to 0
+		t.Errorf("first inc returned %d, want 2", v[1])
+	}
+	if v[2] != 0 { // wrapped
+		t.Errorf("second inc returned %d, want 0", v[2])
+	}
+	if v[3] != 5 { // dec of 0 wraps to bound
+		t.Errorf("dec(0, bound 5) left %d, want 5", v[3])
+	}
+}
+
+func TestNotNegSelp(t *testing.T) {
+	v := run1(t, `
+	mov.u32 %r1, 0x0f0f0f0f;
+	not.b32 %r2, %r1;
+	st.global.u32 [%rd1], %r2;
+	mov.u32 %r3, 5;
+	neg.s32 %r4, %r3;
+	st.global.u32 [%rd1+4], %r4;
+	setp.eq.u32 %p1, %r3, 6;
+	selp.u32 %r5, 111, 222, %p1;
+	st.global.u32 [%rd1+8], %r5;`, 3)
+	if v[0] != 0xf0f0f0f0 {
+		t.Errorf("not = %#x", v[0])
+	}
+	if int32(v[1]) != -5 {
+		t.Errorf("neg = %d", int32(v[1]))
+	}
+	if v[2] != 222 {
+		t.Errorf("selp = %d", v[2])
+	}
+}
+
+func TestRemAndDivByZero(t *testing.T) {
+	v := run1(t, `
+	mov.u32 %r1, 17;
+	mov.u32 %r2, 5;
+	rem.u32 %r3, %r1, %r2;
+	st.global.u32 [%rd1], %r3;
+	mov.u32 %r4, 0;
+	div.u32 %r5, %r1, %r4;
+	st.global.u32 [%rd1+4], %r5;
+	rem.u32 %r6, %r1, %r4;
+	st.global.u32 [%rd1+8], %r6;`, 3)
+	if v[0] != 2 {
+		t.Errorf("rem = %d", v[0])
+	}
+	// Division by zero is unspecified in PTX; we define it as 0 rather
+	// than faulting.
+	if v[1] != 0 || v[2] != 0 {
+		t.Errorf("div/rem by zero = %d/%d, want 0/0", v[1], v[2])
+	}
+}
+
+func TestSubByteLoadsStores(t *testing.T) {
+	v := run1(t, `
+	st.global.u32 [%rd1], 0;
+	mov.u32 %r1, 0x1ff;
+	st.global.u8 [%rd1], %r1;
+	ld.global.u8 %r2, [%rd1];
+	st.global.u32 [%rd1+4], %r2;
+	mov.u32 %r3, -1;
+	st.global.u32 [%rd1+8], 0;
+	st.global.u16 [%rd1+8], %r3;
+	ld.global.s16 %r4, [%rd1+8];
+	st.global.u32 [%rd1+12], %r4;`, 4)
+	if v[1] != 0xff {
+		t.Errorf("u8 store/load = %#x, want 0xff (truncated)", v[1])
+	}
+	if int32(v[3]) != -1 {
+		t.Errorf("s16 load = %d, want -1 (sign-extended)", int32(v[3]))
+	}
+}
+
+func TestFloatCompareAndMinMax(t *testing.T) {
+	v := run1(t, `
+	mov.f32 %f1, 1.5;
+	mov.f32 %f2, -2.5;
+	min.f32 %f3, %f1, %f2;
+	st.global.f32 [%rd1], %f3;
+	max.f32 %f4, %f1, %f2;
+	st.global.f32 [%rd1+4], %f4;
+	setp.gt.f32 %p1, %f1, %f2;
+	selp.u32 %r1, 1, 0, %p1;
+	st.global.u32 [%rd1+8], %r1;`, 3)
+	if math.Float32frombits(v[0]) != -2.5 {
+		t.Errorf("min.f32 = %v", math.Float32frombits(v[0]))
+	}
+	if math.Float32frombits(v[1]) != 1.5 {
+		t.Errorf("max.f32 = %v", math.Float32frombits(v[1]))
+	}
+	if v[2] != 1 {
+		t.Errorf("setp.gt.f32 = %d", v[2])
+	}
+}
+
+func TestBraUniUnderDivergence(t *testing.T) {
+	// bra.uni on a divergent path: uniform within the active mask.
+	d, mod := loadKernel(t, `
+.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	setp.lt.u32 %p1, %r1, 8;
+	@%p1 bra A;
+	mov.u32 %r2, 1;
+	bra.uni J;
+A:
+	mov.u32 %r2, 2;
+	bra.uni J;
+J:
+	shl.b32 %r3, %r1, 2;
+	cvt.u64.u32 %rd2, %r3;
+	add.u64 %rd3, %rd1, %rd2;
+	st.global.u32 [%rd3], %r2;
+	ret;
+}`)
+	out := d.MustAlloc(4 * 16)
+	if _, err := mod.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(16), Args: []uint64{out}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		v, _ := d.ReadU32(out + uint64(4*i))
+		want := uint32(1)
+		if i < 8 {
+			want = 2
+		}
+		if v != want {
+			t.Errorf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}

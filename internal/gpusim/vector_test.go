@@ -1,0 +1,135 @@
+package gpusim
+
+import (
+	"strings"
+	"testing"
+
+	"barracuda/internal/instrument"
+	"barracuda/internal/ptx"
+)
+
+const vecKernel = `
+.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, 11;
+	mov.u32 %r2, 22;
+	mov.u32 %r3, 33;
+	mov.u32 %r4, 44;
+	st.global.v4.u32 [%rd1], {%r1, %r2, %r3, %r4};
+	ld.global.v2.u32 {%r5, %r6}, [%rd1+8];
+	add.u32 %r7, %r5, %r6;
+	st.global.u32 [%rd1+16], %r7;
+	ret;
+}`
+
+func TestVectorLoadStore(t *testing.T) {
+	d, mod := loadKernel(t, vecKernel)
+	out := d.MustAlloc(4 * 8)
+	if _, err := mod.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(1), Args: []uint64{out}}); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{11, 22, 33, 44, 77}
+	for i, wv := range want {
+		v, _ := d.ReadU32(out + uint64(4*i))
+		if v != wv {
+			t.Errorf("out[%d] = %d, want %d", i, v, wv)
+		}
+	}
+}
+
+func TestVectorRoundTripAndInstrument(t *testing.T) {
+	m, err := ptx.Parse(vecKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := ptx.Print(m)
+	if !strings.Contains(text, "st.global.v4.u32 [%rd1], {%r1, %r2, %r3, %r4};") {
+		t.Fatalf("vector store printed wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "ld.global.v2.u32 {%r5, %r6}, [%rd1+8];") {
+		t.Fatalf("vector load printed wrong:\n%s", text)
+	}
+	if _, err := ptx.Parse(text); err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	// Instrumentation covers the full vector footprint.
+	res, err := instrument.Instrument(m, instrument.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	itext := ptx.Print(res.Module)
+	if !strings.Contains(itext, "_log.wr.global.sz16 [%rd1], %r1;") {
+		t.Fatalf("v4 store log wrong:\n%s", itext)
+	}
+	if !strings.Contains(itext, "_log.rd.global.sz8 [%rd1+8];") {
+		t.Fatalf("v2 load log wrong:\n%s", itext)
+	}
+}
+
+func TestVolatileLoadStore(t *testing.T) {
+	d, mod := loadKernel(t, `
+.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<4>;
+	.reg .u64 %rd<4>;
+	ld.param.u64 %rd1, [out];
+	st.volatile.global.u32 [%rd1], 9;
+	ld.volatile.global.u32 %r1, [%rd1];
+	st.global.u32 [%rd1+4], %r1;
+	ret;
+}`)
+	out := d.MustAlloc(8)
+	if _, err := mod.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(1), Args: []uint64{out}}); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := d.ReadU32(out + 4)
+	if v != 9 {
+		t.Errorf("volatile round trip = %d", v)
+	}
+}
+
+func TestVolatilePrintRoundTrip(t *testing.T) {
+	src := `.visible .entry k(.param .u64 p)
+{
+	.reg .u32 %r<4>;
+	.reg .u64 %rd<4>;
+	ld.param.u64 %rd1, [p];
+	ld.volatile.global.u32 %r1, [%rd1];
+	ret;
+}`
+	m, err := ptx.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := ptx.Print(m)
+	if !strings.Contains(text, "ld.volatile.global.u32 %r1, [%rd1];") {
+		t.Fatalf("volatile not preserved:\n%s", text)
+	}
+	if _, err := ptx.Parse(text); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVectorRaceDetectionFootprint: a v4 store overlaps a scalar store to
+// the third component — the detector must see the full 16-byte footprint.
+func TestVectorAccessBytes(t *testing.T) {
+	m, err := ptx.Parse(vecKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v4 *ptx.Instr
+	for _, in := range m.Kernels[0].Instrs() {
+		if in.Op == ptx.OpSt && in.Vec == 4 {
+			v4 = in
+		}
+	}
+	if v4 == nil {
+		t.Fatal("v4 store not found")
+	}
+	if v4.AccessBytes() != 16 {
+		t.Errorf("AccessBytes = %d, want 16", v4.AccessBytes())
+	}
+}

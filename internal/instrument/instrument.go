@@ -1,0 +1,327 @@
+// Package instrument implements BARRACUDA's PTX binary instrumentation
+// (§4.1). Given a parsed module it:
+//
+//   - classifies every load/store/atomic/barrier with the acquire/release
+//     inference of package trace and inserts the corresponding `_log.*`
+//     call before it;
+//   - transforms predicated memory instructions into a branch plus a
+//     non-predicated instruction, so the logging call is covered by the
+//     branch;
+//   - inserts branch logging before every conditional branch and at every
+//     branch convergence point;
+//   - applies the intra-basic-block redundant-logging optimization: an
+//     access through a register whose value has not changed since the
+//     last logged access to the same address (same basic block, no
+//     intervening synchronization) is not logged again.
+//
+// The instrumented module remains valid PTX for package gpusim, and the
+// per-kernel statistics drive the Figure 9 experiment (fraction of static
+// instructions instrumented, before and after pruning).
+package instrument
+
+import (
+	"fmt"
+
+	"barracuda/internal/kernel"
+	"barracuda/internal/ptx"
+	"barracuda/internal/trace"
+)
+
+// Options tunes instrumentation.
+type Options struct {
+	// NoPrune disables the intra-basic-block redundant-logging
+	// optimization (the "unoptimized" bars of Figure 9).
+	NoPrune bool
+}
+
+// KernelStats reports per-kernel instrumentation counts.
+type KernelStats struct {
+	Static         int // original static instruction count
+	Instrumented   int // original instructions that received logging (after pruning)
+	InstrumentedNo int // same, without the pruning optimization
+	Pruned         int // logging sites removed by the optimization
+	Added          int // instructions added (logs, branches)
+}
+
+// FracInstrumented returns Instrumented/Static.
+func (s KernelStats) FracInstrumented() float64 {
+	if s.Static == 0 {
+		return 0
+	}
+	return float64(s.Instrumented) / float64(s.Static)
+}
+
+// FracInstrumentedNoOpt returns the unoptimized fraction.
+func (s KernelStats) FracInstrumentedNoOpt() float64 {
+	if s.Static == 0 {
+		return 0
+	}
+	return float64(s.InstrumentedNo) / float64(s.Static)
+}
+
+// Result is an instrumented module plus statistics.
+type Result struct {
+	Module *ptx.Module
+	Stats  map[string]*KernelStats
+}
+
+// TotalStats sums the per-kernel statistics.
+func (r *Result) TotalStats() KernelStats {
+	var t KernelStats
+	for _, s := range r.Stats {
+		t.Static += s.Static
+		t.Instrumented += s.Instrumented
+		t.InstrumentedNo += s.InstrumentedNo
+		t.Pruned += s.Pruned
+		t.Added += s.Added
+	}
+	return t
+}
+
+// Instrument produces an instrumented copy of m.
+func Instrument(m *ptx.Module, opts Options) (*Result, error) {
+	out := &ptx.Module{
+		Version:     m.Version,
+		Target:      m.Target,
+		AddressSize: m.AddressSize,
+		Globals:     append([]ptx.VarDecl(nil), m.Globals...),
+	}
+	res := &Result{Module: out, Stats: make(map[string]*KernelStats)}
+	for _, k := range m.Kernels {
+		ik, stats, err := instrumentKernel(k, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.Kernels = append(out.Kernels, ik)
+		res.Stats[k.Name] = stats
+	}
+	return res, nil
+}
+
+// site describes the instrumentation decision for one original
+// instruction.
+type site struct {
+	kind   trace.OpKind // memory/sync/bar classification (OpNone if none)
+	prune  bool         // redundant under the optimization
+	branch bool         // conditional branch (gets _log.if)
+	conv   bool         // branch convergence point (gets _log.fi)
+}
+
+func instrumentKernel(k *ptx.Kernel, opts Options) (*ptx.Kernel, *KernelStats, error) {
+	ik := copyKernel(k)
+	cfg, err := kernel.Build(ik)
+	if err != nil {
+		return nil, nil, fmt.Errorf("instrument: %w", err)
+	}
+	class := trace.Classify(cfg)
+	sites := make(map[*ptx.Instr]*site)
+	siteFor := func(in *ptx.Instr) *site {
+		s := sites[in]
+		if s == nil {
+			s = &site{}
+			sites[in] = s
+		}
+		return s
+	}
+	for idx, kind := range class {
+		siteFor(cfg.Instrs[idx]).kind = kind
+	}
+	for i, in := range cfg.Instrs {
+		if in.Op == ptx.OpBra && in.Guard != nil {
+			siteFor(in).branch = true
+		}
+		_ = i
+	}
+	for idx := range cfg.ConvergencePoints() {
+		if idx < len(cfg.Instrs) {
+			siteFor(cfg.Instrs[idx]).conv = true
+		}
+	}
+	markPrunable(cfg, class, sites)
+
+	stats := &KernelStats{Static: len(cfg.Instrs)}
+	for _, s := range sites {
+		if s.kind != trace.OpNone || s.branch || s.conv {
+			stats.InstrumentedNo++
+			if !(s.kind != trace.OpNone && s.prune && !s.branch && !s.conv) {
+				stats.Instrumented++
+			} else {
+				stats.Pruned++
+			}
+		}
+	}
+
+	ik.Body = rewriteBody(ik.Body, sites, opts, stats)
+	return ik, stats, nil
+}
+
+// markPrunable implements the intra-basic-block redundant-logging
+// analysis: within one basic block, a plain read/write through [reg+off]
+// is redundant when a previous *unguarded* access of at-least-as-strong a
+// type to the same [reg+off] was logged and reg has not been redefined,
+// with no intervening synchronization (barrier, fence, atomic, sync op).
+func markPrunable(cfg *kernel.CFG, class map[int]trace.OpKind, sites map[*ptx.Instr]*site) {
+	type key struct {
+		reg string
+		off int64
+	}
+	for _, b := range cfg.Blocks {
+		logged := make(map[key]trace.OpKind)
+		for i := b.Start; i < b.End; i++ {
+			in := cfg.Instrs[i]
+			kind := class[i]
+			// Synchronization operations invalidate all tracking: the
+			// epoch structure changes across them.
+			switch {
+			case in.Op == ptx.OpBar || in.Op == ptx.OpMembar ||
+				in.Op == ptx.OpAtom || in.Op == ptx.OpRed:
+				logged = make(map[key]trace.OpKind)
+			case kind == trace.OpRead || kind == trace.OpWrite:
+				a, ok := in.AddrOperand()
+				if ok && a.BaseReg != "" && in.Guard == nil {
+					kk := key{a.BaseReg, a.Off}
+					prev, seen := logged[kk]
+					if seen && (prev == kind || prev == trace.OpWrite && kind == trace.OpRead) {
+						sites[in].prune = true
+					} else if !seen || prev == trace.OpRead && kind == trace.OpWrite {
+						logged[kk] = kind
+					}
+				}
+			}
+			// Redefining a register drops every tracked address using it.
+			if in.HasDst && in.Dst.Kind == ptx.OpndReg {
+				for kk := range logged {
+					if kk.reg == in.Dst.Reg {
+						delete(logged, kk)
+					}
+				}
+			}
+		}
+	}
+}
+
+// rewriteBody inserts the logging calls and predication transforms.
+func rewriteBody(body []ptx.Stmt, sites map[*ptx.Instr]*site, opts Options, stats *KernelStats) []ptx.Stmt {
+	out := make([]ptx.Stmt, 0, len(body)*2)
+	skipCounter := 0
+	emitLog := func(in *ptx.Instr, s *site) {
+		kind := s.kind
+		lg := &ptx.Instr{
+			Op:   ptx.OpLog,
+			LogK: kind.LogKind(),
+			Line: in.Line,
+		}
+		switch kind {
+		case trace.OpBar:
+			// no operands
+		default:
+			lg.Space = in.Space
+			lg.AccSz = in.AccessBytes() // vector accesses cover Vec elements
+			if a, ok := in.AddrOperand(); ok {
+				lg.Args = append(lg.Args, a)
+			}
+			// Stores carry the stored value for same-value filtering.
+			// Vector stores contribute only their first component: two
+			// lanes with equal first components but differing later
+			// ones would be filtered — a narrow approximation affecting
+			// only intra-warp same-instruction vector writes.
+			if in.Op == ptx.OpSt && len(in.Args) > 1 {
+				lg.Args = append(lg.Args, in.Args[1])
+			}
+		}
+		out = append(out, ptx.Stmt{Instr: lg, Line: in.Line})
+		stats.Added++
+	}
+	for _, st := range body {
+		if st.Instr == nil {
+			out = append(out, st)
+			continue
+		}
+		in := st.Instr
+		s := sites[in]
+		if s == nil {
+			out = append(out, st)
+			continue
+		}
+		if s.conv {
+			// Convergence-point logging (a runtime no-op marker; the
+			// semantic Fi event comes from the SIMT stack).
+			out = append(out, ptx.Stmt{
+				Instr: &ptx.Instr{Op: ptx.OpLog, LogK: ptx.LogFi, Line: in.Line},
+				Line:  in.Line,
+			})
+			stats.Added++
+		}
+		if s.branch {
+			out = append(out, ptx.Stmt{
+				Instr: &ptx.Instr{Op: ptx.OpLog, LogK: ptx.LogIf, Line: in.Line},
+				Line:  in.Line,
+			})
+			stats.Added++
+			out = append(out, st)
+			continue
+		}
+		if s.kind == trace.OpNone {
+			out = append(out, st)
+			continue
+		}
+		pruned := s.prune && !opts.NoPrune
+		if pruned {
+			out = append(out, st)
+			continue
+		}
+		if in.Guard != nil && s.kind != trace.OpBar {
+			// Predication transform: cover the log and the (now
+			// unpredicated) instruction with a branch.
+			skipCounter++
+			label := fmt.Sprintf("__bar_skip_%d", skipCounter)
+			g := *in.Guard
+			g.Neg = !g.Neg
+			out = append(out, ptx.Stmt{
+				Instr: &ptx.Instr{
+					Op:    ptx.OpBra,
+					Guard: &g,
+					Args:  []ptx.Operand{ptx.LabelOp(label)},
+					Line:  in.Line,
+				},
+				Line: in.Line,
+			})
+			stats.Added++
+			emitLog(in, s)
+			un := *in
+			un.Guard = nil
+			out = append(out, ptx.Stmt{Instr: &un, Line: st.Line})
+			out = append(out, ptx.Stmt{Label: label, Line: in.Line})
+			continue
+		}
+		emitLog(in, s)
+		out = append(out, st)
+	}
+	return out
+}
+
+// copyKernel deep-copies a kernel so instrumentation never aliases the
+// caller's AST.
+func copyKernel(k *ptx.Kernel) *ptx.Kernel {
+	out := &ptx.Kernel{
+		Name:   k.Name,
+		Params: append([]ptx.Param(nil), k.Params...),
+		Regs:   append([]ptx.RegDecl(nil), k.Regs...),
+		Shared: append([]ptx.VarDecl(nil), k.Shared...),
+		Local:  append([]ptx.VarDecl(nil), k.Local...),
+	}
+	for _, st := range k.Body {
+		ns := ptx.Stmt{Label: st.Label, Line: st.Line}
+		if st.Instr != nil {
+			in := *st.Instr
+			if st.Instr.Guard != nil {
+				g := *st.Instr.Guard
+				in.Guard = &g
+			}
+			in.Args = append([]ptx.Operand(nil), st.Instr.Args...)
+			ns.Instr = &in
+		}
+		out.Body = append(out.Body, ns)
+	}
+	return out
+}

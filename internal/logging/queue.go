@@ -1,0 +1,198 @@
+// Package logging implements the device-to-host event channel of
+// BARRACUDA (§4.2, Figure 6): fixed-size warp-level records carried by
+// lock-free ring queues whose contents are tracked by three monotonically
+// increasing virtual indices — a write head (next entry available for
+// writing by the GPU-side instrumentation), a commit index (entries
+// transferred and visible to the host), and a read head (next entry to be
+// consumed by the host race detector). Virtual indices are mapped to
+// physical slots by modulus with the queue size.
+//
+// Multiple queues are used (the paper finds ~1.1–1.5 queues per SM
+// optimal); each thread block sends all of its events to a single queue,
+// which lets the host process a block's shared-memory operations on a
+// single thread without locking.
+package logging
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"barracuda/internal/trace"
+)
+
+// WarpWidth is the number of address slots in a record (one per lane).
+const WarpWidth = 32
+
+// SpaceID identifies the memory space of a logged access.
+type SpaceID uint8
+
+// Memory spaces appearing in records.
+const (
+	SpaceGlobal SpaceID = iota
+	SpaceShared
+	SpaceLocal
+)
+
+func (s SpaceID) String() string {
+	switch s {
+	case SpaceGlobal:
+		return "global"
+	case SpaceShared:
+		return "shared"
+	case SpaceLocal:
+		return "local"
+	}
+	return "?"
+}
+
+// Record is one warp-level event, closely modeled on the paper's queue
+// record: a header identifying the warp, the operation and the active
+// mask, plus one address slot per lane. (The paper's record is
+// 16+8*32 = 272 bytes; ours carries the block id and static PC for race
+// reporting, so the header is a few bytes wider.)
+type Record struct {
+	Warp  uint32 // global warp index
+	Block uint32 // thread block index (queue affinity, shared-memory key)
+	Op    trace.OpKind
+	Space SpaceID
+	Size  uint8  // access size in bytes (memory ops)
+	Mask  uint32 // active thread mask (bit i = lane i)
+	PC    uint32 // source line of the logged instruction
+	// Seq is a global sequence number stamped on synchronization
+	// (acquire/release) records only. Detector threads process sync
+	// records in Seq order, which — combined with per-queue FIFO order —
+	// guarantees that everything a release publishes has been processed
+	// before any dependent acquire is, even across queues.
+	Seq   uint64
+	Addrs [WarpWidth]uint64
+	// Vals carries the per-lane stored values for write records, used by
+	// the detector's "same-value" intra-warp race filter (§3.3.1): if
+	// all lanes of a warp write the same value to a location, the
+	// outcome is well-defined and not reported as a race.
+	Vals [WarpWidth]uint64
+}
+
+// Queue is a bounded multi-producer single-consumer ring of Records.
+//
+// Producers reserve a virtual index with an atomic fetch-add on the write
+// head, spin while the ring is full, fill the slot, and publish it by
+// storing the slot's sequence number with release semantics; the first
+// producer whose predecessor slots are all published advances the commit
+// index. The (single) consumer reads slots in virtual-index order and
+// advances the read head.
+type Queue struct {
+	capacity uint64
+	slots    []Record
+	seq      []atomic.Uint64 // slot published when seq[i%cap] == i+1
+
+	writeHead atomic.Uint64
+	commit    atomic.Uint64
+	readHead  atomic.Uint64
+}
+
+// NewQueue creates a queue with the given capacity (rounded up to a power
+// of two, minimum 2).
+func NewQueue(capacity int) *Queue {
+	c := uint64(2)
+	for c < uint64(capacity) {
+		c <<= 1
+	}
+	return &Queue{
+		capacity: c,
+		slots:    make([]Record, c),
+		seq:      make([]atomic.Uint64, c),
+	}
+}
+
+// Cap returns the queue capacity in records.
+func (q *Queue) Cap() int { return int(q.capacity) }
+
+// Enqueue appends a record, spinning while the queue is full. It is safe
+// for concurrent producers.
+func (q *Queue) Enqueue(r *Record) {
+	i := q.writeHead.Add(1) - 1
+	// Wait for space: full when the write head is capacity entries ahead
+	// of the read head.
+	for i-q.readHead.Load() >= q.capacity {
+		runtime.Gosched()
+	}
+	q.slots[i&(q.capacity-1)] = *r
+	q.seq[i&(q.capacity-1)].Store(i + 1)
+	q.advanceCommit()
+}
+
+// advanceCommit moves the commit index over every contiguously published
+// slot.
+func (q *Queue) advanceCommit() {
+	for {
+		c := q.commit.Load()
+		if q.seq[c&(q.capacity-1)].Load() != c+1 {
+			return
+		}
+		q.commit.CompareAndSwap(c, c+1)
+	}
+}
+
+// TryDequeue copies the next record into r and reports whether one was
+// available. Must be called from a single consumer goroutine per queue.
+func (q *Queue) TryDequeue(r *Record) bool {
+	i := q.readHead.Load()
+	if q.seq[i&(q.capacity-1)].Load() != i+1 {
+		return false
+	}
+	*r = q.slots[i&(q.capacity-1)]
+	q.readHead.Store(i + 1)
+	return true
+}
+
+// Dequeue blocks (spinning) until a record is available.
+func (q *Queue) Dequeue(r *Record) {
+	for !q.TryDequeue(r) {
+		runtime.Gosched()
+	}
+}
+
+// Pending returns the number of committed-but-unread records.
+func (q *Queue) Pending() int {
+	c := q.commit.Load()
+	rh := q.readHead.Load()
+	if c < rh {
+		return 0
+	}
+	return int(c - rh)
+}
+
+// Stats reports the three virtual indices.
+func (q *Queue) Stats() (writeHead, commit, readHead uint64) {
+	return q.writeHead.Load(), q.commit.Load(), q.readHead.Load()
+}
+
+// Set is a group of queues with thread-block affinity: block b always logs
+// to queue b mod len(queues), mirroring the paper's block-to-queue mapping.
+type Set struct {
+	Queues []*Queue
+}
+
+// NewSet creates n queues of the given per-queue capacity.
+func NewSet(n, capacity int) *Set {
+	if n < 1 {
+		n = 1
+	}
+	s := &Set{Queues: make([]*Queue, n)}
+	for i := range s.Queues {
+		s.Queues[i] = NewQueue(capacity)
+	}
+	return s
+}
+
+// ForBlock returns the queue assigned to thread block b.
+func (s *Set) ForBlock(b int) *Queue {
+	return s.Queues[b%len(s.Queues)]
+}
+
+// CloseAll enqueues an end-of-stream sentinel on every queue.
+func (s *Set) CloseAll() {
+	for _, q := range s.Queues {
+		q.Enqueue(&Record{Op: trace.OpEnd})
+	}
+}

@@ -1,0 +1,163 @@
+package logging
+
+import (
+	"sync"
+	"testing"
+
+	"barracuda/internal/trace"
+)
+
+func TestQueueCapacityRounding(t *testing.T) {
+	cases := []struct{ in, want int }{{1, 2}, {2, 2}, {3, 4}, {16, 16}, {1000, 1024}}
+	for _, c := range cases {
+		if got := NewQueue(c.in).Cap(); got != c.want {
+			t.Errorf("NewQueue(%d).Cap() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEnqueueDequeueOrder(t *testing.T) {
+	q := NewQueue(8)
+	for i := 0; i < 5; i++ {
+		q.Enqueue(&Record{PC: uint32(i), Op: trace.OpWrite})
+	}
+	if q.Pending() != 5 {
+		t.Errorf("Pending = %d, want 5", q.Pending())
+	}
+	var r Record
+	for i := 0; i < 5; i++ {
+		if !q.TryDequeue(&r) {
+			t.Fatalf("TryDequeue %d failed", i)
+		}
+		if r.PC != uint32(i) {
+			t.Errorf("record %d has PC %d", i, r.PC)
+		}
+	}
+	if q.TryDequeue(&r) {
+		t.Error("TryDequeue on empty queue succeeded")
+	}
+}
+
+func TestQueueWrapAround(t *testing.T) {
+	q := NewQueue(4)
+	var r Record
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 4; i++ {
+			q.Enqueue(&Record{PC: uint32(round*4 + i)})
+		}
+		for i := 0; i < 4; i++ {
+			if !q.TryDequeue(&r) {
+				t.Fatalf("round %d: dequeue %d failed", round, i)
+			}
+			if r.PC != uint32(round*4+i) {
+				t.Errorf("round %d: PC = %d, want %d", round, r.PC, round*4+i)
+			}
+		}
+	}
+	w, c, rh := q.Stats()
+	if w != 40 || c != 40 || rh != 40 {
+		t.Errorf("stats = %d %d %d, want 40 40 40 (virtual indices)", w, c, rh)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	q := NewQueue(4)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			q.Enqueue(&Record{PC: uint32(i)})
+		}
+		close(done)
+	}()
+	var r Record
+	for i := 0; i < 100; i++ {
+		q.Dequeue(&r)
+		if r.PC != uint32(i) {
+			t.Errorf("PC = %d, want %d", r.PC, i)
+		}
+	}
+	<-done
+}
+
+func TestConcurrentProducers(t *testing.T) {
+	q := NewQueue(64)
+	const producers = 4
+	const perProducer = 1000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(&Record{Warp: uint32(p), PC: uint32(i)})
+			}
+		}(p)
+	}
+	// Consumer: verify per-producer FIFO order and total count.
+	next := make([]uint32, producers)
+	var r Record
+	for n := 0; n < producers*perProducer; n++ {
+		q.Dequeue(&r)
+		if r.PC != next[r.Warp] {
+			t.Fatalf("producer %d out of order: got PC %d, want %d", r.Warp, r.PC, next[r.Warp])
+		}
+		next[r.Warp]++
+	}
+	wg.Wait()
+	if q.Pending() != 0 {
+		t.Errorf("Pending = %d after drain", q.Pending())
+	}
+}
+
+func TestSetBlockAffinity(t *testing.T) {
+	s := NewSet(3, 8)
+	if len(s.Queues) != 3 {
+		t.Fatalf("queues = %d", len(s.Queues))
+	}
+	if s.ForBlock(0) != s.Queues[0] || s.ForBlock(4) != s.Queues[1] || s.ForBlock(5) != s.Queues[2] {
+		t.Error("block-to-queue mapping wrong")
+	}
+	// Same block always maps to the same queue.
+	if s.ForBlock(7) != s.ForBlock(7) {
+		t.Error("mapping not stable")
+	}
+}
+
+func TestSetCloseAll(t *testing.T) {
+	s := NewSet(2, 4)
+	s.CloseAll()
+	var r Record
+	for i, q := range s.Queues {
+		if !q.TryDequeue(&r) || r.Op != trace.OpEnd {
+			t.Errorf("queue %d: missing end sentinel", i)
+		}
+	}
+}
+
+func TestNewSetMinimumOneQueue(t *testing.T) {
+	if got := len(NewSet(0, 4).Queues); got != 1 {
+		t.Errorf("NewSet(0) queues = %d, want 1", got)
+	}
+}
+
+func TestRecordFieldsPreserved(t *testing.T) {
+	q := NewQueue(2)
+	in := Record{
+		Warp: 7, Block: 3, Op: trace.OpAcqGlb, Space: SpaceShared,
+		Size: 4, Mask: 0xdeadbeef, PC: 42,
+	}
+	in.Addrs[0] = 0x1000
+	in.Addrs[31] = 0x2000
+	q.Enqueue(&in)
+	var out Record
+	q.Dequeue(&out)
+	if out != in {
+		t.Errorf("record mutated in transit:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestSpaceIDString(t *testing.T) {
+	if SpaceGlobal.String() != "global" || SpaceShared.String() != "shared" || SpaceLocal.String() != "local" {
+		t.Error("SpaceID strings wrong")
+	}
+}

@@ -1,0 +1,330 @@
+// Package memmodel is a relaxed-memory litmus-test engine for the fence
+// semantics BARRACUDA's scoped synchronization rules are built on
+// (§3.3.3, Figure 4).
+//
+// The paper runs the message-passing (mp) litmus test on two GPUs and
+// finds that membar.cta in both threads admits the non-SC outcome
+// r1=1 ∧ r2=0 on a Kepler GPU while a membar.gl in either thread always
+// yields SC behaviour. We model the observable weakness as out-of-order
+// cross-block store propagation: every thread block has its own view of
+// global memory; a store becomes visible to other blocks through pending
+// updates that apply in nondeterministic order. A global fence executed
+// by the writer applies the writer's pending updates everywhere (in
+// order); a global fence executed by a reader pulls all pending updates
+// into its view; a block-scoped fence does neither on a weak
+// architecture. On a strong (Maxwell-like) profile block fences behave
+// globally, reproducing the zero column of the paper's table.
+//
+// The engine supports arbitrary small litmus programs; the mp test of
+// Figure 4 ships as a constructor.
+package memmodel
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Arch is an architecture profile for the weak-memory simulation.
+type Arch struct {
+	Name string
+	// CtaFenceGlobal makes membar.cta behave like membar.gl, as
+	// observed (never violated) on the GTX Titan X.
+	CtaFenceGlobal bool
+}
+
+// The two profiles of the paper's experimental setup.
+var (
+	Kepler  = Arch{Name: "GRID K520 (Kepler)"}
+	Maxwell = Arch{Name: "GTX Titan X (Maxwell)", CtaFenceGlobal: true}
+)
+
+// OpCode is a litmus-thread operation.
+type OpCode int
+
+// Litmus operations.
+const (
+	OpStore OpCode = iota
+	OpLoad
+	OpFenceCta
+	OpFenceGl
+)
+
+// LOp is one operation of a litmus thread.
+type LOp struct {
+	Code OpCode
+	Addr int // variable index
+	Val  uint32
+	Reg  int // destination register for loads
+}
+
+// St builds a store operation.
+func St(addr int, val uint32) LOp { return LOp{Code: OpStore, Addr: addr, Val: val} }
+
+// Ld builds a load operation.
+func Ld(reg, addr int) LOp { return LOp{Code: OpLoad, Addr: addr, Reg: reg} }
+
+// FenceCta builds a block-scoped fence.
+func FenceCta() LOp { return LOp{Code: OpFenceCta} }
+
+// FenceGl builds a global fence.
+func FenceGl() LOp { return LOp{Code: OpFenceGl} }
+
+// Test is a litmus test: each thread runs in its own thread block
+// (matching the paper's setup), and Forbidden decides whether a final
+// register assignment is the non-SC outcome being counted.
+type Test struct {
+	Name      string
+	Vars      int
+	Regs      int
+	Threads   [][]LOp
+	Forbidden func(regs []uint32) bool
+}
+
+// update is a store not yet visible to every block.
+type update struct {
+	from int
+	addr int
+	val  uint32
+	// seen[b] records whether block b's view already has this update.
+	seen []bool
+}
+
+// engine is one randomized execution.
+type engine struct {
+	test    *Test
+	arch    Arch
+	r       *rand.Rand
+	views   [][]uint32 // per block: its view of each variable
+	pcs     []int
+	regs    []uint32
+	pending []*update
+}
+
+// Run executes the test once under a random schedule and reports whether
+// the forbidden outcome occurred.
+func (t *Test) Run(arch Arch, r *rand.Rand) bool {
+	n := len(t.Threads)
+	e := &engine{test: t, arch: arch, r: r,
+		views: make([][]uint32, n),
+		pcs:   make([]int, n),
+		regs:  make([]uint32, t.Regs),
+	}
+	for b := range e.views {
+		e.views[b] = make([]uint32, t.Vars)
+	}
+	for !e.done() {
+		// Memory-stress style randomization: interleave thread steps
+		// with nondeterministic propagation of pending stores.
+		if len(e.pending) > 0 && e.r.Intn(2) == 0 {
+			e.propagateOne()
+			continue
+		}
+		th := e.r.Intn(n)
+		if e.pcs[th] >= len(t.Threads[th]) {
+			continue
+		}
+		e.step(th)
+	}
+	return t.Forbidden(e.regs)
+}
+
+func (e *engine) done() bool {
+	for th, pc := range e.pcs {
+		if pc < len(e.test.Threads[th]) {
+			return false
+		}
+	}
+	return true
+}
+
+// propagateOne applies one random pending update to one random block
+// that has not seen it — stores from one block may thus become visible
+// to another block out of order.
+func (e *engine) propagateOne() {
+	u := e.pending[e.r.Intn(len(e.pending))]
+	var targets []int
+	for b, seen := range u.seen {
+		if !seen {
+			targets = append(targets, b)
+		}
+	}
+	if len(targets) == 0 {
+		e.compact()
+		return
+	}
+	b := targets[e.r.Intn(len(targets))]
+	e.views[b][u.addr] = u.val
+	u.seen[b] = true
+	e.compact()
+}
+
+// compact drops fully-propagated updates.
+func (e *engine) compact() {
+	out := e.pending[:0]
+	for _, u := range e.pending {
+		all := true
+		for _, s := range u.seen {
+			all = all && s
+		}
+		if !all {
+			out = append(out, u)
+		}
+	}
+	e.pending = out
+}
+
+// flushFrom applies, in program order, every pending update originating
+// from block th (writer-side global fence).
+func (e *engine) flushFrom(th int) {
+	for _, u := range e.pending {
+		if u.from != th {
+			continue
+		}
+		for b, seen := range u.seen {
+			if !seen {
+				e.views[b][u.addr] = u.val
+				u.seen[b] = true
+			}
+		}
+	}
+	e.compact()
+}
+
+// pullInto applies every pending update (from any writer, in program
+// order per writer) into block th's view (reader-side global fence).
+func (e *engine) pullInto(th int) {
+	for _, u := range e.pending {
+		if !u.seen[th] {
+			e.views[th][u.addr] = u.val
+			u.seen[th] = true
+		}
+	}
+	e.compact()
+}
+
+func (e *engine) step(th int) {
+	op := e.test.Threads[th][e.pcs[th]]
+	e.pcs[th]++
+	switch op.Code {
+	case OpStore:
+		// Own view updates immediately; other blocks see it later.
+		e.views[th][op.Addr] = op.Val
+		u := &update{from: th, addr: op.Addr, val: op.Val, seen: make([]bool, len(e.views))}
+		u.seen[th] = true
+		e.pending = append(e.pending, u)
+	case OpLoad:
+		e.regs[op.Reg] = e.views[th][op.Addr]
+	case OpFenceGl:
+		e.flushFrom(th)
+		e.pullInto(th)
+	case OpFenceCta:
+		if e.arch.CtaFenceGlobal {
+			e.flushFrom(th)
+			e.pullInto(th)
+		}
+		// Otherwise: orders only within the block; with one thread per
+		// block there is nothing to do.
+	}
+}
+
+// Estimate runs the test n times and returns the number of forbidden
+// (non-SC) observations.
+func (t *Test) Estimate(arch Arch, n int, seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	count := 0
+	for i := 0; i < n; i++ {
+		if t.Run(arch, r) {
+			count++
+		}
+	}
+	return count
+}
+
+// FenceKind selects the fence placed in a litmus thread.
+type FenceKind int
+
+// Fence choices for the mp test rows of Figure 4.
+const (
+	Cta FenceKind = iota
+	Gl
+)
+
+func (f FenceKind) String() string {
+	if f == Gl {
+		return "membar.gl"
+	}
+	return "membar.cta"
+}
+
+func (f FenceKind) op() LOp {
+	if f == Gl {
+		return FenceGl()
+	}
+	return FenceCta()
+}
+
+// MP builds the message-passing litmus test of Figure 4:
+//
+//	init: x = y = 0                      final: r1=1 ∧ r2=0
+//	T0: st x,1; fence1; st y,1
+//	T1: r1 = ld y; fence2; r2 = ld x
+//
+// with x and y in global memory and each thread in a distinct block.
+func MP(fence1, fence2 FenceKind) *Test {
+	const x, y = 0, 1
+	return &Test{
+		Name: fmt.Sprintf("mp(%v,%v)", fence1, fence2),
+		Vars: 2,
+		Regs: 2,
+		Threads: [][]LOp{
+			{St(x, 1), fence1.op(), St(y, 1)},
+			{Ld(0, y), fence2.op(), Ld(1, x)},
+		},
+		Forbidden: func(regs []uint32) bool { return regs[0] == 1 && regs[1] == 0 },
+	}
+}
+
+// SB builds the store-buffering litmus test (both registers zero is the
+// non-SC outcome):
+//
+//	T0: st x,1; fence; r0 = ld y
+//	T1: st y,1; fence; r1 = ld x
+func SB(fence1, fence2 FenceKind) *Test {
+	const x, y = 0, 1
+	return &Test{
+		Name: fmt.Sprintf("sb(%v,%v)", fence1, fence2),
+		Vars: 2,
+		Regs: 2,
+		Threads: [][]LOp{
+			{St(x, 1), fence1.op(), Ld(0, y)},
+			{St(y, 1), fence2.op(), Ld(1, x)},
+		},
+		Forbidden: func(regs []uint32) bool { return regs[0] == 0 && regs[1] == 0 },
+	}
+}
+
+// Fig4Row is one row of the paper's Figure 4 table.
+type Fig4Row struct {
+	Fence1, Fence2 FenceKind
+	Kepler         int
+	Maxwell        int
+	Runs           int
+}
+
+// Figure4 reproduces the fence litmus table: the mp test under all four
+// fence combinations on both architecture profiles.
+func Figure4(runs int, seed int64) []Fig4Row {
+	combos := [][2]FenceKind{{Cta, Cta}, {Cta, Gl}, {Gl, Cta}, {Gl, Gl}}
+	rows := make([]Fig4Row, 0, len(combos))
+	for _, c := range combos {
+		t := MP(c[0], c[1])
+		rows = append(rows, Fig4Row{
+			Fence1:  c[0],
+			Fence2:  c[1],
+			Kepler:  t.Estimate(Kepler, runs, seed),
+			Maxwell: t.Estimate(Maxwell, runs, seed+1),
+			Runs:    runs,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,163 @@
+// Package profile is a second dynamic analysis built on BARRACUDA's
+// binary instrumentation framework, demonstrating the paper's claim that
+// the framework "can serve as a foundation for other CUDA dynamic
+// analyses as well" (§1). It consumes the same warp-level record stream
+// as the race detector and computes a memory-access profile: per-site
+// access counts, the warp-level coalescing quality of each access site,
+// branch-divergence statistics, and the touched memory footprint.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"barracuda/internal/logging"
+	"barracuda/internal/trace"
+)
+
+// Site aggregates the dynamic behaviour of one static access site.
+type Site struct {
+	PC    uint32
+	Op    trace.OpKind
+	Space logging.SpaceID
+	Count uint64 // warp-level executions
+	Lanes uint64 // per-lane accesses
+	// Coalesced counts executions whose active lanes touched a single
+	// contiguous, aligned 128-byte segment — the classic coalescing
+	// criterion.
+	Coalesced uint64
+	MinAddr   uint64
+	MaxAddr   uint64
+}
+
+// CoalescingRatio is the fraction of executions that were coalesced.
+func (s Site) CoalescingRatio() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Coalesced) / float64(s.Count)
+}
+
+// Profiler consumes instrumentation records and accumulates the profile.
+// It is safe for concurrent use by multiple queue consumers.
+type Profiler struct {
+	mu       sync.Mutex
+	sites    map[uint32]*Site
+	barriers uint64
+	branches uint64 // divergent branch episodes (If events)
+	touched  map[uint64]bool
+}
+
+// New creates an empty profiler.
+func New() *Profiler {
+	return &Profiler{
+		sites:   make(map[uint32]*Site),
+		touched: make(map[uint64]bool),
+	}
+}
+
+// Emit implements gpusim.Sink so a Profiler can be attached directly to
+// a launch.
+func (p *Profiler) Emit(r *logging.Record) { p.Handle(r) }
+
+// Handle consumes one record.
+func (p *Profiler) Handle(r *logging.Record) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch r.Op {
+	case trace.OpBar:
+		p.barriers++
+		return
+	case trace.OpIf:
+		p.branches++
+		return
+	case trace.OpElse, trace.OpFi, trace.OpBarRel, trace.OpEnd, trace.OpNone:
+		return
+	}
+	if !r.Op.IsMemory() {
+		return
+	}
+	s := p.sites[r.PC]
+	if s == nil {
+		s = &Site{PC: r.PC, Op: r.Op, Space: r.Space, MinAddr: ^uint64(0)}
+		p.sites[r.PC] = s
+	}
+	s.Count++
+	var lo, hi uint64
+	first := true
+	for lane := 0; lane < logging.WarpWidth; lane++ {
+		if r.Mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		a := r.Addrs[lane]
+		s.Lanes++
+		if r.Space == logging.SpaceGlobal {
+			p.touched[a&^63] = true // 64-byte footprint granularity
+		}
+		if first {
+			lo, hi = a, a
+			first = false
+		} else {
+			if a < lo {
+				lo = a
+			}
+			if a > hi {
+				hi = a
+			}
+		}
+		if a < s.MinAddr {
+			s.MinAddr = a
+		}
+		if a+uint64(r.Size) > s.MaxAddr {
+			s.MaxAddr = a + uint64(r.Size)
+		}
+	}
+	if !first && hi+uint64(r.Size)-lo <= 128 && lo/128 == (hi+uint64(r.Size)-1)/128 {
+		s.Coalesced++
+	}
+}
+
+// Report is the finished profile.
+type Report struct {
+	Sites          []Site
+	Barriers       uint64
+	DivergentBra   uint64
+	FootprintBytes uint64
+}
+
+// Report snapshots the profile, with sites ordered by dynamic lane count
+// (hottest first).
+func (p *Profiler) Report() *Report {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := &Report{
+		Barriers:       p.barriers,
+		DivergentBra:   p.branches,
+		FootprintBytes: uint64(len(p.touched)) * 64,
+	}
+	for _, s := range p.sites {
+		out.Sites = append(out.Sites, *s)
+	}
+	sort.Slice(out.Sites, func(i, j int) bool {
+		if out.Sites[i].Lanes != out.Sites[j].Lanes {
+			return out.Sites[i].Lanes > out.Sites[j].Lanes
+		}
+		return out.Sites[i].PC < out.Sites[j].PC
+	})
+	return out
+}
+
+// String renders a human-readable profile table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "memory profile: %d site(s), footprint %d bytes, %d barrier(s), %d divergent branch(es)\n",
+		len(r.Sites), r.FootprintBytes, r.Barriers, r.DivergentBra)
+	fmt.Fprintf(&b, "%-6s %-8s %-7s %12s %12s %10s\n", "line", "op", "space", "warp execs", "lane accs", "coalesced")
+	for _, s := range r.Sites {
+		fmt.Fprintf(&b, "%-6d %-8s %-7s %12d %12d %9.0f%%\n",
+			s.PC, s.Op, s.Space, s.Count, s.Lanes, 100*s.CoalescingRatio())
+	}
+	return b.String()
+}

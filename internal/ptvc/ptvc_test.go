@@ -1,0 +1,472 @@
+package ptvc
+
+import (
+	"math/rand"
+	"testing"
+
+	"barracuda/internal/vc"
+)
+
+// Test geometry: 2 blocks x 2 warps x 4 lanes = 16 threads.
+var geo = Geometry{WarpSize: 4, BlockSize: 8, Blocks: 2}
+
+const fullMask4 = 0xF
+
+func TestGeometryMapping(t *testing.T) {
+	if geo.WarpsPerBlock() != 2 || geo.Threads() != 16 {
+		t.Fatalf("geometry derived values wrong: %+v", geo)
+	}
+	for tid := 0; tid < 16; tid++ {
+		u := vc.TID(tid)
+		w := geo.WarpOf(u)
+		l := geo.LaneOf(u)
+		if geo.TIDOf(w, l) != u {
+			t.Errorf("TIDOf(WarpOf, LaneOf) != id for %d: warp %d lane %d", tid, w, l)
+		}
+		if geo.BlockOf(u) != tid/8 {
+			t.Errorf("BlockOf(%d) = %d", tid, geo.BlockOf(u))
+		}
+	}
+	if geo.BlockOfWarp(3) != 1 || geo.BlockOfWarp(0) != 0 {
+		t.Error("BlockOfWarp wrong")
+	}
+}
+
+func TestInitialGroupConverged(t *testing.T) {
+	g := NewGroup(geo, 0, fullMask4)
+	if g.Format() != Converged {
+		t.Errorf("format = %v, want CONVERGED", g.Format())
+	}
+	if g.L != 1 || g.B != 0 {
+		t.Errorf("initial clocks L=%d B=%d", g.L, g.B)
+	}
+	// Fresh threads have seen nothing.
+	if c := g.ClockOf(5); c != 0 { // other warp, same block
+		t.Errorf("ClockOf(other warp) = %d, want 0", c)
+	}
+	if c := g.ClockOf(9); c != 0 { // other block
+		t.Errorf("ClockOf(other block) = %d, want 0", c)
+	}
+	// Active mates: L-1 = 0 (concurrent at the first instruction).
+	if c := g.ClockOf(1); c != 0 {
+		t.Errorf("ClockOf(mate) = %d, want 0", c)
+	}
+}
+
+func TestEndInstrOrdersWarp(t *testing.T) {
+	g := NewGroup(geo, 0, fullMask4)
+	e0 := g.Epoch(0) // lane 0's epoch at instruction 1
+	// Concurrent with mates before endi.
+	if g.EpochOrdered(e0) {
+		t.Error("mate epoch ordered before endi (intra-warp race must be detectable)")
+	}
+	g.EndInstr()
+	if !g.EpochOrdered(e0) {
+		t.Error("mate epoch not ordered after endi")
+	}
+	if g.L != 2 {
+		t.Errorf("L = %d after endi", g.L)
+	}
+}
+
+func TestSplitFormats(t *testing.T) {
+	g := NewGroup(geo, 0, fullMask4)
+	g.EndInstr() // L=2
+	first, second := g.Split(0b0011)
+	if first.Format() != Diverged || second.Format() != Diverged {
+		t.Errorf("split formats = %v / %v, want DIVERGED", first.Format(), second.Format())
+	}
+	if first.Mask != 0b0011 || second.Mask != 0b1100 {
+		t.Errorf("split masks %#x / %#x", first.Mask, second.Mask)
+	}
+	if first.L != 3 || second.L != 3 {
+		t.Errorf("child clocks %d / %d, want 3", first.L, second.L)
+	}
+	// Each child sees the sibling frozen at L-1 = 1.
+	if c := first.ClockOf(2); c != 1 {
+		t.Errorf("first path's view of sibling lane = %d, want 1", c)
+	}
+	// Nested split of the first path -> per-lane vector.
+	inner1, inner2 := first.Split(0b0001)
+	if inner1.Format() != NestedDiverged {
+		t.Errorf("nested split format = %v, want NESTEDDIVERGED", inner1.Format())
+	}
+	// inner1 sees lane 1 (sibling at inner split) at first.L-1 = 2 and
+	// lanes 2,3 (outer siblings) still at 1.
+	if c := inner1.ClockOf(1); c != 2 {
+		t.Errorf("inner view of inner sibling = %d, want 2", c)
+	}
+	if c := inner1.ClockOf(2); c != 1 {
+		t.Errorf("inner view of outer sibling = %d, want 1", c)
+	}
+	_ = inner2
+}
+
+func TestMergeReconverges(t *testing.T) {
+	g := NewGroup(geo, 0, fullMask4)
+	g.EndInstr() // L=2
+	first, second := g.Split(0b0011)
+	e1 := first.Epoch(0)
+	first.EndInstr() // first path runs 2 instructions
+	first.EndInstr()
+	e2 := second.Epoch(2)
+	second.EndInstr()
+	// Branch paths are concurrent: neither epoch ordered in the other.
+	if second.EpochOrdered(e1) {
+		t.Error("then-path epoch ordered in else path (branch ordering race missed)")
+	}
+	if first.EpochOrdered(e2) {
+		t.Error("else-path epoch ordered in then path")
+	}
+	g.Merge(first, second)
+	if g.Format() != Converged {
+		t.Errorf("post-merge format = %v, want CONVERGED", g.Format())
+	}
+	if !g.EpochOrdered(e1) || !g.EpochOrdered(e2) {
+		t.Error("path epochs not ordered after reconvergence")
+	}
+	if g.L <= first.L && g.L <= second.L {
+		t.Errorf("merged clock %d not past paths %d/%d", g.L, first.L, second.L)
+	}
+}
+
+func TestBarrierOrdersBlock(t *testing.T) {
+	g0 := NewGroup(geo, 0, fullMask4)
+	g1 := NewGroup(geo, 1, fullMask4)
+	g0.EndInstr()
+	g0.EndInstr() // warp 0 at L=3
+	g1.EndInstr() // warp 1 at L=2
+	e0 := g0.Epoch(1)
+	e1 := g1.Epoch(3)
+	// Cross-warp: concurrent before the barrier.
+	if g1.EpochOrdered(e0) || g0.EpochOrdered(e1) {
+		t.Error("cross-warp epochs ordered before barrier")
+	}
+	m := g0.L
+	if g1.L > m {
+		m = g1.L
+	}
+	MergeExt([]*Group{g0, g1})
+	g0.Barrier(m)
+	g1.Barrier(m)
+	if !g1.EpochOrdered(e0) || !g0.EpochOrdered(e1) {
+		t.Error("cross-warp epochs not ordered after barrier")
+	}
+	if g0.L != m+1 || g1.L != m+1 || g0.B != m {
+		t.Errorf("post-barrier clocks L=%d/%d B=%d", g0.L, g1.L, g0.B)
+	}
+	// Post-barrier epochs are NOT ordered into the other warp.
+	e0post := g0.Epoch(0)
+	if g1.EpochOrdered(e0post) {
+		t.Error("post-barrier epoch wrongly ordered")
+	}
+}
+
+func TestReleaseAcquireCrossBlock(t *testing.T) {
+	rel := NewGroup(geo, 0, fullMask4) // block 0
+	acq := NewGroup(geo, 2, fullMask4) // block 1
+	rel.EndInstr()
+	rel.EndInstr()
+	eRel := rel.Epoch(2)
+	rel.EndInstr() // epoch now in the releasing thread's past
+	s := rel.Snapshot(2)
+	rel.EndInstr() // the endi following the release instruction
+	if acq.EpochOrdered(eRel) {
+		t.Error("cross-block epoch ordered before acquire")
+	}
+	acq.Acquire(s)
+	if acq.Format() != SparseVC {
+		t.Errorf("post-acquire format = %v, want SPARSEVC", acq.Format())
+	}
+	if !acq.EpochOrdered(eRel) {
+		t.Error("released epoch not ordered after acquire")
+	}
+	// Epochs the releaser creates after the release stay concurrent.
+	ePost := rel.Epoch(2)
+	if acq.EpochOrdered(ePost) {
+		t.Error("post-release epoch wrongly ordered")
+	}
+}
+
+func TestAcquireAbsorbsBlockClock(t *testing.T) {
+	rel := NewGroup(geo, 0, fullMask4)
+	peer := NewGroup(geo, 1, fullMask4) // same block as rel
+	// Barrier in block 0 gives rel a block clock.
+	peer.EndInstr()
+	m := peer.L
+	if rel.L > m {
+		m = rel.L
+	}
+	ePeer := peer.Epoch(0)
+	rel.Barrier(m)
+	peer.Barrier(m)
+	s := rel.Snapshot(0)
+	// An acquirer in block 1 must learn about peer (via rel's block
+	// clock) transitively.
+	acq := NewGroup(geo, 3, fullMask4)
+	acq.Acquire(s)
+	if !acq.EpochOrdered(ePeer) {
+		t.Error("block-clock knowledge not transferred through release/acquire")
+	}
+}
+
+func TestSnapshotClockOfAndToVC(t *testing.T) {
+	g := NewGroup(geo, 0, fullMask4)
+	g.EndInstr()
+	g.EndInstr() // L=3
+	s := g.Snapshot(1)
+	if c := s.ClockOf(geo.TIDOf(0, 1)); c != 3 {
+		t.Errorf("snapshot self = %d, want 3", c)
+	}
+	if c := s.ClockOf(geo.TIDOf(0, 0)); c != 2 {
+		t.Errorf("snapshot mate = %d, want 2", c)
+	}
+	if c := s.ClockOf(9); c != 0 {
+		t.Errorf("snapshot other block = %d, want 0", c)
+	}
+	v := s.ToVC()
+	for tid := 0; tid < 16; tid++ {
+		if v.Get(vc.TID(tid)) != s.ClockOf(vc.TID(tid)) {
+			t.Errorf("ToVC mismatch at %d", tid)
+		}
+	}
+}
+
+func TestCompressDropsRedundantExt(t *testing.T) {
+	g := NewGroup(geo, 0, fullMask4)
+	other := NewGroup(geo, 2, fullMask4)
+	other.EndInstr()
+	s := other.Snapshot(0)
+	g.Acquire(s)
+	if g.Format() != SparseVC {
+		t.Fatalf("format = %v", g.Format())
+	}
+	// A barrier whose clock dominates... cannot subsume a foreign-block
+	// entry, but merging with a path that has nothing keeps ext.
+	// Acquiring an older snapshot of the same thread must not grow ext.
+	before := len(g.ext.threads)
+	g.Acquire(s)
+	if len(g.ext.threads) != before {
+		t.Errorf("re-acquire grew ext: %d -> %d", before, len(g.ext.threads))
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	names := map[Format]string{
+		Converged: "CONVERGED", Diverged: "DIVERGED",
+		NestedDiverged: "NESTEDDIVERGED", SparseVC: "SPARSEVC",
+	}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("%d.String() = %q", int(f), f.String())
+		}
+	}
+}
+
+// --- Property test: order-equivalence with the formal full-VC rules ----
+
+// refModel implements the paper's Figure 2/3 rules directly with full
+// vector clocks, one per thread.
+type refModel struct {
+	clocks []*vc.VC
+}
+
+func newRefModel(n int) *refModel {
+	m := &refModel{clocks: make([]*vc.VC, n)}
+	for i := range m.clocks {
+		m.clocks[i] = vc.New()
+		m.clocks[i].Inc(vc.TID(i))
+	}
+	return m
+}
+
+// joinFork implements the barrier-style join-and-fork shared by ENDINSN,
+// IF, ELSE/FI and BAR: vc = ⊔ C_t over the set, then C_t = inc_t(vc).
+func (m *refModel) joinFork(tids []vc.TID) {
+	j := vc.New()
+	for _, t := range tids {
+		j.Join(m.clocks[t])
+	}
+	for _, t := range tids {
+		c := j.Copy()
+		c.Inc(t)
+		m.clocks[t] = c
+	}
+}
+
+// mark is an epoch captured simultaneously in both models.
+type mark struct {
+	t   vc.TID
+	ref vc.Clock // the thread's own clock in the reference model
+	cmp vc.Epoch // the compressed model's epoch
+}
+
+// driver keeps the two models in lockstep over a random schedule.
+type driver struct {
+	t      *testing.T
+	r      *rand.Rand
+	ref    *refModel
+	stacks [][]*Group // per warp: mirror of the SIMT stack (top = active)
+	// pending second paths per warp (nil once the else path started)
+	second    []*Group
+	firstDone []*Group // completed first path, retained for the merge
+	recon     []*Group // reconvergence continuation (bottom group at split)
+	marks     []mark
+	slot      *ptSlot // one synchronization location
+}
+
+type ptSlot struct {
+	snap *Snapshot
+	ref  *vc.VC
+}
+
+func newDriver(t *testing.T, seed int64) *driver {
+	d := &driver{
+		t:         t,
+		r:         rand.New(rand.NewSource(seed)),
+		ref:       newRefModel(geo.Threads()),
+		stacks:    make([][]*Group, 4),
+		second:    make([]*Group, 4),
+		firstDone: make([]*Group, 4),
+		recon:     make([]*Group, 4),
+		slot:      &ptSlot{ref: vc.New()},
+	}
+	for w := 0; w < 4; w++ {
+		d.stacks[w] = []*Group{NewGroup(geo, w, fullMask4)}
+	}
+	return d
+}
+
+func (d *driver) top(w int) *Group { return d.stacks[w][len(d.stacks[w])-1] }
+
+func (d *driver) activeTIDs(g *Group) []vc.TID {
+	var out []vc.TID
+	for lane := 0; lane < 4; lane++ {
+		if g.Mask&(1<<uint(lane)) != 0 {
+			out = append(out, geo.TIDOf(g.Warp, lane))
+		}
+	}
+	return out
+}
+
+func (d *driver) step() {
+	w := d.r.Intn(4)
+	g := d.top(w)
+	switch op := d.r.Intn(10); {
+	case op < 4: // endi
+		d.ref.joinFork(d.activeTIDs(g))
+		g.EndInstr()
+	case op < 5 && len(d.stacks[w]) == 1 && popcount(g.Mask) >= 2: // split
+		// Choose a proper nonempty submask.
+		var firstMask uint32
+		for firstMask == 0 || firstMask == g.Mask {
+			firstMask = g.Mask & uint32(d.r.Intn(16))
+		}
+		first, second := g.Split(firstMask)
+		d.recon[w] = g
+		d.second[w] = second
+		d.stacks[w] = append(d.stacks[w], first)
+		d.ref.joinFork(d.activeTIDs(first)) // IF joins/forks the first path
+	case op < 6 && len(d.stacks[w]) == 2: // else or fi
+		if d.second[w] != nil {
+			// else: first path completes; the second path begins.
+			d.firstDone[w] = d.stacks[w][1]
+			d.stacks[w][1] = d.second[w]
+			d.second[w] = nil
+			d.ref.joinFork(d.activeTIDs(d.stacks[w][1]))
+		} else {
+			// fi: both paths complete; reconverge.
+			second := d.stacks[w][1]
+			d.stacks[w] = d.stacks[w][:1]
+			rec := d.recon[w]
+			rec.Merge(d.firstDone[w], second)
+			d.firstDone[w] = nil
+			d.ref.joinFork(d.activeTIDs(rec))
+		}
+	case op < 7: // barrier over a block, only when both warps converged
+		blk := d.r.Intn(2)
+		w0, w1 := blk*2, blk*2+1
+		if len(d.stacks[w0]) != 1 || len(d.stacks[w1]) != 1 {
+			return
+		}
+		g0, g1 := d.top(w0), d.top(w1)
+		m := g0.L
+		if g1.L > m {
+			m = g1.L
+		}
+		MergeExt([]*Group{g0, g1})
+		g0.Barrier(m)
+		g1.Barrier(m)
+		var tids []vc.TID
+		tids = append(tids, d.activeTIDs(g0)...)
+		tids = append(tids, d.activeTIDs(g1)...)
+		d.ref.joinFork(tids)
+	case op < 8: // release from a random active lane
+		lanes := d.activeTIDs(g)
+		tid := lanes[d.r.Intn(len(lanes))]
+		d.slot.snap = g.Snapshot(geo.LaneOf(tid))
+		d.slot.ref = d.ref.clocks[tid].Copy()
+		d.ref.joinFork(d.activeTIDs(g))
+		g.EndInstr()
+	case op < 9 && d.slot.snap != nil: // acquire
+		g.Acquire(d.slot.snap)
+		for _, tid := range d.activeTIDs(g) {
+			d.ref.clocks[tid].Join(d.slot.ref)
+		}
+	default: // record a mark
+		lanes := d.activeTIDs(g)
+		tid := lanes[d.r.Intn(len(lanes))]
+		d.marks = append(d.marks, mark{
+			t:   tid,
+			ref: d.ref.clocks[tid].Get(tid),
+			cmp: g.Epoch(geo.LaneOf(tid)),
+		})
+	}
+}
+
+// check asserts that every recorded mark has identical ordering relative
+// to every currently-active thread in both models.
+func (d *driver) check(step int) {
+	for _, mk := range d.marks {
+		for w := 0; w < 4; w++ {
+			g := d.top(w)
+			for lane := 0; lane < 4; lane++ {
+				if g.Mask&(1<<uint(lane)) == 0 {
+					continue
+				}
+				tid := geo.TIDOf(g.Warp, lane)
+				if tid == mk.t {
+					continue // self-ordering is trivial
+				}
+				refOrdered := mk.ref <= d.ref.clocks[tid].Get(mk.t)
+				cmpOrdered := g.EpochOrdered(mk.cmp)
+				if refOrdered != cmpOrdered {
+					d.t.Fatalf("step %d: ordering disagreement: mark %v@%d vs thread %d: ref=%v cmp=%v\n group=%v",
+						step, mk.ref, mk.t, tid, refOrdered, cmpOrdered, g)
+				}
+			}
+		}
+	}
+}
+
+func popcount(m uint32) int {
+	n := 0
+	for m != 0 {
+		n += int(m & 1)
+		m >>= 1
+	}
+	return n
+}
+
+func TestPropOrderEquivalenceWithFormalRules(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		d := newDriver(t, seed)
+		for step := 0; step < 300; step++ {
+			d.step()
+			if step%10 == 0 {
+				d.check(step)
+			}
+		}
+		d.check(300)
+	}
+}

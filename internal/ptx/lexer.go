@@ -1,0 +1,176 @@
+package ptx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF    tokKind = iota
+	tokIdent          // identifier, register (%r1), special reg (%tid.x) or directive (.reg)
+	tokNumber         // integer or float literal
+	tokPunct          // single-character punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	default:
+		return t.text
+	}
+}
+
+// lexer produces tokens from PTX source text.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// Error is a positioned lex/parse error.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("ptx: line %d: %s", e.Line, e.Msg) }
+
+func (l *lexer) errf(format string, args ...any) *Error {
+	return &Error{Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.'
+}
+
+// next returns the next token, skipping whitespace and comments.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return token{}, l.errf("unterminated block comment")
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		default:
+			return l.lexToken()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) lexToken() (token, error) {
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case c == '%':
+		// Register or special register: % ident (.x suffix allowed via '.').
+		l.pos++
+		for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start+1 {
+			return token{}, l.errf("bare %% in input")
+		}
+		return token{tokIdent, l.src[start:l.pos], l.line}, nil
+	case c == '.':
+		// Directive or dotted continuation handled by identifier rule.
+		l.pos++
+		for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start+1 {
+			return token{}, l.errf("bare '.' in input")
+		}
+		return token{tokIdent, l.src[start:l.pos], l.line}, nil
+	case isIdentStart(c):
+		l.pos++
+		for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{tokIdent, l.src[start:l.pos], l.line}, nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber()
+	case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		l.pos++
+		tok, err := l.lexNumber()
+		if err != nil {
+			return tok, err
+		}
+		tok.text = "-" + tok.text
+		return tok, nil
+	default:
+		switch c {
+		case ',', ';', '[', ']', '(', ')', '{', '}', ':', '@', '!', '+', '<', '>':
+			l.pos++
+			return token{tokPunct, string(c), l.line}, nil
+		}
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	if strings.HasPrefix(l.src[l.pos:], "0x") || strings.HasPrefix(l.src[l.pos:], "0X") {
+		l.pos += 2
+		for l.pos < len(l.src) && isHex(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{tokNumber, l.src[start:l.pos], l.line}, nil
+	}
+	if strings.HasPrefix(l.src[l.pos:], "0f") || strings.HasPrefix(l.src[l.pos:], "0F") {
+		// Hex float literal 0fXXXXXXXX (IEEE-754 bits).
+		l.pos += 2
+		for l.pos < len(l.src) && isHex(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{tokNumber, l.src[start:l.pos], l.line}, nil
+	}
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	return token{tokNumber, l.src[start:l.pos], l.line}, nil
+}
+
+func isHex(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

@@ -1,0 +1,139 @@
+package ptx
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randInstr builds a random valid instruction.
+func randInstr(r *rand.Rand) *Instr {
+	reg := func(prefix string) Operand { return RegOp(fmt.Sprintf("%%%s%d", prefix, r.Intn(8))) }
+	u32 := func() Operand {
+		if r.Intn(3) == 0 {
+			return ImmOp(int64(r.Intn(1000) - 500))
+		}
+		return reg("r")
+	}
+	mem := func() Operand {
+		off := int64(r.Intn(5) * 4)
+		if r.Intn(4) == 0 {
+			off = -off
+		}
+		return MemReg(fmt.Sprintf("%%rd%d", r.Intn(8)), off)
+	}
+	guard := func(in *Instr) *Instr {
+		if r.Intn(4) == 0 {
+			in.Guard = &Guard{Reg: fmt.Sprintf("%%p%d", r.Intn(4)), Neg: r.Intn(2) == 0}
+		}
+		return in
+	}
+	intTypes := []Type{U32, S32, U64, S64, B32, B64, U16, S16, U8}
+	ty := intTypes[r.Intn(len(intTypes))]
+	switch r.Intn(10) {
+	case 0:
+		return guard(&Instr{Op: OpLd, Space: SpaceGlobal, Cache: CacheCG, Type: ty,
+			Dst: reg("r"), HasDst: true, Args: []Operand{mem()}})
+	case 1:
+		return guard(&Instr{Op: OpSt, Space: SpaceShared, Type: ty,
+			Args: []Operand{mem(), u32()}})
+	case 2:
+		return guard(&Instr{Op: OpAdd, Type: ty, Dst: reg("r"), HasDst: true,
+			Args: []Operand{u32(), u32()}})
+	case 3:
+		return guard(&Instr{Op: OpMad, Lo: true, Type: U32, Dst: reg("r"), HasDst: true,
+			Args: []Operand{u32(), u32(), u32()}})
+	case 4:
+		cmps := []CmpOp{CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE}
+		return guard(&Instr{Op: OpSetp, Cmp: cmps[r.Intn(len(cmps))], Type: ty,
+			Dst: RegOp(fmt.Sprintf("%%p%d", r.Intn(4))), HasDst: true,
+			Args: []Operand{u32(), u32()}})
+	case 5:
+		atoms := []AtomOp{AtomAdd, AtomExch, AtomCas, AtomMin, AtomMax, AtomAnd, AtomOr, AtomXor}
+		a := atoms[r.Intn(len(atoms))]
+		args := []Operand{mem(), u32()}
+		if a == AtomCas {
+			args = append(args, u32())
+		}
+		return &Instr{Op: OpAtom, Space: SpaceGlobal, Atom: a, Type: B32,
+			Dst: reg("r"), HasDst: true, Args: args}
+	case 6:
+		return &Instr{Op: OpMembar, Level: []string{"cta", "gl", "sys"}[r.Intn(3)]}
+	case 7:
+		return &Instr{Op: OpCvt, Type: U64, Src: U32, Dst: reg("rd"), HasDst: true,
+			Args: []Operand{reg("r")}}
+	case 8:
+		sregs := []Sreg{SregTidX, SregCtaidX, SregNtidX, SregLaneid, SregWarpSize}
+		return &Instr{Op: OpMov, Type: U32, Dst: reg("r"), HasDst: true,
+			Args: []Operand{SregOp(sregs[r.Intn(len(sregs))])}}
+	default:
+		return guard(&Instr{Op: OpShl, Type: B32, Dst: reg("r"), HasDst: true,
+			Args: []Operand{u32(), ImmOp(int64(r.Intn(31)))}})
+	}
+}
+
+// TestPropPrintParseRoundTrip generates random kernels, prints them, and
+// checks the parse → print fixed point.
+func TestPropPrintParseRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		k := &Kernel{
+			Name:   "k",
+			Params: []Param{{Name: "p0", Type: U64}},
+			Regs: []RegDecl{
+				{Type: U32, Prefix: "%r", Count: 8},
+				{Type: U64, Prefix: "%rd", Count: 8},
+				{Type: Pred, Prefix: "%p", Count: 4},
+			},
+			Shared: []VarDecl{{Space: SpaceShared, Align: 4, Name: "sm", Size: 64}},
+		}
+		n := 3 + r.Intn(20)
+		for i := 0; i < n; i++ {
+			k.Body = append(k.Body, Stmt{Instr: randInstr(r)})
+		}
+		k.Body = append(k.Body, Stmt{Instr: &Instr{Op: OpRet}})
+		m := &Module{AddressSize: 64, Kernels: []*Kernel{k}}
+		text := Print(m)
+		m2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("seed %d: printed module does not parse: %v\n%s", seed, err, text)
+		}
+		text2 := Print(m2)
+		if text != text2 {
+			t.Fatalf("seed %d: print not a fixed point:\n--- first\n%s\n--- second\n%s", seed, text, text2)
+		}
+		if m2.StaticInstrCount() != n+1 {
+			t.Fatalf("seed %d: instruction count %d != %d", seed, m2.StaticInstrCount(), n+1)
+		}
+	}
+}
+
+func TestLocalDeclRoundTrip(t *testing.T) {
+	src := `.visible .entry k()
+{
+	.reg .u64 %rd<4>;
+	.local .align 8 .b8 scratch[32];
+	mov.u64 %rd1, scratch;
+	st.local.u32 [%rd1], 1;
+	ret;
+}`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := m.Kernels[0]
+	if len(k.Local) != 1 || k.Local[0].Name != "scratch" || k.Local[0].Size != 32 {
+		t.Fatalf("local decls = %+v", k.Local)
+	}
+	if k.LocalBytes() != 32 {
+		t.Errorf("LocalBytes = %d", k.LocalBytes())
+	}
+	text := Print(m)
+	if !strings.Contains(text, ".local .align 8 .b8 scratch[32];") {
+		t.Errorf("local decl not printed:\n%s", text)
+	}
+	if _, err := Parse(text); err != nil {
+		t.Errorf("re-parse: %v", err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package shadow implements BARRACUDA's host-side shadow memory (§4.3.3):
+// per-location race-detection metadata with a FastTrack-style last-write
+// epoch, a last-read epoch or sparse read vector clock, an atomic bit, a
+// per-location spinlock, and the synchronization-location map S_x.
+//
+// Global-memory shadow is allocated on demand through a page table,
+// because global allocations can occur while a kernel runs; shared-memory
+// shadow is small and keyed by thread block. Metadata granularity is one
+// byte by default, for generality — most CUDA code accesses memory at 4-
+// byte granularity, and a coarser setting trades precision for speed.
+package shadow
+
+import (
+	"sync"
+
+	"barracuda/internal/logging"
+	"barracuda/internal/ptvc"
+	"barracuda/internal/vc"
+)
+
+// Cell is the metadata for one shadow location. Access it only while
+// holding its lock (the per-location spinlock of the paper).
+type Cell struct {
+	mu sync.Mutex
+
+	// W is the epoch of the most recent write; Atomic records whether
+	// that write came from an atomic operation.
+	W      vc.Epoch
+	Atomic bool
+
+	// Read metadata: a single epoch in the common totally-ordered case,
+	// inflated to a sparse read map after concurrent reads
+	// (ReadShared).
+	R          vc.Epoch
+	Readers    map[vc.TID]vc.Clock
+	ReadShared bool
+
+	// Provenance for race reports.
+	WritePC uint32
+	ReadPC  uint32
+}
+
+// Lock acquires the per-location spinlock.
+func (c *Cell) Lock() { c.mu.Lock() }
+
+// Unlock releases the per-location spinlock.
+func (c *Cell) Unlock() { c.mu.Unlock() }
+
+// ClearReads resets the read metadata (the R' = ⊥e step of the write and
+// atomic rules).
+func (c *Cell) ClearReads() {
+	c.R = vc.Epoch{}
+	c.Readers = nil
+	c.ReadShared = false
+}
+
+// InflateReads switches to the sparse read vector clock, seeding it with
+// the existing read epoch (READINFLATE).
+func (c *Cell) InflateReads() {
+	if c.ReadShared {
+		return
+	}
+	c.Readers = make(map[vc.TID]vc.Clock, 4)
+	if !c.R.IsZero() {
+		c.Readers[c.R.T] = c.R.C
+	}
+	c.ReadShared = true
+}
+
+// pageBits is the per-page coverage: 64 KiB of device memory per page.
+const pageBits = 16
+
+type page struct {
+	cells []Cell
+}
+
+// Memory is the shadow of one device: a page table for global memory plus
+// per-block shared-memory shadows.
+type Memory struct {
+	granularity int
+
+	mu     sync.RWMutex
+	global map[uint64]*page
+	shared map[int32][]Cell
+	shSize int64
+
+	syncMu sync.Mutex
+	syncs  map[Key]*SyncLoc
+}
+
+// Key identifies a shadow location: the memory space, the thread block
+// (shared memory only; -1 for global) and the address.
+type Key struct {
+	Space logging.SpaceID
+	Block int32
+	Addr  uint64
+}
+
+// New creates a shadow memory. granularity is the bytes covered per cell
+// (1 for full generality, 4 when all accesses are word-aligned);
+// sharedBytes is the per-block shared-memory size to preallocate.
+func New(granularity int, sharedBytes int64) *Memory {
+	if granularity < 1 {
+		granularity = 1
+	}
+	return &Memory{
+		granularity: granularity,
+		global:      make(map[uint64]*page),
+		shared:      make(map[int32][]Cell),
+		shSize:      sharedBytes,
+		syncs:       make(map[Key]*SyncLoc),
+	}
+}
+
+// Granularity returns the bytes covered per cell.
+func (m *Memory) Granularity() int { return m.granularity }
+
+// CellFor returns the cell covering (space, block, addr), allocating
+// shadow pages on demand. Callers lock the cell before use.
+func (m *Memory) CellFor(space logging.SpaceID, block int32, addr uint64) *Cell {
+	if space == logging.SpaceShared {
+		return m.sharedCell(block, addr)
+	}
+	return m.globalCell(addr)
+}
+
+func (m *Memory) globalCell(addr uint64) *Cell {
+	pageID := addr >> pageBits
+	idx := (addr & (1<<pageBits - 1)) / uint64(m.granularity)
+	m.mu.RLock()
+	p := m.global[pageID]
+	m.mu.RUnlock()
+	if p == nil {
+		m.mu.Lock()
+		p = m.global[pageID]
+		if p == nil {
+			p = &page{cells: make([]Cell, (1<<pageBits)/m.granularity)}
+			m.global[pageID] = p
+		}
+		m.mu.Unlock()
+	}
+	return &p.cells[idx]
+}
+
+func (m *Memory) sharedCell(block int32, addr uint64) *Cell {
+	idx := addr / uint64(m.granularity)
+	m.mu.RLock()
+	cells := m.shared[block]
+	m.mu.RUnlock()
+	if cells == nil {
+		m.mu.Lock()
+		cells = m.shared[block]
+		if cells == nil {
+			n := m.shSize/int64(m.granularity) + 1
+			cells = make([]Cell, n)
+			m.shared[block] = cells
+		}
+		m.mu.Unlock()
+	}
+	if idx >= uint64(len(cells)) {
+		// Out-of-bounds shared accesses are the simulator's problem;
+		// clamp defensively.
+		idx = uint64(len(cells)) - 1
+	}
+	return &cells[idx]
+}
+
+// Span visits every cell covering [addr, addr+size) in (space, block),
+// invoking fn with each cell locked.
+func (m *Memory) Span(space logging.SpaceID, block int32, addr uint64, size int, fn func(*Cell)) {
+	if size < 1 {
+		size = 1
+	}
+	step := uint64(m.granularity)
+	first := addr / step * step
+	for a := first; a < addr+uint64(size); a += step {
+		c := m.CellFor(space, block, a)
+		c.Lock()
+		fn(c)
+		c.Unlock()
+	}
+}
+
+// Stats reports shadow occupancy.
+func (m *Memory) Stats() (globalPages int, sharedBlocks int, syncLocs int) {
+	m.mu.RLock()
+	globalPages = len(m.global)
+	sharedBlocks = len(m.shared)
+	m.mu.RUnlock()
+	m.syncMu.Lock()
+	syncLocs = len(m.syncs)
+	m.syncMu.Unlock()
+	return
+}
+
+// SyncLoc is the S_x metadata of one synchronization location: a map from
+// thread block to the (compressed) vector clock most recently released at
+// that scope, plus a grid-wide entry written by global releases.
+type SyncLoc struct {
+	mu       sync.Mutex
+	perBlock map[int]*ptvc.Snapshot
+	global   *ptvc.Snapshot
+}
+
+// SyncFor returns (creating if needed) the synchronization metadata for a
+// location. GPU code usually has few synchronization locations, so these
+// live in their own map rather than in shadow cells.
+func (m *Memory) SyncFor(k Key) *SyncLoc {
+	m.syncMu.Lock()
+	defer m.syncMu.Unlock()
+	s := m.syncs[k]
+	if s == nil {
+		s = &SyncLoc{perBlock: make(map[int]*ptvc.Snapshot)}
+		m.syncs[k] = s
+	}
+	return s
+}
+
+// PeekSync returns the synchronization metadata for a location if it
+// exists, without creating it.
+func (m *Memory) PeekSync(k Key) *SyncLoc {
+	m.syncMu.Lock()
+	defer m.syncMu.Unlock()
+	return m.syncs[k]
+}
+
+// Lock acquires the sync-location lock.
+func (s *SyncLoc) Lock() { s.mu.Lock() }
+
+// Unlock releases the sync-location lock.
+func (s *SyncLoc) Unlock() { s.mu.Unlock() }
+
+// ReleaseBlock implements RELBLOCK: S_x[b] := snap.
+func (s *SyncLoc) ReleaseBlock(b int, snap *ptvc.Snapshot) {
+	s.perBlock[b] = snap
+}
+
+// ReleaseGlobal implements RELGLOBAL: every block's entry becomes snap.
+func (s *SyncLoc) ReleaseGlobal(snap *ptvc.Snapshot) {
+	s.perBlock = make(map[int]*ptvc.Snapshot)
+	s.global = snap
+}
+
+// AcquireBlock returns the snapshots a block-scoped acquire in block b
+// joins: S_x[b], which is the block's own entry when a block release has
+// replaced it, and otherwise the last global release.
+func (s *SyncLoc) AcquireBlock(b int) []*ptvc.Snapshot {
+	if snap := s.perBlock[b]; snap != nil {
+		return []*ptvc.Snapshot{snap}
+	}
+	if s.global != nil {
+		return []*ptvc.Snapshot{s.global}
+	}
+	return nil
+}
+
+// AcquireGlobal returns the snapshots a global-scoped acquire joins:
+// ⊔_b S_x[b] over all totalBlocks blocks. The global entry participates
+// only while some block still holds it (i.e. has no per-block override).
+func (s *SyncLoc) AcquireGlobal(totalBlocks int) []*ptvc.Snapshot {
+	var out []*ptvc.Snapshot
+	for _, snap := range s.perBlock {
+		out = append(out, snap)
+	}
+	if s.global != nil && len(s.perBlock) < totalBlocks {
+		out = append(out, s.global)
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+// Package vc implements the vector-clock and epoch algebra that underlies
+// the BARRACUDA race-detection algorithm (PLDI 2017, §3.3).
+//
+// A vector clock V records a logical timestamp V(t) for each thread t. The
+// package provides the three standard operations from the paper:
+//
+//	V ⊑ V'   — HappensBefore: ∀t. V(t) ≤ V'(t)
+//	V ⊔ V'   — Join: λt. max(V(t), V'(t))
+//	inc_t(V) — Inc: bump thread t's own component
+//
+// An epoch c@t is a reduced vector clock holding a timestamp for a single
+// thread; it compares against a vector clock in O(1).
+//
+// Thread identifiers are dense global indices (the paper's 64-bit TID,
+// computed from the 3-D block and thread indices). Vector clocks here are
+// sparse maps so that empty components cost nothing; the compressed
+// per-thread representation lives in package ptvc.
+package vc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TID is a globally unique dense thread identifier.
+type TID int32
+
+// Clock is a scalar logical timestamp.
+type Clock uint32
+
+// Epoch is the pair c@t: clock c for thread t, implicitly 0 elsewhere.
+// The zero value is the minimal epoch 0@0 (⊥e).
+type Epoch struct {
+	T TID
+	C Clock
+}
+
+// MinEpoch is ⊥e, the minimal epoch 0@t0.
+var MinEpoch = Epoch{}
+
+// String renders the epoch in the paper's c@t notation.
+func (e Epoch) String() string { return fmt.Sprintf("%d@%d", e.C, e.T) }
+
+// IsZero reports whether e is the minimal epoch.
+func (e Epoch) IsZero() bool { return e.C == 0 }
+
+// LeqVC reports c@t ⪯ V, i.e. c ≤ V(t).
+func (e Epoch) LeqVC(v *VC) bool { return e.C <= v.Get(e.T) }
+
+// Leq reports whether e ⪯ f as vector clocks. Distinct-thread epochs are
+// ordered only when the left clock is zero.
+func (e Epoch) Leq(f Epoch) bool {
+	if e.C == 0 {
+		return true
+	}
+	return e.T == f.T && e.C <= f.C
+}
+
+// VC is a sparse vector clock: absent entries are zero.
+// The zero value (or New()) is ⊥v, the minimal vector clock.
+type VC struct {
+	m map[TID]Clock
+}
+
+// New returns a fresh minimal vector clock.
+func New() *VC { return &VC{} }
+
+// FromMap builds a vector clock from an explicit component map (copied).
+func FromMap(m map[TID]Clock) *VC {
+	v := New()
+	for t, c := range m {
+		if c != 0 {
+			v.Set(t, c)
+		}
+	}
+	return v
+}
+
+// FromEpoch builds the vector clock equivalent of an epoch.
+func FromEpoch(e Epoch) *VC {
+	v := New()
+	if e.C != 0 {
+		v.Set(e.T, e.C)
+	}
+	return v
+}
+
+// Get returns V(t).
+func (v *VC) Get(t TID) Clock {
+	if v == nil || v.m == nil {
+		return 0
+	}
+	return v.m[t]
+}
+
+// Set assigns V(t) = c, deleting the entry when c is zero.
+func (v *VC) Set(t TID, c Clock) {
+	if c == 0 {
+		if v.m != nil {
+			delete(v.m, t)
+		}
+		return
+	}
+	if v.m == nil {
+		v.m = make(map[TID]Clock, 4)
+	}
+	v.m[t] = c
+}
+
+// Inc implements inc_t: V(t) += 1.
+func (v *VC) Inc(t TID) { v.Set(t, v.Get(t)+1) }
+
+// Len reports the number of non-zero components.
+func (v *VC) Len() int {
+	if v == nil {
+		return 0
+	}
+	return len(v.m)
+}
+
+// Copy returns an independent deep copy of v.
+func (v *VC) Copy() *VC {
+	c := New()
+	if v == nil || v.m == nil {
+		return c
+	}
+	c.m = make(map[TID]Clock, len(v.m))
+	for t, cl := range v.m {
+		c.m[t] = cl
+	}
+	return c
+}
+
+// Join sets v = v ⊔ o (component-wise max) and returns v.
+func (v *VC) Join(o *VC) *VC {
+	if o == nil || o.m == nil {
+		return v
+	}
+	for t, c := range o.m {
+		if c > v.Get(t) {
+			v.Set(t, c)
+		}
+	}
+	return v
+}
+
+// JoinEpoch sets v = v ⊔ (the VC of e) and returns v.
+func (v *VC) JoinEpoch(e Epoch) *VC {
+	if e.C > v.Get(e.T) {
+		v.Set(e.T, e.C)
+	}
+	return v
+}
+
+// Leq reports v ⊑ o: ∀t. v(t) ≤ o(t).
+func (v *VC) Leq(o *VC) bool {
+	if v == nil || v.m == nil {
+		return true
+	}
+	for t, c := range v.m {
+		if c > o.Get(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports component-wise equality.
+func (v *VC) Equal(o *VC) bool { return v.Leq(o) && o.Leq(v) }
+
+// Epoch returns the epoch E(t) = V(t)@t for thread t.
+func (v *VC) Epoch(t TID) Epoch { return Epoch{T: t, C: v.Get(t)} }
+
+// Threads returns the TIDs with non-zero components, in ascending order.
+func (v *VC) Threads() []TID {
+	if v == nil || v.m == nil {
+		return nil
+	}
+	ts := make([]TID, 0, len(v.m))
+	for t := range v.m {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts
+}
+
+// String renders the vector clock as [t:c t:c ...] in TID order.
+func (v *VC) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, t := range v.Threads() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", t, v.m[t])
+	}
+	b.WriteByte(']')
+	return b.String()
+}

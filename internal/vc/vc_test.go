@@ -1,0 +1,261 @@
+package vc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEpochString(t *testing.T) {
+	e := Epoch{T: 3, C: 7}
+	if got := e.String(); got != "7@3" {
+		t.Errorf("String() = %q, want 7@3", got)
+	}
+	if !MinEpoch.IsZero() {
+		t.Error("MinEpoch should be zero")
+	}
+	if MinEpoch.String() != "0@0" {
+		t.Errorf("MinEpoch.String() = %q", MinEpoch.String())
+	}
+}
+
+func TestEpochLeqVC(t *testing.T) {
+	v := New()
+	v.Set(2, 5)
+	cases := []struct {
+		e    Epoch
+		want bool
+	}{
+		{Epoch{T: 2, C: 5}, true},
+		{Epoch{T: 2, C: 6}, false},
+		{Epoch{T: 2, C: 1}, true},
+		{Epoch{T: 3, C: 1}, false}, // V(3)=0 < 1
+		{Epoch{T: 3, C: 0}, true},  // minimal epoch ⪯ anything
+		{MinEpoch, true},
+	}
+	for _, c := range cases {
+		if got := c.e.LeqVC(v); got != c.want {
+			t.Errorf("%v ⪯ %v = %v, want %v", c.e, v, got, c.want)
+		}
+	}
+}
+
+func TestEpochLeqEpoch(t *testing.T) {
+	if !(Epoch{T: 1, C: 0}).Leq(Epoch{T: 2, C: 3}) {
+		t.Error("zero epoch should precede everything")
+	}
+	if !(Epoch{T: 1, C: 2}).Leq(Epoch{T: 1, C: 2}) {
+		t.Error("epoch should precede itself")
+	}
+	if (Epoch{T: 1, C: 2}).Leq(Epoch{T: 2, C: 9}) {
+		t.Error("distinct-thread nonzero epochs are unordered")
+	}
+	if (Epoch{T: 1, C: 3}).Leq(Epoch{T: 1, C: 2}) {
+		t.Error("3@1 must not precede 2@1")
+	}
+}
+
+func TestVCBasics(t *testing.T) {
+	v := New()
+	if v.Get(0) != 0 || v.Len() != 0 {
+		t.Fatal("fresh VC must be minimal")
+	}
+	v.Inc(4)
+	v.Inc(4)
+	v.Inc(7)
+	if v.Get(4) != 2 || v.Get(7) != 1 {
+		t.Errorf("after incs: %v", v)
+	}
+	if v.Len() != 2 {
+		t.Errorf("Len = %d, want 2", v.Len())
+	}
+	v.Set(4, 0)
+	if v.Len() != 1 {
+		t.Errorf("Set(.,0) should delete entry; Len = %d", v.Len())
+	}
+}
+
+func TestVCSetZeroOnEmpty(t *testing.T) {
+	v := New()
+	v.Set(1, 0) // must not panic or allocate
+	if v.Len() != 0 {
+		t.Error("Set(.,0) on empty VC changed it")
+	}
+}
+
+func TestVCJoin(t *testing.T) {
+	a := FromMap(map[TID]Clock{1: 3, 2: 1})
+	b := FromMap(map[TID]Clock{2: 5, 3: 2})
+	a.Join(b)
+	want := FromMap(map[TID]Clock{1: 3, 2: 5, 3: 2})
+	if !a.Equal(want) {
+		t.Errorf("join = %v, want %v", a, want)
+	}
+	// b unchanged
+	if !b.Equal(FromMap(map[TID]Clock{2: 5, 3: 2})) {
+		t.Errorf("join mutated right operand: %v", b)
+	}
+}
+
+func TestVCJoinNil(t *testing.T) {
+	a := FromMap(map[TID]Clock{1: 1})
+	a.Join(nil)
+	a.Join(New())
+	if a.Get(1) != 1 || a.Len() != 1 {
+		t.Errorf("join with ⊥ changed VC: %v", a)
+	}
+}
+
+func TestVCJoinEpoch(t *testing.T) {
+	a := FromMap(map[TID]Clock{1: 3})
+	a.JoinEpoch(Epoch{T: 1, C: 2}) // smaller, no-op
+	a.JoinEpoch(Epoch{T: 2, C: 4})
+	want := FromMap(map[TID]Clock{1: 3, 2: 4})
+	if !a.Equal(want) {
+		t.Errorf("JoinEpoch = %v, want %v", a, want)
+	}
+}
+
+func TestVCLeq(t *testing.T) {
+	a := FromMap(map[TID]Clock{1: 2})
+	b := FromMap(map[TID]Clock{1: 2, 2: 1})
+	if !a.Leq(b) {
+		t.Error("a ⊑ b expected")
+	}
+	if b.Leq(a) {
+		t.Error("b ⊑ a unexpected")
+	}
+	if !New().Leq(a) {
+		t.Error("⊥ ⊑ a expected")
+	}
+}
+
+func TestVCCopyIndependence(t *testing.T) {
+	a := FromMap(map[TID]Clock{1: 2})
+	b := a.Copy()
+	b.Inc(1)
+	if a.Get(1) != 2 {
+		t.Error("Copy is not independent")
+	}
+}
+
+func TestVCString(t *testing.T) {
+	v := FromMap(map[TID]Clock{3: 1, 1: 9})
+	if got := v.String(); got != "[1:9 3:1]" {
+		t.Errorf("String() = %q", got)
+	}
+	if New().String() != "[]" {
+		t.Errorf("empty String() = %q", New().String())
+	}
+}
+
+func TestVCEpochExtraction(t *testing.T) {
+	v := FromMap(map[TID]Clock{5: 8})
+	if e := v.Epoch(5); e.T != 5 || e.C != 8 {
+		t.Errorf("Epoch(5) = %v", e)
+	}
+	if e := v.Epoch(6); e.C != 0 {
+		t.Errorf("Epoch(6) = %v, want clock 0", e)
+	}
+}
+
+// randVC builds a small random vector clock for property tests.
+func randVC(r *rand.Rand) *VC {
+	v := New()
+	n := r.Intn(6)
+	for i := 0; i < n; i++ {
+		v.Set(TID(r.Intn(8)), Clock(r.Intn(10)))
+	}
+	return v
+}
+
+func TestPropJoinIsLUB(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r), randVC(r)
+		j := a.Copy().Join(b)
+		// Upper bound of both.
+		if !a.Leq(j) || !b.Leq(j) {
+			return false
+		}
+		// Least: every component comes from a or b.
+		for _, tid := range j.Threads() {
+			c := j.Get(tid)
+			if c != a.Get(tid) && c != b.Get(tid) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropJoinCommutativeAssociativeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(r), randVC(r), randVC(r)
+		ab := a.Copy().Join(b)
+		ba := b.Copy().Join(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		abc1 := a.Copy().Join(b).Join(c)
+		abc2 := a.Copy().Join(b.Copy().Join(c))
+		if !abc1.Equal(abc2) {
+			return false
+		}
+		return a.Copy().Join(a).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLeqPartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(r), randVC(r), randVC(r)
+		if !a.Leq(a) { // reflexive
+			return false
+		}
+		if a.Leq(b) && b.Leq(a) && !a.Equal(b) { // antisymmetric
+			return false
+		}
+		if a.Leq(b) && b.Leq(c) && !a.Leq(c) { // transitive
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEpochVCConsistency(t *testing.T) {
+	f := func(tRaw uint8, cRaw uint8, seed int64) bool {
+		e := Epoch{T: TID(tRaw % 8), C: Clock(cRaw % 12)}
+		r := rand.New(rand.NewSource(seed))
+		v := randVC(r)
+		// e ⪯ v must agree with FromEpoch(e) ⊑ v.
+		return e.LeqVC(v) == FromEpoch(e).Leq(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropIncStrictlyIncreases(t *testing.T) {
+	f := func(seed int64, tRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randVC(r)
+		tid := TID(tRaw % 8)
+		before := v.Copy()
+		v.Inc(tid)
+		return before.Leq(v) && !v.Leq(before) && v.Get(tid) == before.Get(tid)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
