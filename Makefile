@@ -1,0 +1,32 @@
+# BARRACUDA-in-Go build/verify/bench targets (stdlib Go only).
+
+GO ?= go
+
+.PHONY: all build vet test race bench serve ci
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 verification: the full suite, plus the same suite under the Go
+# race detector (the transport and server are concurrency-heavy).
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Micro/macro benchmarks plus the detection-service throughput artifact
+# (BENCH_server.json: jobs/sec with cold vs warm module cache).
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+	$(GO) run ./cmd/benchtab -server -jobs 32 -workers 4 -o BENCH_server.json
+
+serve:
+	$(GO) run ./cmd/barracudad -addr :8321
+
+ci: build vet test race

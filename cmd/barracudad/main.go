@@ -1,0 +1,70 @@
+// Command barracudad runs the BARRACUDA race detector as a long-running
+// HTTP service: submit PTX (or a named built-in benchmark) as a job,
+// poll for the race report, and let the content-addressed module cache
+// amortize parse+instrument+load across repeated submissions.
+//
+// Usage:
+//
+//	barracudad -addr :8321 -workers 4 -queue 64 -cache 32
+//
+//	curl -s localhost:8321/healthz
+//	curl -s -X POST localhost:8321/jobs -d '{"ptx":"...","kernel":"k","grid":1,"block":32,"buffers":[4]}'
+//	curl -s 'localhost:8321/jobs/job-1?wait_ms=5000'
+//	curl -s localhost:8321/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"barracuda/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8321", "HTTP listen address")
+		workers = flag.Int("workers", 2, "concurrent detection workers")
+		queue   = flag.Int("queue", 64, "job queue capacity (beyond it, submissions get 429)")
+		cache   = flag.Int("cache", 32, "warm module-session cache entries (LRU)")
+		timeout = flag.Duration("timeout", 30*time.Second, "default per-job wall-clock budget")
+		budget  = flag.Uint64("budget", 1<<24, "default per-job warp-instruction budget")
+		maxBuf  = flag.Int64("maxbuf", 1<<30, "per-job total buffer byte cap (-1 = unlimited)")
+	)
+	flag.Parse()
+
+	srv := server.New(server.SchedulerOptions{
+		Workers:          *workers,
+		QueueCap:         *queue,
+		CacheEntries:     *cache,
+		DefaultTimeout:   *timeout,
+		DefaultMaxInstrs: *budget,
+		MaxBufferBytes:   *maxBuf,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("barracudad: listening on %s (%d workers, queue %d, cache %d)",
+		*addr, *workers, *queue, *cache)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "barracudad:", err)
+		os.Exit(1)
+	case s := <-sig:
+		log.Printf("barracudad: %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		srv.Close()
+	}
+}

@@ -3,6 +3,11 @@
 // static instructions instrumented before/after pruning), Figure 10
 // (detection overhead over native execution), and the PTVC format
 // distribution of Figure 7.
+//
+// With -server it instead benchmarks the barracudad detection service
+// end-to-end over loopback HTTP — jobs/sec with a cold vs warm module
+// cache — and writes a machine-readable artifact (default
+// BENCH_server.json) so successive PRs have a perf trajectory.
 package main
 
 import (
@@ -22,8 +27,19 @@ func main() {
 		fig10    = flag.Bool("fig10", false, "regenerate Figure 10")
 		pformats = flag.Bool("ptvc", false, "PTVC format distribution per benchmark (Figure 7)")
 		all      = flag.Bool("all", false, "everything")
+		serverB  = flag.Bool("server", false, "benchmark the detection service (cold vs warm cache) instead")
+		jobs     = flag.Int("jobs", 32, "jobs per phase for -server")
+		workers  = flag.Int("workers", 4, "detection workers for -server")
+		out      = flag.String("o", "BENCH_server.json", "output artifact path for -server")
 	)
 	flag.Parse()
+	if *serverB {
+		if err := runServerBench(*jobs, *workers, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if !*table1 && !*fig9 && !*fig10 && !*pformats {
 		*all = true
 	}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"barracuda/internal/server"
+)
+
+// benchKernel is the workload submitted to the service: small enough
+// that per-job cost is dominated by the pipeline front half (parse +
+// instrument + load), which is exactly what the module cache removes.
+const benchKernel = `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<4>;
+	.reg .u64 %rd<4>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	st.global.u32 [%rd1], %r1;
+	ret;
+}`
+
+// ServerBench is the BENCH_server.json schema.
+type ServerBench struct {
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	Workers        int     `json:"workers"`
+	Jobs           int     `json:"jobs_per_phase"`
+	ColdJobsPerSec float64 `json:"cold_jobs_per_sec"` // every job a distinct module (all cache misses)
+	WarmJobsPerSec float64 `json:"warm_jobs_per_sec"` // every job the same module (all cache hits)
+	WarmSpeedup    float64 `json:"warm_speedup"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+	DetectMeanMS   float64 `json:"detect_mean_ms"`
+}
+
+// runServerBench starts barracudad in-process on a loopback port,
+// drives it over real HTTP, and writes the throughput artifact.
+func runServerBench(jobs, workers int, outPath string) error {
+	srv := server.New(server.SchedulerOptions{
+		Workers:  workers,
+		QueueCap: 2 * jobs,
+		// Cold phase must never hit: cap the cache below the distinct-
+		// module count so the warm/cold contrast stays honest even if
+		// jobs is small.
+		CacheEntries: jobs + 1,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	submit := func(src string) (string, error) {
+		body, _ := json.Marshal(server.JobRequest{
+			PTX: src, Kernel: "k", Grid: 4, Block: 64, Buffers: []int{4},
+		})
+		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			var e server.ErrorJSON
+			json.NewDecoder(resp.Body).Decode(&e)
+			return "", fmt.Errorf("submit: %d %s", resp.StatusCode, e.Error)
+		}
+		var info server.JobInfo
+		json.NewDecoder(resp.Body).Decode(&info)
+		return info.ID, nil
+	}
+	wait := func(id string) error {
+		for {
+			resp, err := http.Get(fmt.Sprintf("%s/jobs/%s?wait_ms=2000", base, id))
+			if err != nil {
+				return err
+			}
+			var info server.JobInfo
+			json.NewDecoder(resp.Body).Decode(&info)
+			resp.Body.Close()
+			switch info.Status {
+			case server.StatusDone:
+				return nil
+			case server.StatusFailed, server.StatusTimeout:
+				return fmt.Errorf("job %s: %s (%s)", id, info.Status, info.Error)
+			}
+		}
+	}
+
+	// runPhase submits the whole batch concurrently and waits it out.
+	runPhase := func(srcFor func(i int) string) (time.Duration, error) {
+		start := time.Now()
+		ids := make([]string, jobs)
+		errs := make([]error, jobs)
+		var wg sync.WaitGroup
+		for i := 0; i < jobs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				id, err := submit(srcFor(i))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				ids[i] = id
+				errs[i] = wait(id)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	// Cold: every job is a distinct module → parse+instrument+load each.
+	cold, err := runPhase(func(i int) string {
+		return fmt.Sprintf("// cold variant %d\n%s", i, benchKernel)
+	})
+	if err != nil {
+		return fmt.Errorf("cold phase: %w", err)
+	}
+	// Warm: prime one module, then the whole batch hits the cache.
+	if id, err := submit(benchKernel); err != nil {
+		return fmt.Errorf("warm prime: %w", err)
+	} else if err := wait(id); err != nil {
+		return fmt.Errorf("warm prime: %w", err)
+	}
+	warm, err := runPhase(func(i int) string { return benchKernel })
+	if err != nil {
+		return fmt.Errorf("warm phase: %w", err)
+	}
+
+	var metrics server.MetricsJSON
+	if resp, err := http.Get(base + "/metrics"); err == nil {
+		json.NewDecoder(resp.Body).Decode(&metrics)
+		resp.Body.Close()
+	}
+
+	res := ServerBench{
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Workers:        workers,
+		Jobs:           jobs,
+		ColdJobsPerSec: float64(jobs) / cold.Seconds(),
+		WarmJobsPerSec: float64(jobs) / warm.Seconds(),
+		CacheHitRatio:  metrics.Cache.HitRatio,
+		DetectMeanMS:   metrics.DetectLatency.MeanMS,
+	}
+	if res.ColdJobsPerSec > 0 {
+		res.WarmSpeedup = res.WarmJobsPerSec / res.ColdJobsPerSec
+	}
+	data, _ := json.MarshalIndent(res, "", "  ")
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("server bench: cold %.1f jobs/s, warm %.1f jobs/s (%.2fx), hit ratio %.2f → %s\n",
+		res.ColdJobsPerSec, res.WarmJobsPerSec, res.WarmSpeedup, res.CacheHitRatio, outPath)
+	return nil
+}

@@ -11,6 +11,7 @@ package detector
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"barracuda/internal/core"
@@ -43,6 +44,26 @@ type Config struct {
 	NoSameValueFilter bool
 }
 
+// Validate rejects nonsensical configurations. Zero values select
+// defaults (see withDefaults); negative values are configuration errors,
+// reported descriptively rather than silently clamped so that callers —
+// in particular the barracudad job API — can surface them to users.
+func (c Config) Validate() error {
+	if c.Queues < 0 {
+		return fmt.Errorf("detector: Queues must be >= 0 (0 selects the default of 1 queue), got %d", c.Queues)
+	}
+	if c.QueueCap < 0 {
+		return fmt.Errorf("detector: QueueCap must be >= 0 (0 selects the default of 4096 records), got %d", c.QueueCap)
+	}
+	if c.Granularity < 0 {
+		return fmt.Errorf("detector: Granularity must be >= 0 (0 selects byte granularity), got %d", c.Granularity)
+	}
+	if c.MaxRaces < 0 {
+		return fmt.Errorf("detector: MaxRaces must be >= 0 (0 selects the default of 1024), got %d", c.MaxRaces)
+	}
+	return nil
+}
+
 func (c Config) withDefaults() Config {
 	if c.Queues <= 0 {
 		c.Queues = 1
@@ -57,6 +78,15 @@ func (c Config) withDefaults() Config {
 }
 
 // Session is one device with a module loaded natively and instrumented.
+//
+// Reuse contract: a Session may run any number of sequential Detect /
+// RunNative calls — each call builds a fresh detector state and queue
+// set, so results are independent. Two constraints: (1) calls must not
+// overlap (kernel launches mutate shared device memory), and (2) device
+// global memory persists across calls, so a caller that wants run N+1 to
+// see the same initial memory as run N must re-zero (or rewrite) its
+// buffers between calls. The server-side module cache relies on exactly
+// this contract to share one Session across many jobs.
 type Session struct {
 	cfg     Config
 	Dev     *gpusim.Device
@@ -65,10 +95,15 @@ type Session struct {
 	Stats   map[string]*instrument.KernelStats
 	SrcMod  *ptx.Module
 	InstMod *ptx.Module
+
+	closed atomic.Bool
 }
 
 // Open instruments a module and loads both variants onto a fresh device.
 func Open(m *ptx.Module, cfg Config) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	res, err := instrument.Instrument(m, instrument.Options{NoPrune: cfg.NoPrune})
 	if err != nil {
@@ -135,8 +170,24 @@ func (s *routeSink) Emit(r *logging.Record) {
 	s.set.ForBlock(int(r.Block)).Enqueue(r)
 }
 
+// ErrClosed is returned by Detect/RunNative after Close.
+var ErrClosed = fmt.Errorf("detector: session closed")
+
+// Close marks the session unusable: subsequent Detect/RunNative calls
+// return ErrClosed. A Detect already in flight runs to completion (the
+// flag is checked only on entry), which lets a cache evict an entry
+// without synchronizing with a job that still holds it. Close is
+// idempotent and safe for concurrent use.
+func (s *Session) Close() error {
+	s.closed.Store(true)
+	return nil
+}
+
 // Detect runs a kernel under the race detector.
 func (s *Session) Detect(kernelName string, launch gpusim.LaunchConfig) (*Result, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
 	grid := launch.Grid
 	block := launch.Block
 	ws := launch.WarpSize
@@ -207,6 +258,9 @@ func (s *Session) Detect(kernelName string, launch gpusim.LaunchConfig) (*Result
 // RunNative runs the uninstrumented kernel (baseline timing for the
 // Figure 10 overhead experiment).
 func (s *Session) RunNative(kernelName string, launch gpusim.LaunchConfig) (gpusim.Stats, time.Duration, error) {
+	if s.closed.Load() {
+		return gpusim.Stats{}, 0, ErrClosed
+	}
 	launch.Sink = nil
 	launch.EmitBranchEvents = false
 	start := time.Now()

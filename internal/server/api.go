@@ -1,0 +1,231 @@
+// Package server turns the detector pipeline into a long-running
+// detection service: an HTTP JSON API over a bounded job queue, a worker
+// pool running detector.Session.Detect, and a content-addressed module
+// cache so repeated submissions of the same PTX skip parse, instrument
+// and module load entirely.
+//
+// It is the resident-service analogue of the paper's Figure 5 host side:
+// where BARRACUDA keeps detector threads alive next to the instrumented
+// application for the life of the process, barracudad keeps warm
+// instrumented modules and detector workers alive across *many*
+// applications' jobs.
+package server
+
+import (
+	"fmt"
+
+	"barracuda/internal/bench"
+	"barracuda/internal/core"
+	"barracuda/internal/detector"
+	"barracuda/internal/gpusim"
+)
+
+// ConfigJSON is the wire form of detector.Config.
+type ConfigJSON struct {
+	Queues            int  `json:"queues,omitempty"`
+	QueueCap          int  `json:"queue_cap,omitempty"`
+	Granularity       int  `json:"granularity,omitempty"`
+	MaxRaces          int  `json:"max_races,omitempty"`
+	FullVC            bool `json:"full_vc,omitempty"`
+	NoPrune           bool `json:"no_prune,omitempty"`
+	NoSameValueFilter bool `json:"no_same_value_filter,omitempty"`
+}
+
+// Detector converts to the internal config.
+func (c ConfigJSON) Detector() detector.Config {
+	return detector.Config{
+		Queues:            c.Queues,
+		QueueCap:          c.QueueCap,
+		Granularity:       c.Granularity,
+		MaxRaces:          c.MaxRaces,
+		FullVC:            c.FullVC,
+		NoPrune:           c.NoPrune,
+		NoSameValueFilter: c.NoSameValueFilter,
+	}
+}
+
+// JobRequest is one detection job submission (POST /jobs). Exactly one
+// of PTX or Bench selects the module; for Bench jobs the kernel, launch
+// geometry and buffers default to the benchmark's own.
+type JobRequest struct {
+	// PTX is inline PTX source to analyze.
+	PTX string `json:"ptx,omitempty"`
+	// Bench names a built-in Table 1 benchmark instead.
+	Bench string `json:"bench,omitempty"`
+	// Kernel is the entry to launch (default: the module's first
+	// kernel; "main" for benchmarks).
+	Kernel string `json:"kernel,omitempty"`
+	// Grid and Block are 1-D launch extents (default 1 and 32).
+	Grid  int `json:"grid,omitempty"`
+	Block int `json:"block,omitempty"`
+	// Buffers are byte sizes of zeroed global buffers allocated (or
+	// reused, for cached modules) and passed as u64 kernel arguments.
+	Buffers []int `json:"buffers,omitempty"`
+	// Config tunes the detector.
+	Config ConfigJSON `json:"config"`
+	// TimeoutMS is the per-job wall-clock budget (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxInstrs is the dynamic warp-instruction budget (0 = server
+	// default; the server always enforces one so spin loops terminate).
+	MaxInstrs uint64 `json:"max_instrs,omitempty"`
+	// WarpSize overrides the simulated warp width (0 = 32).
+	WarpSize int `json:"warp_size,omitempty"`
+}
+
+// Validate checks the payload shape; the server maps errors to 400.
+func (r *JobRequest) Validate(maxBufferBytes int64) error {
+	switch {
+	case r.PTX == "" && r.Bench == "":
+		return fmt.Errorf("job: one of \"ptx\" or \"bench\" is required")
+	case r.PTX != "" && r.Bench != "":
+		return fmt.Errorf("job: \"ptx\" and \"bench\" are mutually exclusive")
+	}
+	if r.Bench != "" && bench.ByName(r.Bench) == nil {
+		return fmt.Errorf("job: unknown benchmark %q", r.Bench)
+	}
+	if r.Grid < 0 || r.Block < 0 {
+		return fmt.Errorf("job: grid and block must be >= 0, got %d and %d", r.Grid, r.Block)
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("job: timeout_ms must be >= 0, got %d", r.TimeoutMS)
+	}
+	if r.WarpSize != 0 && (r.WarpSize < 2 || r.WarpSize > 32) {
+		return fmt.Errorf("job: warp_size must be 0 or in [2,32], got %d", r.WarpSize)
+	}
+	var total int64
+	for i, b := range r.Buffers {
+		if b < 0 {
+			return fmt.Errorf("job: buffers[%d] must be >= 0, got %d", i, b)
+		}
+		total += int64(b)
+	}
+	if maxBufferBytes > 0 && total > maxBufferBytes {
+		return fmt.Errorf("job: total buffer bytes %d exceed the server limit %d", total, maxBufferBytes)
+	}
+	return r.Config.Detector().Validate()
+}
+
+// Job lifecycle states.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+	StatusTimeout = "timeout"
+)
+
+// AccessJSON is one side of a reported race.
+type AccessJSON struct {
+	Thread int32  `json:"thread"`
+	Line   uint32 `json:"line"`
+	Write  bool   `json:"write"`
+	Atomic bool   `json:"atomic,omitempty"`
+}
+
+// RaceJSON is one detected race.
+type RaceJSON struct {
+	Kind    string     `json:"kind"`  // intra-warp | intra-block | inter-block
+	Space   string     `json:"space"` // global | shared | local
+	Addr    string     `json:"addr"`  // hex device address
+	Block   int32      `json:"block"` // -1 for global memory
+	Count   int        `json:"count"` // dynamic occurrences
+	Prev    AccessJSON `json:"prev"`
+	Cur     AccessJSON `json:"cur"`
+	Summary string     `json:"summary"`
+}
+
+// DivergenceJSON is one barrier-divergence report.
+type DivergenceJSON struct {
+	Block int    `json:"block"`
+	Warp  int    `json:"warp"`
+	Line  uint32 `json:"line"`
+	Mask  string `json:"mask"`
+}
+
+// JobResult is the outcome of a completed detection run.
+type JobResult struct {
+	Kernel            string           `json:"kernel"`
+	RaceCount         int              `json:"race_count"`
+	Races             []RaceJSON       `json:"races,omitempty"`
+	Divergences       []DivergenceJSON `json:"divergences,omitempty"`
+	SameValueFiltered uint64           `json:"same_value_filtered,omitempty"`
+	WarpInstrs        uint64           `json:"warp_instrs"`
+	Records           uint64           `json:"records"`
+	DetectMS          float64          `json:"detect_ms"`
+	Formats           map[string]int   `json:"ptvc_formats,omitempty"`
+}
+
+// JobInfo is the job envelope returned by the API.
+type JobInfo struct {
+	ID          string     `json:"id"`
+	Status      string     `json:"status"`
+	CacheHit    bool       `json:"cache_hit"`
+	Error       string     `json:"error,omitempty"`
+	SubmittedAt string     `json:"submitted_at"`
+	QueueWaitMS float64    `json:"queue_wait_ms,omitempty"`
+	TotalMS     float64    `json:"total_ms,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+}
+
+// ErrorJSON is the error envelope for non-2xx responses.
+type ErrorJSON struct {
+	Error string `json:"error"`
+}
+
+// resultJSON converts a detector result to the wire form.
+func resultJSON(kernel string, res *detector.Result) *JobResult {
+	out := &JobResult{
+		Kernel:            kernel,
+		RaceCount:         res.Report.RaceCount(),
+		SameValueFiltered: res.Report.SameValueGag,
+		WarpInstrs:        res.SimStats.WarpInstrs,
+		Records:           res.SimStats.Records,
+		DetectMS:          float64(res.Duration.Microseconds()) / 1000,
+	}
+	for _, r := range res.Report.Races {
+		out.Races = append(out.Races, RaceJSON{
+			Kind:    r.Kind.String(),
+			Space:   r.Space.String(),
+			Addr:    fmt.Sprintf("%#x", r.Addr),
+			Block:   r.Block,
+			Count:   r.Count,
+			Prev:    accessJSON(r.Prev),
+			Cur:     accessJSON(r.Cur),
+			Summary: r.String(),
+		})
+	}
+	for _, d := range res.Report.Divergences {
+		out.Divergences = append(out.Divergences, DivergenceJSON{
+			Block: d.Block, Warp: d.Warp, Line: d.PC,
+			Mask: fmt.Sprintf("%#x", d.Mask),
+		})
+	}
+	if len(res.Formats) > 0 {
+		out.Formats = make(map[string]int, len(res.Formats))
+		for f, n := range res.Formats {
+			out.Formats[f.String()] = n
+		}
+	}
+	return out
+}
+
+func accessJSON(a core.Access) AccessJSON {
+	return AccessJSON{Thread: int32(a.TID), Line: a.PC, Write: a.Write, Atomic: a.Atomic}
+}
+
+// launchConfig builds the simulator launch for a resolved job.
+func launchConfig(grid, block int, args []uint64, maxInstrs uint64, warpSize int) gpusim.LaunchConfig {
+	if grid <= 0 {
+		grid = 1
+	}
+	if block <= 0 {
+		block = 32
+	}
+	return gpusim.LaunchConfig{
+		Grid:          gpusim.D1(grid),
+		Block:         gpusim.D1(block),
+		Args:          args,
+		MaxWarpInstrs: maxInstrs,
+		WarpSize:      warpSize,
+	}
+}

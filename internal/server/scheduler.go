@@ -1,0 +1,370 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"barracuda/internal/bench"
+	"barracuda/internal/detector"
+	"barracuda/internal/gpusim"
+)
+
+// ErrQueueFull is returned by Submit when the bounded queue is at
+// capacity; the HTTP layer maps it to 429 backpressure.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// SchedulerOptions sizes the service.
+type SchedulerOptions struct {
+	// Workers is the number of concurrent detection workers (default 2).
+	Workers int
+	// QueueCap bounds the number of queued-but-unstarted jobs
+	// (default 64). Submissions beyond it are rejected with
+	// ErrQueueFull rather than growing without bound.
+	QueueCap int
+	// CacheEntries bounds the warm-session cache (default 32).
+	CacheEntries int
+	// DefaultTimeout is the per-job wall-clock budget when the request
+	// does not set one (default 30s).
+	DefaultTimeout time.Duration
+	// DefaultMaxInstrs is the dynamic warp-instruction budget applied
+	// when the request does not set one; always enforced, so a spin
+	// loop cannot pin a worker forever (default 1<<24).
+	DefaultMaxInstrs uint64
+	// MaxBufferBytes caps a single job's total buffer allocation
+	// (default 1 GiB; <0 disables the cap).
+	MaxBufferBytes int64
+	// MaxJobs bounds the retained job history (default 4096; oldest
+	// finished jobs are forgotten first).
+	MaxJobs int
+}
+
+func (o SchedulerOptions) withDefaults() SchedulerOptions {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 64
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 32
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.DefaultMaxInstrs == 0 {
+		o.DefaultMaxInstrs = 1 << 24
+	}
+	if o.MaxBufferBytes == 0 {
+		o.MaxBufferBytes = 1 << 30
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 4096
+	}
+	return o
+}
+
+// Job is one submitted detection unit.
+type Job struct {
+	ID string
+
+	// Immutable after Submit.
+	req     JobRequest
+	src     string // resolved PTX source
+	kernel  string // may be "" for PTX jobs: resolved at run time
+	grid    int
+	block   int
+	buffers []int
+	cfg     detector.Config
+	timeout time.Duration
+	budget  uint64
+
+	mu        sync.Mutex
+	status    string
+	cacheHit  bool
+	errMsg    string
+	result    *JobResult
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	done chan struct{}
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Info snapshots the job for the API.
+func (j *Job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:          j.ID,
+		Status:      j.status,
+		CacheHit:    j.cacheHit,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
+		Result:      j.result,
+	}
+	if !j.started.IsZero() {
+		info.QueueWaitMS = float64(j.started.Sub(j.submitted).Microseconds()) / 1000
+	}
+	if !j.finished.IsZero() {
+		info.TotalMS = float64(j.finished.Sub(j.submitted).Microseconds()) / 1000
+	}
+	return info
+}
+
+func (j *Job) finish(status, errMsg string, result *JobResult) {
+	j.mu.Lock()
+	j.status = status
+	j.errMsg = errMsg
+	j.result = result
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Scheduler owns the job queue, the worker pool and the module cache.
+type Scheduler struct {
+	opts    SchedulerOptions
+	cache   *ModCache
+	metrics *Metrics
+
+	queue chan *Job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing and history trimming
+	nextID int64
+}
+
+// NewScheduler builds the service core and starts its workers.
+func NewScheduler(opts SchedulerOptions) *Scheduler {
+	opts = opts.withDefaults()
+	s := &Scheduler{
+		opts:    opts,
+		cache:   NewModCache(opts.CacheEntries),
+		metrics: &Metrics{},
+		queue:   make(chan *Job, opts.QueueCap),
+		quit:    make(chan struct{}),
+		jobs:    make(map[string]*Job),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics returns the counter registry.
+func (s *Scheduler) Metrics() *Metrics { return s.metrics }
+
+// Cache returns the module cache (for stats).
+func (s *Scheduler) Cache() *ModCache { return s.cache }
+
+// QueueDepth is the number of queued-but-unstarted jobs.
+func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+
+// Options returns the effective (defaulted) options.
+func (s *Scheduler) Options() SchedulerOptions { return s.opts }
+
+// Submit validates, resolves and enqueues a job. It returns the job on
+// success, ErrQueueFull under backpressure, and a descriptive error for
+// invalid payloads (mapped to 400 by the HTTP layer).
+func (s *Scheduler) Submit(req JobRequest) (*Job, error) {
+	if err := req.Validate(s.opts.MaxBufferBytes); err != nil {
+		return nil, err
+	}
+	job := &Job{
+		req:     req,
+		kernel:  req.Kernel,
+		grid:    req.Grid,
+		block:   req.Block,
+		buffers: req.Buffers,
+		cfg:     req.Config.Detector(),
+		timeout: s.opts.DefaultTimeout,
+		budget:  s.opts.DefaultMaxInstrs,
+		status:  StatusQueued,
+		done:    make(chan struct{}),
+	}
+	if req.TimeoutMS > 0 {
+		job.timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if req.MaxInstrs > 0 {
+		job.budget = req.MaxInstrs
+	}
+	if req.Bench != "" {
+		b := bench.ByName(req.Bench)
+		job.src = b.PTX()
+		if job.kernel == "" {
+			job.kernel = "main"
+		}
+		if job.grid == 0 && job.block == 0 {
+			job.grid, job.block = b.Grid.Count(), b.Block.Count()
+		}
+		if job.buffers == nil {
+			job.buffers = b.Buffers()
+		}
+	} else {
+		job.src = req.PTX
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	job.ID = fmt.Sprintf("job-%d", s.nextID)
+	job.submitted = time.Now()
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- job:
+	default:
+		s.metrics.Rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+
+	s.mu.Lock()
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.trimHistoryLocked()
+	s.mu.Unlock()
+	s.metrics.Submitted.Add(1)
+	return job, nil
+}
+
+// trimHistoryLocked forgets the oldest finished jobs past MaxJobs.
+func (s *Scheduler) trimHistoryLocked() {
+	for len(s.order) > s.opts.MaxJobs {
+		id := s.order[0]
+		if j, ok := s.jobs[id]; ok {
+			j.mu.Lock()
+			terminal := j.status == StatusDone || j.status == StatusFailed || j.status == StatusTimeout
+			j.mu.Unlock()
+			if !terminal {
+				return // oldest still live: keep history until it finishes
+			}
+			delete(s.jobs, id)
+		}
+		s.order = s.order[1:]
+	}
+}
+
+// Job looks up a job by id.
+func (s *Scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists retained jobs in submission order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Stop shuts the worker pool down and fails any still-queued jobs.
+func (s *Scheduler) Stop() {
+	close(s.quit)
+	s.wg.Wait()
+	for {
+		select {
+		case job := <-s.queue:
+			job.finish(StatusFailed, "server shutting down", nil)
+			s.metrics.Failed.Add(1)
+		default:
+			return
+		}
+	}
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case job := <-s.queue:
+			s.run(job)
+		}
+	}
+}
+
+// run executes one job with a wall-clock timeout. The detect itself runs
+// in a child goroutine holding the cache lease; on timeout the worker
+// moves on while the child winds down against the step budget and
+// releases the lease when the simulator gives up.
+func (s *Scheduler) run(job *Job) {
+	job.mu.Lock()
+	job.status = StatusRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+
+	lease, hit, err := s.cache.Acquire(job.src, job.cfg)
+	if err != nil {
+		s.metrics.Failed.Add(1)
+		job.finish(StatusFailed, "open: "+err.Error(), nil)
+		return
+	}
+	job.mu.Lock()
+	job.cacheHit = hit
+	job.mu.Unlock()
+
+	type outcome struct {
+		kernel string
+		res    *detector.Result
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer lease.Release()
+		sess := lease.Session()
+		kernel := job.kernel
+		if kernel == "" {
+			names := sess.Native.KernelNames()
+			if len(names) == 0 {
+				ch <- outcome{err: errors.New("module has no kernels")}
+				return
+			}
+			kernel = names[0]
+		}
+		args, err := lease.Buffers(job.buffers)
+		if err != nil {
+			ch <- outcome{err: err}
+			return
+		}
+		res, err := sess.Detect(kernel, launchConfig(job.grid, job.block, args, job.budget, job.req.WarpSize))
+		ch <- outcome{kernel: kernel, res: res, err: err}
+	}()
+
+	timer := time.NewTimer(job.timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		switch {
+		case o.err == nil:
+			s.metrics.Completed.Add(1)
+			s.metrics.Latency.Observe(o.res.Duration)
+			job.finish(StatusDone, "", resultJSON(o.kernel, o.res))
+		case errors.Is(o.err, gpusim.ErrStepBudget):
+			s.metrics.TimedOut.Add(1)
+			job.finish(StatusTimeout, fmt.Sprintf("step budget (%d warp instructions) exceeded: %v", job.budget, o.err), nil)
+		default:
+			s.metrics.Failed.Add(1)
+			job.finish(StatusFailed, o.err.Error(), nil)
+		}
+	case <-timer.C:
+		s.metrics.TimedOut.Add(1)
+		job.finish(StatusTimeout, fmt.Sprintf("wall-clock timeout after %v", job.timeout), nil)
+	}
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxBodyBytes bounds a job submission body (PTX sources are text; 16
+// MiB is far beyond any real module).
+const maxBodyBytes = 16 << 20
+
+// Server is the barracudad HTTP front end.
+//
+// API:
+//
+//	POST /jobs          submit a JobRequest  → 202 JobInfo | 400 | 429
+//	GET  /jobs          list retained jobs   → 200 []JobInfo
+//	GET  /jobs/{id}     fetch one job        → 200 JobInfo | 404
+//	                    ?wait_ms=N long-polls until terminal or N ms
+//	GET  /healthz       liveness             → 200 {"status":"ok",...}
+//	GET  /metrics       counters             → 200 MetricsJSON
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a server (and its scheduler/worker pool) from options.
+func New(opts SchedulerOptions) *Server {
+	s := &Server{
+		sched: NewScheduler(opts),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Scheduler exposes the service core (tests, benchmarks).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Close stops the worker pool.
+func (s *Server) Close() { s.sched.Stop() }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorJSON{Error: msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	job, err := s.sched.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusAccepted, job.Info())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sched.Jobs()
+	out := make([]JobInfo, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Info())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if ms, _ := strconv.Atoi(r.URL.Query().Get("wait_ms")); ms > 0 {
+		select {
+		case <-job.Done():
+		case <-time.After(time.Duration(ms) * time.Millisecond):
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, job.Info())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": float64(time.Since(s.start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.sched.Metrics()
+	writeJSON(w, http.StatusOK, MetricsJSON{
+		UptimeMS:      float64(time.Since(s.start).Microseconds()) / 1000,
+		Workers:       s.sched.Options().Workers,
+		QueueDepth:    s.sched.QueueDepth(),
+		QueueCapacity: s.sched.Options().QueueCap,
+		Jobs:          m.Counters(),
+		Cache:         s.sched.Cache().Stats(),
+		DetectLatency: m.Latency.Snapshot(),
+	})
+}
