@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve ci
+.PHONY: all build vet test race bench serve ci fmt-check vet-smoke
 
 all: build vet test
 
@@ -11,6 +11,20 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# gofmt must be a no-op across the tree.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# The PTX lint pass over the example corpus: clean kernels must produce
+# zero diagnostics, the seeded barrier-divergence bug must be flagged.
+vet-smoke: build
+	$(GO) run ./cmd/barracuda vet examples/vet/clean_saxpy.ptx examples/vet/clean_blockreduce.ptx
+	@if $(GO) run ./cmd/barracuda vet examples/vet/divergent_barrier.ptx > vet-smoke.out 2>/dev/null; then \
+		echo "seeded barrier-divergence bug was not flagged"; rm -f vet-smoke.out; exit 1; fi
+	@grep -q barrier-divergence vet-smoke.out || { echo "wrong diagnostic:"; cat vet-smoke.out; rm -f vet-smoke.out; exit 1; }
+	@rm -f vet-smoke.out
 
 # Tier-1 verification: the full suite, plus the same suite under the Go
 # race detector (the transport and server are concurrency-heavy).
@@ -21,12 +35,15 @@ race:
 	$(GO) test -race ./...
 
 # Micro/macro benchmarks plus the detection-service throughput artifact
-# (BENCH_server.json: jobs/sec with cold vs warm module cache).
+# (BENCH_server.json: jobs/sec with cold vs warm module cache) and the
+# static-pruner artifact (BENCH_static.json: instrumented fractions and
+# detection throughput, pruned vs unpruned).
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 	$(GO) run ./cmd/benchtab -server -jobs 32 -workers 4 -o BENCH_server.json
+	$(GO) run ./cmd/benchtab -static -o BENCH_static.json
 
 serve:
 	$(GO) run ./cmd/barracudad -addr :8321
 
-ci: build vet test race
+ci: build vet fmt-check test race vet-smoke

@@ -7,6 +7,7 @@
 //	barracuda -ptx kernel.ptx -kernel k -grid 4 -block 64 -bufs 1024,64
 //	barracuda -fatbin app.fatbin -kernel k -grid 2 -block 32 -bufs 256
 //	barracuda -bench hashtable
+//	barracuda vet [-json] [-strict] [-stats] file.ptx...
 package main
 
 import (
@@ -24,6 +25,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		os.Exit(vetMain(os.Args[2:]))
+	}
 	var (
 		ptxPath   = flag.String("ptx", "", "PTX source file to analyze")
 		fatbinArg = flag.String("fatbin", "", "fat binary file to analyze")
@@ -38,6 +42,7 @@ func main() {
 		budget    = flag.Uint64("budget", 1<<24, "dynamic warp-instruction budget (0 = unlimited)")
 		warpsize  = flag.Int("warpsize", 0, "simulated warp width (0 = the architecture's 32); smaller widths expose latent warp-size bugs")
 		profileF  = flag.Bool("profile", false, "run the memory-access profiler instead of the race detector")
+		staticp   = flag.Bool("staticprune", false, "enable the inter-block static instrumentation pruner")
 		verbose   = flag.Bool("v", false, "print per-race dynamic counts and PTVC format stats")
 	)
 	flag.Parse()
@@ -45,7 +50,7 @@ func main() {
 		ptxPath: *ptxPath, fatbinPath: *fatbinArg, benchName: *benchName,
 		kernel: *kernel, grid: *grid, block: *block, bufs: *bufs,
 		queues: *queues, gran: *gran, fullvc: *fullvc, budget: *budget,
-		warpsize: *warpsize, profile: *profileF, verbose: *verbose,
+		warpsize: *warpsize, profile: *profileF, staticPrune: *staticp, verbose: *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "barracuda:", err)
 		os.Exit(1)
@@ -55,12 +60,12 @@ func main() {
 type runOpts struct {
 	ptxPath, fatbinPath, benchName, kernel, bufs string
 	grid, block, queues, gran, warpsize          int
-	fullvc, profile, verbose                     bool
+	fullvc, profile, staticPrune, verbose        bool
 	budget                                       uint64
 }
 
 func run(o runOpts) error {
-	cfg := detector.Config{Queues: o.queues, Granularity: o.gran, FullVC: o.fullvc}
+	cfg := detector.Config{Queues: o.queues, Granularity: o.gran, FullVC: o.fullvc, StaticPrune: o.staticPrune}
 
 	var (
 		s   *detector.Session

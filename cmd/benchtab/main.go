@@ -28,13 +28,29 @@ func main() {
 		pformats = flag.Bool("ptvc", false, "PTVC format distribution per benchmark (Figure 7)")
 		all      = flag.Bool("all", false, "everything")
 		serverB  = flag.Bool("server", false, "benchmark the detection service (cold vs warm cache) instead")
+		staticB  = flag.Bool("static", false, "benchmark the static instrumentation pruner instead")
 		jobs     = flag.Int("jobs", 32, "jobs per phase for -server")
 		workers  = flag.Int("workers", 4, "detection workers for -server")
-		out      = flag.String("o", "BENCH_server.json", "output artifact path for -server")
+		out      = flag.String("o", "", "output artifact path (default BENCH_server.json / BENCH_static.json)")
 	)
 	flag.Parse()
 	if *serverB {
-		if err := runServerBench(*jobs, *workers, *out); err != nil {
+		path := *out
+		if path == "" {
+			path = "BENCH_server.json"
+		}
+		if err := runServerBench(*jobs, *workers, path); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *staticB {
+		path := *out
+		if path == "" {
+			path = "BENCH_static.json"
+		}
+		if err := runStaticBench(path); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}
@@ -81,9 +97,10 @@ func run(table1, fig9, fig10, pformats bool) error {
 			return err
 		}
 		fmt.Println("Figure 9: percentage of static PTX instructions instrumented")
-		fmt.Printf("%-34s %14s %12s\n", "benchmark", "unoptimized", "optimized")
+		fmt.Printf("%-34s %14s %12s %12s\n", "benchmark", "unoptimized", "optimized", "static")
 		for _, r := range rows {
-			fmt.Printf("%-34s %13.1f%% %11.1f%%\n", r.Name, 100*r.Unoptimized, 100*r.Optimized)
+			fmt.Printf("%-34s %13.1f%% %11.1f%% %11.1f%%\n",
+				r.Name, 100*r.Unoptimized, 100*r.Optimized, 100*r.Static)
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"barracuda/internal/bench"
+	"barracuda/internal/detector"
+	"barracuda/internal/gpusim"
+)
+
+// StaticBenchRow is one benchmark's pruning outcome in BENCH_static.json.
+type StaticBenchRow struct {
+	Name          string  `json:"name"`
+	FracUnopt     float64 `json:"frac_unopt"`  // instrumented fraction, no pruning
+	FracIntra     float64 `json:"frac_intra"`  // with intra-block pruning
+	FracStatic    float64 `json:"frac_static"` // with the inter-block static pruner
+	StaticPruned  int     `json:"static_pruned"`
+	ThreadPrivate int     `json:"thread_private"`
+	// Detection throughput in simulated warp instructions per second,
+	// with and without the static pruner.
+	WipsIntra  float64 `json:"wips_intra"`
+	WipsStatic float64 `json:"wips_static"`
+	RacesEqual bool    `json:"races_equal"` // identical race reports (soundness)
+	Improved   bool    `json:"improved"`    // frac_static < frac_intra
+}
+
+// StaticBench is the BENCH_static.json schema.
+type StaticBench struct {
+	Rows     []StaticBenchRow `json:"rows"`
+	Improved int              `json:"improved"`
+	Total    int              `json:"total"`
+}
+
+// raceSignature renders a report's races in their stable sort order.
+func raceSignature(res *detector.Result) string {
+	out := ""
+	for _, r := range res.Report.Races {
+		out += fmt.Sprintf("%s x%d\n", r.String(), r.Count)
+	}
+	return out
+}
+
+// staticRun opens one pruning variant of a benchmark and runs detection.
+func staticRun(b *bench.Benchmark, cfg detector.Config) (*detector.Session, *detector.Result, error) {
+	s, err := detector.OpenPTX(b.PTX(), cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	var args []uint64
+	for _, sz := range b.Buffers() {
+		a, err := s.Dev.Alloc(sz)
+		if err != nil {
+			return nil, nil, err
+		}
+		args = append(args, a)
+	}
+	res, err := s.Detect("main", gpusim.LaunchConfig{Grid: b.Grid, Block: b.Block, Args: args})
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	return s, res, nil
+}
+
+// runStaticBench measures the static pruner across the benchmark corpus —
+// instrumented fractions, detection throughput, and report equivalence —
+// and writes the artifact.
+func runStaticBench(outPath string) error {
+	out := StaticBench{Rows: []StaticBenchRow{}}
+	for _, b := range bench.All() {
+		_, base, err := staticRun(b, detector.Config{})
+		if err != nil {
+			return err
+		}
+		s, pruned, err := staticRun(b, detector.Config{StaticPrune: true})
+		if err != nil {
+			return err
+		}
+		var t statsTotals
+		for _, st := range s.Stats {
+			t.static += st.Static
+			t.unopt += st.InstrumentedNo
+			t.intra += st.Instrumented
+			t.afterStatic += st.InstrumentedStatic
+			t.pruned += st.StaticPruned
+			t.private += st.ThreadPrivate
+		}
+		row := StaticBenchRow{
+			Name:          b.Name,
+			FracUnopt:     t.frac(t.unopt),
+			FracIntra:     t.frac(t.intra),
+			FracStatic:    t.frac(t.afterStatic),
+			StaticPruned:  t.pruned,
+			ThreadPrivate: t.private,
+			RacesEqual:    raceSignature(base) == raceSignature(pruned),
+		}
+		if d := base.Duration.Seconds(); d > 0 {
+			row.WipsIntra = float64(base.SimStats.WarpInstrs) / d
+		}
+		if d := pruned.Duration.Seconds(); d > 0 {
+			row.WipsStatic = float64(pruned.SimStats.WarpInstrs) / d
+		}
+		row.Improved = row.FracStatic < row.FracIntra
+		if row.Improved {
+			out.Improved++
+		}
+		out.Total++
+		out.Rows = append(out.Rows, row)
+	}
+	data, _ := json.MarshalIndent(out, "", "  ")
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("static bench: instrumented fraction improved on %d/%d benchmarks → %s\n",
+		out.Improved, out.Total, outPath)
+	for _, r := range out.Rows {
+		eq := "reports identical"
+		if !r.RacesEqual {
+			eq = "REPORTS DIFFER"
+		}
+		fmt.Printf("  %-34s unopt %.1f%% intra %.1f%% static %.1f%% (private %d) — %s\n",
+			r.Name, 100*r.FracUnopt, 100*r.FracIntra, 100*r.FracStatic, r.ThreadPrivate, eq)
+	}
+	return nil
+}
+
+type statsTotals struct {
+	static, unopt, intra, afterStatic, pruned, private int
+}
+
+func (t statsTotals) frac(n int) float64 {
+	if t.static == 0 {
+		return 0
+	}
+	return float64(n) / float64(t.static)
+}

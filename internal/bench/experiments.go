@@ -100,19 +100,22 @@ func Table1() ([]Table1Row, error) {
 	return rows, nil
 }
 
-// Fig9Row is one bar pair of Figure 9.
+// Fig9Row is one bar group of Figure 9.
 type Fig9Row struct {
 	Name        string
 	Unoptimized float64 // fraction of static instructions instrumented, no pruning
 	Optimized   float64 // with the intra-basic-block pruning
+	Static      float64 // with the inter-block static pruner on top
 }
 
 // Fig9 regenerates Figure 9: the fraction of static PTX instructions
-// instrumented before and after instrumentation pruning.
+// instrumented with no pruning, with the paper's intra-block pruning,
+// and with the dataflow-driven static pruner stacked on top. One
+// instrumentation pass with StaticPrune computes all three columns.
 func Fig9() ([]Fig9Row, error) {
 	var rows []Fig9Row
 	for _, b := range All() {
-		s, err := detector.OpenPTX(b.PTX(), detector.Config{})
+		s, err := detector.OpenPTX(b.PTX(), detector.Config{StaticPrune: true})
 		if err != nil {
 			return nil, fmt.Errorf("bench %s: %w", b.Name, err)
 		}
@@ -121,6 +124,7 @@ func Fig9() ([]Fig9Row, error) {
 			Name:        b.Name,
 			Unoptimized: t.FracInstrumentedNoOpt(),
 			Optimized:   t.FracInstrumented(),
+			Static:      t.FracInstrumentedStatic(),
 		})
 	}
 	return rows, nil
@@ -132,12 +136,13 @@ func instrTotals(s *detector.Session) statsLike {
 		t.Static += st.Static
 		t.Instrumented += st.Instrumented
 		t.InstrumentedNo += st.InstrumentedNo
+		t.InstrumentedStatic += st.InstrumentedStatic
 	}
 	return t
 }
 
 type statsLike struct {
-	Static, Instrumented, InstrumentedNo int
+	Static, Instrumented, InstrumentedNo, InstrumentedStatic int
 }
 
 func (s statsLike) FracInstrumented() float64 {
@@ -152,6 +157,13 @@ func (s statsLike) FracInstrumentedNoOpt() float64 {
 		return 0
 	}
 	return float64(s.InstrumentedNo) / float64(s.Static)
+}
+
+func (s statsLike) FracInstrumentedStatic() float64 {
+	if s.Static == 0 {
+		return 0
+	}
+	return float64(s.InstrumentedStatic) / float64(s.Static)
 }
 
 // Fig10Row is one bar of Figure 10.

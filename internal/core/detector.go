@@ -385,11 +385,13 @@ func (d *Detector) applyAtomic(c *shadow.Cell, g *ptvc.Group, tid vc.TID, r *log
 }
 
 // checkReaders verifies all previous reads happen-before the current
-// write/atomic.
+// write/atomic. Readers are visited in TID order: the first racing
+// reader becomes the race's reported representative, and map iteration
+// order would make that attribution flap from run to run.
 func (d *Detector) checkReaders(c *shadow.Cell, g *ptvc.Group, tid vc.TID, r *logging.Record, lane int) {
 	if c.ReadShared {
-		for u, cl := range c.Readers {
-			if !ordered(g, tid, vc.Epoch{T: u, C: cl}) {
+		for _, u := range sortedReaders(c.Readers) {
+			if !ordered(g, tid, vc.Epoch{T: u, C: c.Readers[u]}) {
 				d.report(tid, r, lane, true, u, c.ReadPC, false, false, false)
 			}
 		}
@@ -398,6 +400,16 @@ func (d *Detector) checkReaders(c *shadow.Cell, g *ptvc.Group, tid vc.TID, r *lo
 	if !ordered(g, tid, c.R) {
 		d.report(tid, r, lane, true, c.R.T, c.ReadPC, false, false, false)
 	}
+}
+
+// sortedReaders returns the read map's TIDs in ascending order.
+func sortedReaders(m map[vc.TID]vc.Clock) []vc.TID {
+	tids := make([]vc.TID, 0, len(m))
+	for u := range m {
+		tids = append(tids, u)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	return tids
 }
 
 // sameInstruction reports whether the conflicting epoch belongs to an

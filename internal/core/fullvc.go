@@ -174,8 +174,10 @@ func (d *Detector) fullMemory(r *logging.Record) {
 					}
 				}
 				if c.ReadShared {
-					for u, cl := range c.Readers {
-						if !s.ordered(tid, vc.Epoch{T: u, C: cl}) {
+					// TID order, matching checkReaders: keeps the
+					// reported representative reader deterministic.
+					for _, u := range sortedReaders(c.Readers) {
+						if !s.ordered(tid, vc.Epoch{T: u, C: c.Readers[u]}) {
 							d.report(tid, r, lane, true, u, c.ReadPC, false, false, false)
 						}
 					}

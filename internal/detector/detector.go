@@ -40,6 +40,11 @@ type Config struct {
 	FullVC bool
 	// NoPrune disables the instrumentation pruning optimization.
 	NoPrune bool
+	// StaticPrune enables the inter-block static pruner (package
+	// staticanalysis): provably redundant or thread-private accesses
+	// are never logged. Race reports are unchanged; log volume drops.
+	// Mutually exclusive with NoPrune.
+	StaticPrune bool
 	// NoSameValueFilter disables the intra-warp same-value write filter.
 	NoSameValueFilter bool
 }
@@ -60,6 +65,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxRaces < 0 {
 		return fmt.Errorf("detector: MaxRaces must be >= 0 (0 selects the default of 1024), got %d", c.MaxRaces)
+	}
+	if c.NoPrune && c.StaticPrune {
+		return fmt.Errorf("detector: NoPrune and StaticPrune are mutually exclusive: the static pruner subsumes the intra-block optimization NoPrune disables")
 	}
 	return nil
 }
@@ -105,7 +113,7 @@ func Open(m *ptx.Module, cfg Config) (*Session, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	res, err := instrument.Instrument(m, instrument.Options{NoPrune: cfg.NoPrune})
+	res, err := instrument.Instrument(m, instrument.Options{NoPrune: cfg.NoPrune, StaticPrune: cfg.StaticPrune})
 	if err != nil {
 		return nil, err
 	}

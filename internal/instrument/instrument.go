@@ -24,6 +24,7 @@ import (
 
 	"barracuda/internal/kernel"
 	"barracuda/internal/ptx"
+	"barracuda/internal/staticanalysis"
 	"barracuda/internal/trace"
 )
 
@@ -32,15 +33,25 @@ type Options struct {
 	// NoPrune disables the intra-basic-block redundant-logging
 	// optimization (the "unoptimized" bars of Figure 9).
 	NoPrune bool
+	// StaticPrune additionally applies the inter-block dataflow pruner
+	// of package staticanalysis: accesses provably covered by an
+	// earlier logged access on every path, or proven thread-private by
+	// the affine index analysis, are not logged. Conservative by
+	// construction — detection results are unchanged. Mutually
+	// exclusive with NoPrune.
+	StaticPrune bool
 }
 
 // KernelStats reports per-kernel instrumentation counts.
 type KernelStats struct {
-	Static         int // original static instruction count
-	Instrumented   int // original instructions that received logging (after pruning)
-	InstrumentedNo int // same, without the pruning optimization
-	Pruned         int // logging sites removed by the optimization
-	Added          int // instructions added (logs, branches)
+	Static             int // original static instruction count
+	Instrumented       int // original instructions that received logging (after pruning)
+	InstrumentedNo     int // same, without the pruning optimization
+	InstrumentedStatic int // same, with the inter-block static pruner on top
+	Pruned             int // logging sites removed by the intra-block optimization
+	StaticPruned       int // additional sites removed only by the inter-block pruner
+	ThreadPrivate      int // sites dropped entirely as provably thread-private
+	Added              int // instructions added (logs, branches)
 }
 
 // FracInstrumented returns Instrumented/Static.
@@ -59,6 +70,14 @@ func (s KernelStats) FracInstrumentedNoOpt() float64 {
 	return float64(s.InstrumentedNo) / float64(s.Static)
 }
 
+// FracInstrumentedStatic returns the fraction with the static pruner.
+func (s KernelStats) FracInstrumentedStatic() float64 {
+	if s.Static == 0 {
+		return 0
+	}
+	return float64(s.InstrumentedStatic) / float64(s.Static)
+}
+
 // Result is an instrumented module plus statistics.
 type Result struct {
 	Module *ptx.Module
@@ -72,7 +91,10 @@ func (r *Result) TotalStats() KernelStats {
 		t.Static += s.Static
 		t.Instrumented += s.Instrumented
 		t.InstrumentedNo += s.InstrumentedNo
+		t.InstrumentedStatic += s.InstrumentedStatic
 		t.Pruned += s.Pruned
+		t.StaticPruned += s.StaticPruned
+		t.ThreadPrivate += s.ThreadPrivate
 		t.Added += s.Added
 	}
 	return t
@@ -101,10 +123,11 @@ func Instrument(m *ptx.Module, opts Options) (*Result, error) {
 // site describes the instrumentation decision for one original
 // instruction.
 type site struct {
-	kind   trace.OpKind // memory/sync/bar classification (OpNone if none)
-	prune  bool         // redundant under the optimization
-	branch bool         // conditional branch (gets _log.if)
-	conv   bool         // branch convergence point (gets _log.fi)
+	kind    trace.OpKind // memory/sync/bar classification (OpNone if none)
+	prune   bool         // redundant under the intra-block optimization
+	staticp bool         // prunable per the inter-block static analysis
+	branch  bool         // conditional branch (gets _log.if)
+	conv    bool         // branch convergence point (gets _log.fi)
 }
 
 func instrumentKernel(k *ptx.Kernel, opts Options) (*ptx.Kernel, *KernelStats, error) {
@@ -140,15 +163,39 @@ func instrumentKernel(k *ptx.Kernel, opts Options) (*ptx.Kernel, *KernelStats, e
 	markPrunable(cfg, class, sites)
 
 	stats := &KernelStats{Static: len(cfg.Instrs)}
-	for _, s := range sites {
-		if s.kind != trace.OpNone || s.branch || s.conv {
-			stats.InstrumentedNo++
-			if !(s.kind != trace.OpNone && s.prune && !s.branch && !s.conv) {
-				stats.Instrumented++
-			} else {
-				stats.Pruned++
+	if opts.StaticPrune {
+		sa := staticanalysis.AnalyzeCFG(cfg, class)
+		for i := range cfg.Instrs {
+			if sa.Prune.Prunable(i) {
+				siteFor(cfg.Instrs[i]).staticp = true
 			}
 		}
+		stats.ThreadPrivate = sa.Prune.Private
+	}
+	for _, s := range sites {
+		if s.kind == trace.OpNone && !s.branch && !s.conv {
+			continue
+		}
+		stats.InstrumentedNo++
+		intraSkip := s.kind != trace.OpNone && s.prune && !s.branch && !s.conv
+		staticSkip := s.kind != trace.OpNone && (s.prune || s.staticp) && !s.branch && !s.conv
+		if intraSkip {
+			stats.Pruned++
+		} else {
+			stats.Instrumented++
+		}
+		if staticSkip {
+			if !intraSkip {
+				stats.StaticPruned++
+			}
+		} else {
+			stats.InstrumentedStatic++
+		}
+	}
+	if !opts.StaticPrune {
+		// No analysis ran: the static column mirrors the intra column.
+		stats.InstrumentedStatic = stats.Instrumented
+		stats.StaticPruned = 0
 	}
 
 	ik.Body = rewriteBody(ik.Body, sites, opts, stats)
@@ -265,7 +312,7 @@ func rewriteBody(body []ptx.Stmt, sites map[*ptx.Instr]*site, opts Options, stat
 			out = append(out, st)
 			continue
 		}
-		pruned := s.prune && !opts.NoPrune
+		pruned := (s.prune && !opts.NoPrune) || (s.staticp && opts.StaticPrune)
 		if pruned {
 			out = append(out, st)
 			continue

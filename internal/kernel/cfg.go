@@ -33,6 +33,11 @@ type CFG struct {
 	// the virtual exit node is len(Blocks), and unreachable blocks map
 	// to -1.
 	IPDom []int
+
+	// Dom maps block index -> immediate (forward) dominator block index.
+	// The entry block maps to itself; blocks unreachable from the entry
+	// map to -1.
+	Dom []int
 }
 
 // Build constructs the CFG and post-dominator tree for k.
@@ -56,6 +61,7 @@ func Build(k *ptx.Kernel) (*CFG, error) {
 	}
 	c.linkBlocks()
 	c.computeIPDom()
+	c.computeDom()
 	return c, nil
 }
 
@@ -267,4 +273,112 @@ func (c *CFG) ConvergencePoints() map[int]bool {
 		}
 	}
 	return pts
+}
+
+// computeDom runs the Cooper–Harvey–Kennedy iterative dominance algorithm
+// on the forward CFG rooted at the entry block (block 0). It mirrors
+// computeIPDom but walks Succs instead of Preds; edges to the virtual exit
+// node are skipped. Blocks unreachable from the entry keep Dom == -1 and
+// are tolerated, not fatal: callers use UnreachableBlocks to report them.
+func (c *CFG) computeDom() {
+	n := len(c.Blocks)
+	// Reverse post-order of the forward graph from the entry.
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	var dfs func(b int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range c.Blocks[b].Succs {
+			if s < n && !seen[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(0)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range order {
+		rpoNum[b] = i
+	}
+
+	dom := make([]int, n)
+	for i := range dom {
+		dom[i] = -1
+	}
+	dom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = dom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = dom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.Blocks[b].Preds {
+				if dom[p] == -1 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && dom[b] != newIdom {
+				dom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	c.Dom = dom
+}
+
+// Dominates reports whether block a dominates block b in the forward CFG.
+// Every block dominates itself. Unreachable blocks are dominated by
+// nothing (and dominate only themselves).
+func (c *CFG) Dominates(a, b int) bool {
+	if a == b {
+		return true
+	}
+	for b != 0 {
+		d := c.Dom[b]
+		if d == b || d == -1 {
+			return false
+		}
+		if d == a {
+			return true
+		}
+		b = d
+	}
+	return a == 0
+}
+
+// UnreachableBlocks returns the indices of blocks unreachable from the
+// kernel entry. Such blocks are dead code: the dominator solvers leave
+// them at -1 rather than crashing, and the lint pass reports them.
+func (c *CFG) UnreachableBlocks() []int {
+	var out []int
+	for i := range c.Blocks {
+		if i != 0 && c.Dom[i] == -1 {
+			out = append(out, i)
+		}
+	}
+	return out
 }

@@ -1,0 +1,113 @@
+package kernel
+
+import "testing"
+
+// TestDiamondDominators: in a diamond, the branch block dominates both arms
+// and the join; neither arm dominates the join.
+func TestDiamondDominators(t *testing.T) {
+	c := build(t, diamondSrc)
+	// Blocks: 0 = header (branch), 1 = else, 2 = then, 3 = join.
+	if len(c.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(c.Blocks))
+	}
+	if c.Dom[0] != 0 {
+		t.Errorf("Dom[entry] = %d, want 0", c.Dom[0])
+	}
+	for b := 1; b < 4; b++ {
+		if c.Dom[b] != 0 {
+			t.Errorf("Dom[%d] = %d, want 0", b, c.Dom[b])
+		}
+	}
+	if !c.Dominates(0, 3) {
+		t.Error("entry should dominate join")
+	}
+	if c.Dominates(1, 3) || c.Dominates(2, 3) {
+		t.Error("arms must not dominate join")
+	}
+	if got := c.UnreachableBlocks(); len(got) != 0 {
+		t.Errorf("unreachable = %v, want none", got)
+	}
+}
+
+// TestLoopDominators: the loop header dominates the loop body and the
+// blocks after the loop.
+func TestLoopDominators(t *testing.T) {
+	c := build(t, `.visible .entry k() {
+	.reg .u32 %r<8>;
+	.reg .pred %p<2>;
+	mov.u32 %r1, 0;
+LOOP:
+	add.u32 %r1, %r1, 1;
+	setp.lt.u32 %p1, %r1, 10;
+	@%p1 bra LOOP;
+	mov.u32 %r2, %r1;
+	ret;
+}`)
+	// Blocks: 0 = preheader, 1 = loop body (header), 2 = after.
+	if len(c.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(c.Blocks))
+	}
+	if c.Dom[1] != 0 || c.Dom[2] != 1 {
+		t.Errorf("Dom = %v, want [0 0 1]", c.Dom)
+	}
+	if !c.Dominates(1, 2) {
+		t.Error("loop header should dominate exit block")
+	}
+}
+
+// TestUnreachableBlock: dead code after an unconditional branch must be
+// reported, not crash either dominance solver.
+func TestUnreachableBlock(t *testing.T) {
+	c := build(t, `.visible .entry k() {
+	.reg .u32 %r<4>;
+	mov.u32 %r1, 1;
+	bra.uni DONE;
+	add.u32 %r2, %r1, 1;
+DONE:
+	ret;
+}`)
+	dead := c.UnreachableBlocks()
+	if len(dead) != 1 {
+		t.Fatalf("unreachable = %v, want one block", dead)
+	}
+	if c.Dom[dead[0]] != -1 {
+		t.Errorf("Dom[dead] = %d, want -1", c.Dom[dead[0]])
+	}
+	if c.Dominates(dead[0], 0) {
+		t.Error("dead block must not dominate the entry")
+	}
+	if c.Dominates(0, dead[0]) {
+		t.Error("entry must not dominate an unreachable block")
+	}
+}
+
+// TestIrreducibleDominators: two blocks that branch into each other from
+// separate entry edges (an irreducible region). The only common dominator
+// of both region blocks is the entry branch.
+func TestIrreducibleDominators(t *testing.T) {
+	c := build(t, `.visible .entry k() {
+	.reg .u32 %r<8>;
+	.reg .pred %p<4>;
+	mov.u32 %r1, %tid.x;
+	setp.eq.u32 %p1, %r1, 0;
+	@%p1 bra B;
+A:
+	add.u32 %r2, %r1, 1;
+	setp.lt.u32 %p2, %r2, 4;
+	@%p2 bra B;
+	ret;
+B:
+	add.u32 %r3, %r1, 2;
+	setp.lt.u32 %p3, %r3, 8;
+	@%p3 bra A;
+	ret;
+}`)
+	// Blocks: 0 = header, 1 = A, 2 = ret-after-A, 3 = B, 4 = ret-after-B.
+	a, b := 1, 3
+	if c.Dom[a] != 0 || c.Dom[b] != 0 {
+		t.Errorf("Dom[A]=%d Dom[B]=%d, want both 0 (irreducible region)", c.Dom[a], c.Dom[b])
+	}
+	if c.Dominates(a, b) || c.Dominates(b, a) {
+		t.Error("neither irreducible-region block may dominate the other")
+	}
+}

@@ -401,6 +401,7 @@ type Instr struct {
 	HasDst   bool
 	Args     []Operand
 	Line     int // 1-based source line, 0 when synthesized
+	Col      int // 1-based source column, 0 when synthesized
 }
 
 // MemoryAccess reports whether the instruction reads or writes memory
@@ -444,6 +445,7 @@ type Stmt struct {
 	Label string // non-empty for a label statement
 	Instr *Instr // non-nil for an instruction statement
 	Line  int
+	Col   int
 }
 
 // Param is a kernel parameter declaration.

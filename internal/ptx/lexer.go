@@ -19,6 +19,7 @@ type token struct {
 	kind tokKind
 	text string
 	line int
+	col  int // 1-based column of the token's first byte
 }
 
 func (t token) String() string {
@@ -32,23 +33,33 @@ func (t token) String() string {
 
 // lexer produces tokens from PTX source text.
 type lexer struct {
-	src  string
-	pos  int
-	line int
+	src       string
+	pos       int
+	line      int
+	lineStart int // byte offset of the current line's first character
 }
 
 func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
 
+// col returns the 1-based column of the current position.
+func (l *lexer) col() int { return l.pos - l.lineStart + 1 }
+
 // Error is a positioned lex/parse error.
 type Error struct {
 	Line int
+	Col  int // 1-based column, 0 when unknown
 	Msg  string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("ptx: line %d: %s", e.Line, e.Msg) }
+func (e *Error) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("ptx: line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("ptx: line %d: %s", e.Line, e.Msg)
+}
 
 func (l *lexer) errf(format string, args ...any) *Error {
-	return &Error{Line: l.line, Msg: fmt.Sprintf(format, args...)}
+	return &Error{Line: l.line, Col: l.col(), Msg: fmt.Sprintf(format, args...)}
 }
 
 func isIdentStart(c byte) bool {
@@ -67,6 +78,7 @@ func (l *lexer) next() (token, error) {
 		case c == '\n':
 			l.line++
 			l.pos++
+			l.lineStart = l.pos
 		case c == ' ' || c == '\t' || c == '\r':
 			l.pos++
 		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
@@ -78,18 +90,23 @@ func (l *lexer) next() (token, error) {
 			if end < 0 {
 				return token{}, l.errf("unterminated block comment")
 			}
-			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			seg := l.src[l.pos : l.pos+2+end+2]
+			l.line += strings.Count(seg, "\n")
+			if nl := strings.LastIndexByte(seg, '\n'); nl >= 0 {
+				l.lineStart = l.pos + nl + 1
+			}
 			l.pos += 2 + end + 2
 		default:
 			return l.lexToken()
 		}
 	}
-	return token{kind: tokEOF, line: l.line}, nil
+	return token{kind: tokEOF, line: l.line, col: l.col()}, nil
 }
 
 func (l *lexer) lexToken() (token, error) {
 	c := l.src[l.pos]
 	start := l.pos
+	startCol := l.col()
 	switch {
 	case c == '%':
 		// Register or special register: % ident (.x suffix allowed via '.').
@@ -100,7 +117,7 @@ func (l *lexer) lexToken() (token, error) {
 		if l.pos == start+1 {
 			return token{}, l.errf("bare %% in input")
 		}
-		return token{tokIdent, l.src[start:l.pos], l.line}, nil
+		return token{tokIdent, l.src[start:l.pos], l.line, startCol}, nil
 	case c == '.':
 		// Directive or dotted continuation handled by identifier rule.
 		l.pos++
@@ -110,13 +127,13 @@ func (l *lexer) lexToken() (token, error) {
 		if l.pos == start+1 {
 			return token{}, l.errf("bare '.' in input")
 		}
-		return token{tokIdent, l.src[start:l.pos], l.line}, nil
+		return token{tokIdent, l.src[start:l.pos], l.line, startCol}, nil
 	case isIdentStart(c):
 		l.pos++
 		for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
 			l.pos++
 		}
-		return token{tokIdent, l.src[start:l.pos], l.line}, nil
+		return token{tokIdent, l.src[start:l.pos], l.line, startCol}, nil
 	case c >= '0' && c <= '9':
 		return l.lexNumber()
 	case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
@@ -126,12 +143,13 @@ func (l *lexer) lexToken() (token, error) {
 			return tok, err
 		}
 		tok.text = "-" + tok.text
+		tok.col = startCol
 		return tok, nil
 	default:
 		switch c {
 		case ',', ';', '[', ']', '(', ')', '{', '}', ':', '@', '!', '+', '<', '>':
 			l.pos++
-			return token{tokPunct, string(c), l.line}, nil
+			return token{tokPunct, string(c), l.line, startCol}, nil
 		}
 		return token{}, l.errf("unexpected character %q", c)
 	}
@@ -139,12 +157,13 @@ func (l *lexer) lexToken() (token, error) {
 
 func (l *lexer) lexNumber() (token, error) {
 	start := l.pos
+	startCol := l.col()
 	if strings.HasPrefix(l.src[l.pos:], "0x") || strings.HasPrefix(l.src[l.pos:], "0X") {
 		l.pos += 2
 		for l.pos < len(l.src) && isHex(l.src[l.pos]) {
 			l.pos++
 		}
-		return token{tokNumber, l.src[start:l.pos], l.line}, nil
+		return token{tokNumber, l.src[start:l.pos], l.line, startCol}, nil
 	}
 	if strings.HasPrefix(l.src[l.pos:], "0f") || strings.HasPrefix(l.src[l.pos:], "0F") {
 		// Hex float literal 0fXXXXXXXX (IEEE-754 bits).
@@ -152,7 +171,7 @@ func (l *lexer) lexNumber() (token, error) {
 		for l.pos < len(l.src) && isHex(l.src[l.pos]) {
 			l.pos++
 		}
-		return token{tokNumber, l.src[start:l.pos], l.line}, nil
+		return token{tokNumber, l.src[start:l.pos], l.line, startCol}, nil
 	}
 	seenDot := false
 	for l.pos < len(l.src) {
@@ -168,7 +187,7 @@ func (l *lexer) lexNumber() (token, error) {
 		}
 		break
 	}
-	return token{tokNumber, l.src[start:l.pos], l.line}, nil
+	return token{tokNumber, l.src[start:l.pos], l.line, startCol}, nil
 }
 
 func isHex(c byte) bool {

@@ -52,7 +52,7 @@ func (p *parser) advance() error {
 }
 
 func (p *parser) errf(format string, args ...any) *Error {
-	return &Error{Line: p.tok.line, Msg: fmt.Sprintf(format, args...)}
+	return &Error{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) expectPunct(s string) error {
@@ -307,7 +307,7 @@ func (p *parser) parseRegDecl() (RegDecl, error) {
 
 // parseStmt parses one label or instruction.
 func (p *parser) parseStmt() (Stmt, error) {
-	line := p.tok.line
+	line, col := p.tok.line, p.tok.col
 	// Label: IDENT ':'
 	if p.tok.kind == tokIdent && !strings.HasPrefix(p.tok.text, "%") && !strings.HasPrefix(p.tok.text, ".") {
 		// Look ahead for ':': need to distinguish "LBB1:" from "ret;".
@@ -321,7 +321,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 			if err := p.advance(); err != nil {
 				return Stmt{}, err
 			}
-			return Stmt{Label: name, Line: line}, nil
+			return Stmt{Label: name, Line: line, Col: col}, nil
 		}
 		*p.lex = save
 		p.tok = saveTok
@@ -330,11 +330,11 @@ func (p *parser) parseStmt() (Stmt, error) {
 	if err != nil {
 		return Stmt{}, err
 	}
-	return Stmt{Instr: in, Line: line}, nil
+	return Stmt{Instr: in, Line: line, Col: col}, nil
 }
 
 func (p *parser) parseInstr() (*Instr, error) {
-	in := &Instr{Line: p.tok.line}
+	in := &Instr{Line: p.tok.line, Col: p.tok.col}
 	// Optional guard @%p / @!%p.
 	if p.atPunct("@") {
 		if err := p.advance(); err != nil {

@@ -1,0 +1,88 @@
+package ptx
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInstrPositions checks that parsed instructions carry accurate
+// line/column positions for lint diagnostics.
+func TestInstrPositions(t *testing.T) {
+	src := ".version 4.3\n" +
+		".target sm_35\n" +
+		".address_size 64\n" +
+		".visible .entry k()\n" +
+		"{\n" +
+		"\t.reg .u32 %r<4>;\n" +
+		"\tmov.u32 %r1, %tid.x;\n" + // line 7, col 2 (after tab)
+		"    bar.sync 0;\n" + // line 8, col 5 (after 4 spaces)
+		"\tret;\n" +
+		"}\n"
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	k := m.Kernels[0]
+	var mov, bar *Instr
+	for _, s := range k.Body {
+		if s.Instr == nil {
+			continue
+		}
+		switch s.Instr.Op {
+		case OpMov:
+			mov = s.Instr
+		case OpBar:
+			bar = s.Instr
+		}
+	}
+	if mov == nil || bar == nil {
+		t.Fatalf("missing instructions in %+v", k.Body)
+	}
+	if mov.Line != 7 || mov.Col != 2 {
+		t.Errorf("mov position = %d:%d, want 7:2", mov.Line, mov.Col)
+	}
+	if bar.Line != 8 || bar.Col != 5 {
+		t.Errorf("bar position = %d:%d, want 8:5", bar.Line, bar.Col)
+	}
+}
+
+// TestLabelStmtPosition checks label statements carry positions too.
+func TestLabelStmtPosition(t *testing.T) {
+	src := ".version 4.3\n.target sm_35\n.address_size 64\n" +
+		".visible .entry k()\n{\n" +
+		"LOOP:\n" + // line 6, col 1
+		"\tret;\n}\n"
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	for _, s := range m.Kernels[0].Body {
+		if s.Label == "LOOP" {
+			if s.Line != 6 || s.Col != 1 {
+				t.Errorf("label position = %d:%d, want 6:1", s.Line, s.Col)
+			}
+			return
+		}
+	}
+	t.Fatal("label LOOP not found")
+}
+
+// TestErrorHasColumn checks parse errors carry a column and render it.
+func TestErrorHasColumn(t *testing.T) {
+	src := ".version 4.3\n.target sm_35\n.address_size 64\n" +
+		".visible .entry k()\n{\n\t???;\n}\n"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	pe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if pe.Line != 6 || pe.Col == 0 {
+		t.Errorf("error position = %d:%d, want line 6 with nonzero col", pe.Line, pe.Col)
+	}
+	if !strings.Contains(pe.Error(), "6:") {
+		t.Errorf("error string %q missing line:col", pe.Error())
+	}
+}

@@ -28,6 +28,7 @@ type ConfigJSON struct {
 	MaxRaces          int  `json:"max_races,omitempty"`
 	FullVC            bool `json:"full_vc,omitempty"`
 	NoPrune           bool `json:"no_prune,omitempty"`
+	StaticPrune       bool `json:"static_prune,omitempty"`
 	NoSameValueFilter bool `json:"no_same_value_filter,omitempty"`
 }
 
@@ -40,6 +41,7 @@ func (c ConfigJSON) Detector() detector.Config {
 		MaxRaces:          c.MaxRaces,
 		FullVC:            c.FullVC,
 		NoPrune:           c.NoPrune,
+		StaticPrune:       c.StaticPrune,
 		NoSameValueFilter: c.NoSameValueFilter,
 	}
 }

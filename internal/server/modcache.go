@@ -53,6 +53,10 @@ type cacheEntry struct {
 	sess *detector.Session
 	err  error
 	bufs map[string][]uint64 // buffer-size signature → device addresses
+
+	// analysis memoizes the /v1/analyze result for this module: lint
+	// diagnostics and pruning statistics depend only on the source.
+	analysis *AnalyzeResponse
 }
 
 // NewModCache creates a cache bounded to max sessions (minimum 1).
@@ -71,9 +75,9 @@ func NewModCache(max int) *ModCache {
 func CacheKey(src string, cfg detector.Config) string {
 	h := sha256.New()
 	h.Write([]byte(src))
-	fmt.Fprintf(h, "\x00%d|%d|%d|%d|%t|%t|%t",
+	fmt.Fprintf(h, "\x00%d|%d|%d|%d|%t|%t|%t|%t",
 		cfg.Queues, cfg.QueueCap, cfg.Granularity, cfg.MaxRaces,
-		cfg.FullVC, cfg.NoPrune, cfg.NoSameValueFilter)
+		cfg.FullVC, cfg.NoPrune, cfg.NoSameValueFilter, cfg.StaticPrune)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

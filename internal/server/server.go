@@ -20,6 +20,7 @@ const maxBodyBytes = 16 << 20
 //	GET  /jobs          list retained jobs   → 200 []JobInfo
 //	GET  /jobs/{id}     fetch one job        → 200 JobInfo | 404
 //	                    ?wait_ms=N long-polls until terminal or N ms
+//	POST /v1/analyze    static analysis only → 200 AnalyzeResponse | 400
 //	GET  /healthz       liveness             → 200 {"status":"ok",...}
 //	GET  /metrics       counters             → 200 MetricsJSON
 type Server struct {
@@ -38,6 +39,7 @@ func New(opts SchedulerOptions) *Server {
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -82,6 +84,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusAccepted, job.Info())
 	}
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	res, err := s.sched.Analyze(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

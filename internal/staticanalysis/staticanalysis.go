@@ -1,0 +1,49 @@
+// Package staticanalysis is a reusable dataflow framework over the
+// kernel CFG (worklist solver, reaching definitions, tid/ctaid-affine
+// symbolic index analysis) plus the clients built on it:
+//
+//   - an inter-block instrumentation pruner that extends BARRACUDA's
+//     intra-basic-block redundant-logging optimization (§4.1) across
+//     basic blocks, and drops accesses the affine analysis proves
+//     thread-private (consumed by instrument.Options.StaticPrune);
+//   - a lint pass producing structured diagnostics with PTX source
+//     positions: barrier divergence, unreachable code, missing-fence
+//     heuristics, and unsynchronized shared-memory reads (consumed by
+//     `barracuda vet` and barracudad's /v1/analyze endpoint).
+//
+// The conservatism contract: every verdict that removes logging is an
+// under-approximation — any access the analysis cannot *prove* safe
+// stays instrumented, so detection results are unchanged while dynamic
+// log volume drops. Lint verdicts are the opposite trade: advisory
+// over-approximations that may flag code a deeper analysis could
+// exonerate, which is why they are diagnostics and never prune anything.
+package staticanalysis
+
+import (
+	"barracuda/internal/kernel"
+	"barracuda/internal/trace"
+)
+
+// Analysis bundles the static-analysis results for one kernel CFG.
+type Analysis struct {
+	CFG    *kernel.CFG
+	Class  map[int]trace.OpKind
+	Affine *Affine
+	Prune  *PruneResult
+}
+
+// Analyze runs the full analysis pipeline on a kernel CFG, classifying
+// trace operations itself.
+func Analyze(c *kernel.CFG) *Analysis { return AnalyzeCFG(c, trace.Classify(c)) }
+
+// AnalyzeCFG runs the pipeline with a caller-provided trace
+// classification (the instrumenter already has one).
+func AnalyzeCFG(c *kernel.CFG, class map[int]trace.OpKind) *Analysis {
+	aff := computeAffine(c)
+	return &Analysis{
+		CFG:    c,
+		Class:  class,
+		Affine: aff,
+		Prune:  computePrune(c, class, aff),
+	}
+}
