@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve ci fmt-check vet-smoke
+.PHONY: all build vet test race bench bench-scaling stress-multiqueue serve ci fmt-check vet-smoke
 
 all: build vet test
 
@@ -43,7 +43,19 @@ bench:
 	$(GO) run ./cmd/benchtab -server -jobs 32 -workers 4 -o BENCH_server.json
 	$(GO) run ./cmd/benchtab -static -o BENCH_static.json
 
+# Detection throughput vs queue count (capture/replay, widths 1/2/4/8),
+# asserting the determinism contract at every width.
+bench-scaling:
+	$(GO) run ./cmd/benchtab -scaling -o BENCH_scaling.json
+
+# The multi-queue determinism stress: the 66-program bug suite at 4
+# queues vs 1 queue, repeated, with real parallelism and under the Go
+# race detector.
+stress-multiqueue:
+	GOMAXPROCS=4 $(GO) test -count=5 -run TestMultiQueueReportEquivalence ./internal/bugsuite/
+	GOMAXPROCS=4 $(GO) test -race -count=2 -run TestMultiQueueReportEquivalence ./internal/bugsuite/
+
 serve:
 	$(GO) run ./cmd/barracudad -addr :8321
 
-ci: build vet fmt-check test race vet-smoke
+ci: build vet fmt-check test race vet-smoke stress-multiqueue

@@ -8,12 +8,19 @@
 // end-to-end over loopback HTTP — jobs/sec with a cold vs warm module
 // cache — and writes a machine-readable artifact (default
 // BENCH_server.json) so successive PRs have a perf trajectory.
+//
+// With -scaling it measures detection throughput against the number of
+// event queues (1, 2, 4, 8): each benchmark's record stream is captured
+// once and replayed through the multi-queue transport, asserting at
+// every width that the canonical race report matches the 1-queue run,
+// and writes BENCH_scaling.json.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"barracuda/internal/bench"
 	"barracuda/internal/detector"
@@ -29,17 +36,32 @@ func main() {
 		all      = flag.Bool("all", false, "everything")
 		serverB  = flag.Bool("server", false, "benchmark the detection service (cold vs warm cache) instead")
 		staticB  = flag.Bool("static", false, "benchmark the static instrumentation pruner instead")
+		scalingB = flag.Bool("scaling", false, "benchmark detection throughput vs queue count instead")
 		jobs     = flag.Int("jobs", 32, "jobs per phase for -server")
 		workers  = flag.Int("workers", 4, "detection workers for -server")
-		out      = flag.String("o", "", "output artifact path (default BENCH_server.json / BENCH_static.json)")
+		out      = flag.String("o", "", "output artifact path (default BENCH_server.json / BENCH_static.json / BENCH_scaling.json)")
 	)
 	flag.Parse()
 	if *serverB {
+		// Throughput benchmarks use every core the host grants.
+		runtime.GOMAXPROCS(runtime.NumCPU())
 		path := *out
 		if path == "" {
 			path = "BENCH_server.json"
 		}
 		if err := runServerBench(*jobs, *workers, path); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scalingB {
+		runtime.GOMAXPROCS(runtime.NumCPU())
+		path := *out
+		if path == "" {
+			path = "BENCH_scaling.json"
+		}
+		if err := runScalingBench(path); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"barracuda/internal/bench"
+)
+
+// ScalingBench is the BENCH_scaling.json schema. NumCPU is recorded
+// because the consumer-side speedup is bounded by the cores actually
+// available: on a single-core host every width shares one CPU and the
+// interesting signal is that throughput does not *degrade* and that
+// races_equal holds everywhere.
+type ScalingBench struct {
+	NumCPU     int                 `json:"num_cpu"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Benchmarks int                 `json:"benchmarks"`
+	Points     []ScalingBenchPoint `json:"points"`
+}
+
+// ScalingBenchPoint is one queue width's aggregate measurement.
+type ScalingBenchPoint struct {
+	Queues        int     `json:"queues"`
+	Records       int     `json:"records"`
+	DurationMS    float64 `json:"duration_ms"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	Speedup       float64 `json:"speedup"`
+	Efficiency    float64 `json:"parallel_efficiency"`
+	RacesEqual    bool    `json:"races_equal"`
+}
+
+// runScalingBench measures suite throughput at each queue width and
+// writes the artifact.
+func runScalingBench(outPath string) error {
+	points, err := bench.Scaling(bench.ScalingOptions{})
+	if err != nil {
+		return err
+	}
+	res := ScalingBench{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: len(bench.All()),
+	}
+	for _, p := range points {
+		res.Points = append(res.Points, ScalingBenchPoint{
+			Queues:        p.Queues,
+			Records:       p.Records,
+			DurationMS:    float64(p.Duration.Microseconds()) / 1000,
+			RecordsPerSec: p.RecordsPerSec,
+			Speedup:       p.Speedup,
+			Efficiency:    p.Efficiency,
+			RacesEqual:    p.RacesEqual,
+		})
+	}
+	data, _ := json.MarshalIndent(res, "", "  ")
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("scaling bench (%d benchmarks, %d CPUs):\n", res.Benchmarks, res.NumCPU)
+	for _, p := range res.Points {
+		eq := "reports match 1-queue"
+		if !p.RacesEqual {
+			eq = "REPORTS DIVERGED"
+		}
+		fmt.Printf("  queues=%d  %11.0f records/s  speedup %.2fx  efficiency %.2f  %s\n",
+			p.Queues, p.RecordsPerSec, p.Speedup, p.Efficiency, eq)
+	}
+	fmt.Printf("→ %s\n", outPath)
+	for _, p := range res.Points {
+		if !p.RacesEqual {
+			return fmt.Errorf("determinism contract violated at queues=%d", p.Queues)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"barracuda/internal/detector"
+)
+
+// ScalingPoint is the aggregate transport+detection throughput of the
+// whole benchmark suite at one queue width.
+type ScalingPoint struct {
+	Queues        int
+	Records       int           // records replayed across the suite
+	Duration      time.Duration // best-of-Repeats drain time, summed over benchmarks
+	RecordsPerSec float64
+	Speedup       float64 // vs the 1-queue point
+	Efficiency    float64 // Speedup / Queues
+	RacesEqual    bool    // every benchmark's canonical report matched 1 queue
+}
+
+// ScalingOptions tunes the scaling experiment.
+type ScalingOptions struct {
+	// Widths are the queue counts to measure (default 1, 2, 4, 8).
+	Widths []int
+	// Repeats is how many times each capture is replayed per width; the
+	// fastest drain is kept (default 3). Replays are cheap — the kernel
+	// is simulated once per benchmark, at capture time.
+	Repeats int
+}
+
+// Scaling measures how detection throughput scales with the number of
+// event queues. Each benchmark's instrumented record stream is captured
+// once, then replayed through the multi-queue transport at every width,
+// with one producer goroutine per queue (the hardware DMA model) and
+// one batched consumer per queue. Alongside throughput it checks the
+// determinism contract: the canonical report at every width must equal
+// the 1-queue report.
+//
+// The 1-queue width is always measured (it is the speedup baseline) and
+// is prepended if absent from Widths.
+func Scaling(opts ScalingOptions) ([]ScalingPoint, error) {
+	widths := opts.Widths
+	if len(widths) == 0 {
+		widths = []int{1, 2, 4, 8}
+	}
+	if widths[0] != 1 {
+		widths = append([]int{1}, widths...)
+	}
+	repeats := opts.Repeats
+	if repeats <= 0 {
+		repeats = 3
+	}
+
+	type workload struct {
+		name string
+		cap  *detector.Capture
+	}
+	var caps []workload
+	for _, b := range All() {
+		s, launch, err := session(b, detector.Config{})
+		if err != nil {
+			return nil, err
+		}
+		c, err := s.Capture("main", launch)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s capture: %w", b.Name, err)
+		}
+		caps = append(caps, workload{b.Name, c})
+	}
+
+	baseline := make(map[string]string, len(caps))
+	var points []ScalingPoint
+	for _, q := range widths {
+		pt := ScalingPoint{Queues: q, RacesEqual: true}
+		for _, wl := range caps {
+			best := time.Duration(0)
+			for rep := 0; rep < repeats; rep++ {
+				res, err := detector.Replay(wl.cap, detector.Config{Queues: q})
+				if err != nil {
+					return nil, fmt.Errorf("bench %s replay queues=%d: %w", wl.name, q, err)
+				}
+				if rep == 0 || res.Duration < best {
+					best = res.Duration
+				}
+				dig := res.Report.CanonicalDigest()
+				if q == 1 && rep == 0 {
+					baseline[wl.name] = dig
+				} else if dig != baseline[wl.name] {
+					pt.RacesEqual = false
+				}
+			}
+			pt.Records += len(wl.cap.Records)
+			pt.Duration += best
+		}
+		if pt.Duration > 0 {
+			pt.RecordsPerSec = float64(pt.Records) / pt.Duration.Seconds()
+		}
+		points = append(points, pt)
+	}
+	base := points[0]
+	for i := range points {
+		if base.RecordsPerSec > 0 {
+			points[i].Speedup = points[i].RecordsPerSec / base.RecordsPerSec
+		}
+		points[i].Efficiency = points[i].Speedup / float64(points[i].Queues)
+	}
+	return points, nil
+}

@@ -1,0 +1,61 @@
+package bugsuite
+
+import (
+	"errors"
+	"testing"
+
+	"barracuda/internal/detector"
+	"barracuda/internal/gpusim"
+)
+
+// digestFor runs one test under the detector at the given queue width
+// and returns the canonical report digest (the queue-count-invariant
+// projection of the report — see core.Report.CanonicalDigest).
+func digestFor(t *Test, cfg detector.Config) (string, error) {
+	s, err := detector.OpenPTX(t.PTX, cfg)
+	if err != nil {
+		return "", err
+	}
+	launch, err := t.launch(s.Dev)
+	if err != nil {
+		return "", err
+	}
+	res, err := s.Detect(t.Kernel, launch)
+	if err != nil {
+		if errors.Is(err, gpusim.ErrStepBudget) {
+			return "HANG\n", nil
+		}
+		return "", err
+	}
+	return res.Report.CanonicalDigest(), nil
+}
+
+// TestMultiQueueReportEquivalence is the determinism contract of the
+// parallel detection pipeline: across the full bug suite, running with
+// four queues (four concurrent detector workers) must produce reports
+// canonically identical to the single-queue run — same static races,
+// same dynamic counts, same divergences, same record totals. Per-queue
+// FIFO order preserves each block's program order, and Seq-ordered sync
+// records preserve cross-queue happens-before edges; this test is what
+// the server's content-addressed cache and the Fig. 9 comparisons rely
+// on. Run under -race (make race / CI) this also stress-tests the
+// lock-free transport, the striped shadow page table and the per-worker
+// stat shards.
+func TestMultiQueueReportEquivalence(t *testing.T) {
+	for _, tc := range Tests() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			base, err := digestFor(tc, detector.Config{Queues: 1})
+			if err != nil {
+				t.Fatalf("single-queue run: %v", err)
+			}
+			multi, err := digestFor(tc, detector.Config{Queues: 4})
+			if err != nil {
+				t.Fatalf("multi-queue run: %v", err)
+			}
+			if base != multi {
+				t.Errorf("report changed at Queues=4:\n--- queues=1 ---\n%s--- queues=4 ---\n%s", base, multi)
+			}
+		})
+	}
+}

@@ -15,16 +15,22 @@
 // the same value are filtered, following the CUDA documentation's
 // guarantee that such writes are well-defined.
 //
-// Handle is safe for concurrent use by multiple queue-consumer goroutines
-// as long as all records of one thread block are delivered by the same
-// goroutine (the block-to-queue affinity of package logging guarantees
-// this): per-warp and per-block state is block-affine, while shadow cells,
-// synchronization locations and the report are internally locked.
+// Concurrency: each queue-consumer goroutine should create a Worker with
+// NewWorker and deliver records through Worker.Handle, keeping all
+// records of one thread block on the same worker (the block-to-queue
+// affinity of package logging guarantees this). Per-warp and per-block
+// state is block-affine; shadow cells use per-location spinlocks; and
+// per-record statistics (record count, same-value filter count, PTVC
+// format histogram) live in per-worker shards merged lazily by Report
+// and FormatHistogram — so the per-record fast path of a memory access
+// acquires no mutex at all. Only the rare events (a detected race, a
+// barrier divergence) take the report mutex. Detector.Handle remains as
+// a worker-less convenience for tests and single-consumer callers; it is
+// safe for concurrent use but skips the worker-private caches.
 package core
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -175,16 +181,24 @@ type Detector struct {
 
 	warps []*warpMirror // indexed by global warp id; block-affine access
 
-	repMu     sync.Mutex
-	races     map[raceKey]*Race
-	diverge   []BarrierDivergence
-	divergeK  map[[2]uint32]bool
-	records   uint64
-	sameValue uint64
-	fullVC    *fullVCState // non-nil in the FullVC ablation mode
+	// repMu guards only the slow path: the race dedup map and the
+	// barrier-divergence list. It is never taken for a record that does
+	// not report anything.
+	repMu    sync.Mutex
+	races    map[raceKey]*Race
+	diverge  []BarrierDivergence
+	divergeK map[[2]uint32]bool
+	fullVC   *fullVCState // non-nil in the FullVC ablation mode
 
-	histMu sync.Mutex
-	hist   [4]uint64 // per-format counts sampled at each memory record
+	// base is the shared stats shard behind the worker-less Handle; its
+	// counters are atomic so concurrent legacy callers stay safe, but
+	// its worker-private caches are disabled.
+	base Worker
+
+	// workers registers every NewWorker shard for the lazy merges in
+	// Report, FormatHistogram and RecordsSeen.
+	workersMu sync.Mutex
+	workers   []*Worker
 
 	// syncCursor orders synchronization records globally across queue
 	// consumers: a sync record with sequence s is processed only after
@@ -193,6 +207,50 @@ type Detector struct {
 	// release in one queue could be processed after a dependent acquire
 	// from another queue, losing the synchronization edge.
 	syncCursor atomic.Uint64
+}
+
+// Worker is one queue consumer's private view of a Detector. It shards
+// the per-record statistics (record count, same-value filter count, PTVC
+// format histogram) so the hot path touches only worker-local cache
+// lines, and carries the worker's shadow-lookup and warp-mirror caches.
+// A Worker must not be shared across goroutines (except the detector's
+// own base shard, which disables the caches).
+type Worker struct {
+	d       *Detector
+	caching bool // false only for the shared base shard
+
+	// Counters are atomic so Report/FormatHistogram may run while
+	// workers are still consuming; the adds are uncontended (one writer
+	// per shard) and therefore cheap.
+	records   atomic.Uint64
+	sameValue atomic.Uint64
+	hist      [4]atomic.Uint64
+
+	span shadow.SpanCache
+
+	// Last-warp cache: records arrive in bursts from the same warp, so
+	// remembering the previous mirror skips the shared-slice lookup.
+	lastGwid int32
+	lastWarp *warpMirror
+}
+
+// NewWorker creates and registers a per-goroutine worker shard.
+func (d *Detector) NewWorker() *Worker {
+	w := &Worker{d: d, caching: true, lastGwid: -1}
+	d.workersMu.Lock()
+	d.workers = append(d.workers, w)
+	d.workersMu.Unlock()
+	return w
+}
+
+// shards snapshots the registered worker shards plus the base shard.
+func (d *Detector) shards() []*Worker {
+	d.workersMu.Lock()
+	out := make([]*Worker, 0, len(d.workers)+1)
+	out = append(out, &d.base)
+	out = append(out, d.workers...)
+	d.workersMu.Unlock()
+	return out
 }
 
 // New creates a detector for a launch with the given geometry and
@@ -212,6 +270,8 @@ func New(geo ptvc.Geometry, sharedBytes int64, opts Options) *Detector {
 		races:    make(map[raceKey]*Race),
 		divergeK: make(map[[2]uint32]bool),
 	}
+	d.base.d = d
+	d.base.lastGwid = -1
 	if opts.FullVC {
 		d.fullVC = newFullVCState(geo)
 	}
@@ -223,6 +283,20 @@ func (d *Detector) Geometry() ptvc.Geometry { return d.geo }
 
 // Shadow exposes the shadow memory (stats and tests).
 func (d *Detector) Shadow() *shadow.Memory { return d.mem }
+
+// warp returns the mirror state of a global warp through the worker's
+// last-warp cache.
+func (w *Worker) warp(gwid int) *warpMirror {
+	if w.caching && int32(gwid) == w.lastGwid {
+		return w.lastWarp
+	}
+	m := w.d.warp(gwid)
+	if w.caching {
+		w.lastGwid = int32(gwid)
+		w.lastWarp = m
+	}
+	return m
+}
 
 // warp returns (creating lazily) the mirror state of a global warp.
 func (d *Detector) warp(gwid int) *warpMirror {
@@ -244,31 +318,38 @@ func (d *Detector) warp(gwid int) *warpMirror {
 	return w
 }
 
-// Handle processes one record (the detector's per-event entry point).
+// Handle processes one record without a per-goroutine worker: stats land
+// in the detector's shared base shard (atomically, so concurrent callers
+// stay safe) and the worker-private caches are skipped. Queue consumers
+// should prefer NewWorker + Worker.Handle.
 func (d *Detector) Handle(r *logging.Record) {
-	d.repMu.Lock()
-	d.records++
-	d.repMu.Unlock()
+	d.base.Handle(r)
+}
+
+// Handle processes one record (the detector's per-event entry point).
+func (w *Worker) Handle(r *logging.Record) {
+	w.records.Add(1)
+	d := w.d
 	if d.fullVC != nil {
-		d.handleFullVC(r)
+		d.handleFullVC(r, w)
 		return
 	}
 	switch r.Op {
 	case trace.OpRead, trace.OpWrite, trace.OpAtom:
-		d.handleMemory(r)
+		d.handleMemory(r, w)
 	case trace.OpAcqBlk, trace.OpRelBlk, trace.OpArBlk,
 		trace.OpAcqGlb, trace.OpRelGlb, trace.OpArGlb:
-		d.handleSync(r)
+		d.handleSync(r, w)
 	case trace.OpBar:
-		d.handleBarMarker(r)
+		d.handleBarMarker(r, w)
 	case trace.OpBarRel:
-		d.handleBarRelease(r)
+		d.handleBarRelease(r, w)
 	case trace.OpIf:
-		d.handleIf(r)
+		d.handleIf(r, w)
 	case trace.OpElse:
-		d.handleElse(r)
+		d.handleElse(r, w)
 	case trace.OpFi:
-		d.handleFi(r)
+		d.handleFi(r, w)
 	case trace.OpEnd, trace.OpNone:
 		// stream control; nothing to do
 	}
@@ -287,28 +368,32 @@ func ordered(g *ptvc.Group, tid vc.TID, e vc.Epoch) bool {
 }
 
 // handleMemory implements the READ*/WRITE*/ATOM* rules for every active
-// lane of a warp-level memory record, followed by ENDINSN.
-func (d *Detector) handleMemory(r *logging.Record) {
-	w := d.warp(int(r.Warp))
-	g := w.top()
-	d.histMu.Lock()
-	d.hist[g.Format()]++
-	d.histMu.Unlock()
+// lane of a warp-level memory record, followed by ENDINSN. This is the
+// per-record fast path: no mutex is acquired anywhere on it — stats go
+// to the worker's shard, shadow lookups go through the worker's span
+// cache over the lock-free page table, and cells use CAS spinlocks.
+func (d *Detector) handleMemory(r *logging.Record, w *Worker) {
+	g := w.warp(int(r.Warp)).top()
+	w.hist[g.Format()].Add(1)
 	blk := int32(-1)
 	if r.Space == logging.SpaceShared {
 		blk = int32(r.Block)
+	}
+	var span *shadow.SpanCache
+	if w.caching {
+		span = &w.span
 	}
 	for lane := 0; lane < d.geo.WarpSize && lane < logging.WarpWidth; lane++ {
 		if r.Mask&(1<<uint(lane)) == 0 {
 			continue
 		}
 		tid := d.geo.TIDOf(int(r.Warp), lane)
-		d.mem.Span(r.Space, blk, r.Addrs[lane], int(r.Size), func(c *shadow.Cell) {
+		d.mem.SpanCached(span, r.Space, blk, r.Addrs[lane], int(r.Size), func(c *shadow.Cell) {
 			switch r.Op {
 			case trace.OpRead:
 				d.applyRead(c, g, tid, r, lane)
 			case trace.OpWrite:
-				d.applyWrite(c, g, tid, r, lane, false)
+				d.applyWrite(c, g, tid, r, lane, false, w)
 			case trace.OpAtom:
 				d.applyAtomic(c, g, tid, r, lane)
 			}
@@ -339,7 +424,7 @@ func (d *Detector) applyRead(c *shadow.Cell, g *ptvc.Group, tid vc.TID, r *loggi
 	c.ReadPC = r.PC
 }
 
-func (d *Detector) applyWrite(c *shadow.Cell, g *ptvc.Group, tid vc.TID, r *logging.Record, lane int, atomic bool) {
+func (d *Detector) applyWrite(c *shadow.Cell, g *ptvc.Group, tid vc.TID, r *logging.Record, lane int, atomic bool, w *Worker) {
 	if !ordered(g, tid, c.W) {
 		// Same-instruction intra-warp write-write: filter when the
 		// lanes stored the same value (§3.3.1).
@@ -349,9 +434,7 @@ func (d *Detector) applyWrite(c *shadow.Cell, g *ptvc.Group, tid vc.TID, r *logg
 			prevLane := d.geo.LaneOf(c.W.T)
 			if r.Mask&(1<<uint(prevLane)) != 0 && r.Vals[prevLane] == r.Vals[lane] {
 				filtered = true
-				d.repMu.Lock()
-				d.sameValue++
-				d.repMu.Unlock()
+				w.sameValue.Add(1)
 			}
 		}
 		if !filtered {
@@ -424,13 +507,16 @@ func (d *Detector) sameInstruction(g *ptvc.Group, e vc.Epoch, tid vc.TID) bool {
 }
 
 // awaitSyncTurn blocks until every earlier synchronization record has
-// been fully processed (cross-queue sync ordering).
+// been fully processed (cross-queue sync ordering). The bounded backoff
+// matters at high queue counts: a consumer whose sync record is far down
+// the global order would otherwise burn a core spinning.
 func (d *Detector) awaitSyncTurn(r *logging.Record) {
 	if r.Seq == 0 {
 		return
 	}
+	var bo logging.Backoff
 	for d.syncCursor.Load() != r.Seq-1 {
-		runtime.Gosched()
+		bo.Wait()
 	}
 }
 
@@ -444,11 +530,10 @@ func (d *Detector) finishSyncTurn(r *logging.Record) {
 // handleSync implements ACQ*/REL*/ACQREL* for every active lane, followed
 // by ENDINSN. A synchronization access updates S_x and does not undergo
 // the plain-access race checks, matching Figure 3.
-func (d *Detector) handleSync(r *logging.Record) {
+func (d *Detector) handleSync(r *logging.Record, w *Worker) {
 	d.awaitSyncTurn(r)
 	defer d.finishSyncTurn(r)
-	w := d.warp(int(r.Warp))
-	g := w.top()
+	g := w.warp(int(r.Warp)).top()
 	block := d.geo.BlockOfWarp(int(r.Warp))
 	blk := int32(-1)
 	if r.Space == logging.SpaceShared {
@@ -487,10 +572,9 @@ func (d *Detector) handleSync(r *logging.Record) {
 
 // handleBarMarker checks a per-warp barrier record for barrier divergence:
 // every populated lane of the warp must be active.
-func (d *Detector) handleBarMarker(r *logging.Record) {
-	w := d.warp(int(r.Warp))
-	g := w.top()
-	if r.Mask == g.FullMask && len(w.stack) == 1 {
+func (d *Detector) handleBarMarker(r *logging.Record, w *Worker) {
+	g := w.warp(int(r.Warp)).top()
+	if r.Mask == g.FullMask && len(w.warp(int(r.Warp)).stack) == 1 {
 		return
 	}
 	key := [2]uint32{r.Warp, r.PC}
@@ -506,7 +590,7 @@ func (d *Detector) handleBarMarker(r *logging.Record) {
 
 // handleBarRelease applies the BAR rule: a block-wide join of the arrived
 // warps' clocks, implemented as a broadcast of the block's maximum clock.
-func (d *Detector) handleBarRelease(r *logging.Record) {
+func (d *Detector) handleBarRelease(r *logging.Record, _ *Worker) {
 	wpb := d.geo.WarpsPerBlock()
 	base := int(r.Block) * wpb
 	var groups []*ptvc.Group
@@ -528,8 +612,8 @@ func (d *Detector) handleBarRelease(r *logging.Record) {
 }
 
 // handleIf mirrors the SIMT-stack push of a divergent branch (IF rule).
-func (d *Detector) handleIf(r *logging.Record) {
-	w := d.warp(int(r.Warp))
+func (d *Detector) handleIf(r *logging.Record, wk *Worker) {
+	w := wk.warp(int(r.Warp))
 	g := w.top()
 	first, second := g.Split(r.Mask)
 	w.frames = append(w.frames, frame{second: second})
@@ -537,8 +621,8 @@ func (d *Detector) handleIf(r *logging.Record) {
 }
 
 // handleElse switches to the second divergent path (ELSE rule).
-func (d *Detector) handleElse(r *logging.Record) {
-	w := d.warp(int(r.Warp))
+func (d *Detector) handleElse(r *logging.Record, wk *Worker) {
+	w := wk.warp(int(r.Warp))
 	if len(w.frames) == 0 {
 		return // tolerate stray events
 	}
@@ -552,8 +636,8 @@ func (d *Detector) handleElse(r *logging.Record) {
 }
 
 // handleFi reconverges the paths (FI rule).
-func (d *Detector) handleFi(r *logging.Record) {
-	w := d.warp(int(r.Warp))
+func (d *Detector) handleFi(r *logging.Record, wk *Worker) {
+	w := wk.warp(int(r.Warp))
 	if len(w.frames) == 0 || len(w.stack) < 2 {
 		return
 	}
@@ -612,14 +696,17 @@ func (d *Detector) report(tid vc.TID, r *logging.Record,
 }
 
 // Report snapshots the detector's findings, with races ordered by source
-// position for stable output.
+// position for stable output. The per-record counters are merged from
+// the worker shards here, lazily, instead of being maintained centrally
+// on the hot path.
 func (d *Detector) Report() *Report {
+	out := &Report{}
+	for _, w := range d.shards() {
+		out.RecordsSeen += w.records.Load()
+		out.SameValueGag += w.sameValue.Load()
+	}
 	d.repMu.Lock()
 	defer d.repMu.Unlock()
-	out := &Report{
-		RecordsSeen:  d.records,
-		SameValueGag: d.sameValue,
-	}
 	for _, rc := range d.races {
 		out.Races = append(out.Races, *rc)
 	}
@@ -655,14 +742,18 @@ func (d *Detector) FormatStats() map[ptvc.Format]int {
 // FormatHistogram returns how often each PTVC format was the active
 // group's representation, sampled at every memory record processed — the
 // "roughly 90% of the time PTVCs are compressible" measurement of
-// §4.3.1.
+// §4.3.1. The histogram is merged from the per-worker shards.
 func (d *Detector) FormatHistogram() map[ptvc.Format]uint64 {
-	d.histMu.Lock()
-	defer d.histMu.Unlock()
+	var hist [4]uint64
+	for _, w := range d.shards() {
+		for i := range hist {
+			hist[i] += w.hist[i].Load()
+		}
+	}
 	return map[ptvc.Format]uint64{
-		ptvc.Converged:      d.hist[ptvc.Converged],
-		ptvc.Diverged:       d.hist[ptvc.Diverged],
-		ptvc.NestedDiverged: d.hist[ptvc.NestedDiverged],
-		ptvc.SparseVC:       d.hist[ptvc.SparseVC],
+		ptvc.Converged:      hist[ptvc.Converged],
+		ptvc.Diverged:       hist[ptvc.Diverged],
+		ptvc.NestedDiverged: hist[ptvc.NestedDiverged],
+		ptvc.SparseVC:       hist[ptvc.SparseVC],
 	}
 }

@@ -75,13 +75,16 @@ func (s *fullVCState) ordered(tid vc.TID, e vc.Epoch) bool {
 }
 
 // handleFullVC processes one record in the uncompressed baseline mode.
-func (d *Detector) handleFullVC(r *logging.Record) {
+// The ablation keeps its single state mutex by design — it exists to
+// measure what the compressed, sharded representation buys — but stats
+// still go to the caller's worker shard.
+func (d *Detector) handleFullVC(r *logging.Record, w *Worker) {
 	s := d.fullVC
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch r.Op {
 	case trace.OpRead, trace.OpWrite, trace.OpAtom:
-		d.fullMemory(r)
+		d.fullMemory(r, w)
 		s.joinFork(s.laneTIDs(int(r.Warp), r.Mask))
 	case trace.OpAcqBlk, trace.OpRelBlk, trace.OpArBlk,
 		trace.OpAcqGlb, trace.OpRelGlb, trace.OpArGlb:
@@ -125,7 +128,7 @@ func (d *Detector) fullWarpMask(gwid int) uint32 {
 	return 1<<uint(lanes) - 1
 }
 
-func (d *Detector) fullMemory(r *logging.Record) {
+func (d *Detector) fullMemory(r *logging.Record, w *Worker) {
 	s := d.fullVC
 	blk := int32(-1)
 	if r.Space == logging.SpaceShared {
@@ -164,9 +167,7 @@ func (d *Detector) fullMemory(r *logging.Record) {
 					if sameInstr && !d.opts.NoSameValueFilter && !atomic && !c.Atomic {
 						if r.Vals[d.geo.LaneOf(c.W.T)] == r.Vals[lane] {
 							filtered = true
-							d.repMu.Lock()
-							d.sameValue++
-							d.repMu.Unlock()
+							w.sameValue.Add(1)
 						}
 					}
 					if !filtered {

@@ -178,6 +178,40 @@ func (s *routeSink) Emit(r *logging.Record) {
 	s.set.ForBlock(int(r.Block)).Enqueue(r)
 }
 
+// consumerBatch is the per-drain record budget of a queue consumer:
+// large enough to amortize the transport handshake, small enough that a
+// batch stays cache-resident (256 records ≈ 70 KiB).
+const consumerBatch = 256
+
+// consumeQueue is one detector thread: it drains its queue in batches
+// through a per-goroutine core.Worker (private stats shard, shadow span
+// cache) and backs off exponentially while the queue is idle, stopping
+// at the end-of-stream sentinel.
+func consumeQueue(det *core.Detector, q *logging.Queue, wg *sync.WaitGroup) {
+	defer wg.Done()
+	w := det.NewWorker()
+	n := consumerBatch
+	if c := q.Cap(); c < n {
+		n = c
+	}
+	buf := make([]logging.Record, n)
+	var bo logging.Backoff
+	for {
+		got := q.DequeueBatch(buf)
+		if got == 0 {
+			bo.Wait()
+			continue
+		}
+		bo.Reset()
+		for i := 0; i < got; i++ {
+			if buf[i].Op == trace.OpEnd {
+				return
+			}
+			w.Handle(&buf[i])
+		}
+	}
+}
+
 // ErrClosed is returned by Detect/RunNative after Close.
 var ErrClosed = fmt.Errorf("detector: session closed")
 
@@ -231,17 +265,7 @@ func (s *Session) Detect(kernelName string, launch gpusim.LaunchConfig) (*Result
 	var wg sync.WaitGroup
 	for _, q := range set.Queues {
 		wg.Add(1)
-		go func(q *logging.Queue) {
-			defer wg.Done()
-			var r logging.Record
-			for {
-				q.Dequeue(&r)
-				if r.Op == trace.OpEnd {
-					return
-				}
-				det.Handle(&r)
-			}
-		}(q)
+		go consumeQueue(det, q, &wg)
 	}
 
 	launch.Sink = &routeSink{set: set}

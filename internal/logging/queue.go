@@ -16,9 +16,49 @@ package logging
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"barracuda/internal/trace"
 )
+
+// Backoff is a bounded exponential spin-wait for the queue's spin loops:
+// a few hot spins (the producer or consumer is usually only nanoseconds
+// away), then cooperative yields, then sleeps that double up to a cap.
+// The cap keeps wake-up latency bounded while letting idle consumers at
+// high queue counts stop burning cores — the paper's many-queue
+// configurations (~1.1–1.5 queues per SM) only pay off if a quiet
+// queue's detector thread costs (almost) nothing.
+type Backoff struct {
+	n uint32
+}
+
+const (
+	backoffSpins  = 4                // hot spins before yielding
+	backoffYields = 8                // Gosched rounds before sleeping
+	backoffCapExp = 7                // sleep cap: 1µs << 7 = 128µs
+	backoffUnit   = time.Microsecond // first sleep duration
+)
+
+// Wait performs one backoff step.
+func (b *Backoff) Wait() {
+	switch {
+	case b.n < backoffSpins:
+		// Hot spin: nothing but the loop itself.
+	case b.n < backoffSpins+backoffYields:
+		runtime.Gosched()
+	default:
+		exp := b.n - backoffSpins - backoffYields
+		if exp > backoffCapExp {
+			exp = backoffCapExp
+		}
+		time.Sleep(backoffUnit << exp)
+	}
+	b.n++
+}
+
+// Reset returns the backoff to the hot-spin phase; call it after the
+// awaited condition fires so the next wait starts cheap again.
+func (b *Backoff) Reset() { b.n = 0 }
 
 // WarpWidth is the number of address slots in a record (one per lane).
 const WarpWidth = 32
@@ -107,14 +147,17 @@ func NewQueue(capacity int) *Queue {
 // Cap returns the queue capacity in records.
 func (q *Queue) Cap() int { return int(q.capacity) }
 
-// Enqueue appends a record, spinning while the queue is full. It is safe
-// for concurrent producers.
+// Enqueue appends a record, waiting (with bounded exponential backoff)
+// while the queue is full. It is safe for concurrent producers.
 func (q *Queue) Enqueue(r *Record) {
 	i := q.writeHead.Add(1) - 1
 	// Wait for space: full when the write head is capacity entries ahead
-	// of the read head.
+	// of the read head. The backoff matters most at GOMAXPROCS=1, where
+	// a hard spin against a descheduled consumer would make progress
+	// only through involuntary preemption.
+	var bo Backoff
 	for i-q.readHead.Load() >= q.capacity {
-		runtime.Gosched()
+		bo.Wait()
 	}
 	q.slots[i&(q.capacity-1)] = *r
 	q.seq[i&(q.capacity-1)].Store(i + 1)
@@ -145,11 +188,45 @@ func (q *Queue) TryDequeue(r *Record) bool {
 	return true
 }
 
-// Dequeue blocks (spinning) until a record is available.
+// Dequeue blocks (with bounded exponential backoff) until a record is
+// available.
 func (q *Queue) Dequeue(r *Record) {
+	var bo Backoff
 	for !q.TryDequeue(r) {
-		runtime.Gosched()
+		bo.Wait()
 	}
+}
+
+// DequeueBatch drains up to len(dst) committed records into dst and
+// returns how many were copied (0 when the queue is empty). One call is
+// a single atomic handshake — one read-head load, one commit load and
+// one read-head store — instead of Dequeue's per-record sequence, which
+// is what lets a consumer amortize the transport cost over a whole
+// batch. Must be called from a single consumer goroutine per queue.
+//
+// Records between the read head and the commit index are fully
+// published: a producer stores the slot, release-publishes its sequence
+// number, and the commit index only advances over published slots, so
+// the acquire-load of commit below makes every slot copy safe.
+func (q *Queue) DequeueBatch(dst []Record) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	rh := q.readHead.Load()
+	c := q.commit.Load()
+	if c <= rh {
+		return 0
+	}
+	n := c - rh
+	if n > uint64(len(dst)) {
+		n = uint64(len(dst))
+	}
+	mask := q.capacity - 1
+	for k := uint64(0); k < n; k++ {
+		dst[k] = q.slots[(rh+k)&mask]
+	}
+	q.readHead.Store(rh + n)
+	return int(n)
 }
 
 // Pending returns the number of committed-but-unread records.

@@ -8,10 +8,21 @@
 // shadow is small and keyed by thread block. Metadata granularity is one
 // byte by default, for generality — most CUDA code accesses memory at 4-
 // byte granularity, and a coarser setting trades precision for speed.
+//
+// The page table is built for many concurrent detector threads: it is a
+// fixed array of stripes, each holding an atomically-published immutable
+// page map. Lookups are a single atomic load plus a map read; only the
+// rare page allocation takes a (striped) mutex, re-checks under the lock,
+// and publishes a copied map. On top of that, each detector worker keeps
+// a SpanCache — the last global page and last shared-block slab it
+// touched — so the common sequential-access pattern resolves cells with
+// no shared-memory traffic at all.
 package shadow
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"barracuda/internal/logging"
 	"barracuda/internal/ptvc"
@@ -21,7 +32,12 @@ import (
 // Cell is the metadata for one shadow location. Access it only while
 // holding its lock (the per-location spinlock of the paper).
 type Cell struct {
-	mu sync.Mutex
+	// lock is a CAS spinlock (0 free, 1 held) rather than a sync.Mutex:
+	// cells are the per-record fast path of the detector, and the paper
+	// prescribes a per-location spinlock. Contention is near zero (two
+	// detector threads must touch the same location at the same moment),
+	// so the uncontended single-CAS cost is what matters.
+	lock atomic.Uint32
 
 	// W is the epoch of the most recent write; Atomic records whether
 	// that write came from an atomic operation.
@@ -41,10 +57,24 @@ type Cell struct {
 }
 
 // Lock acquires the per-location spinlock.
-func (c *Cell) Lock() { c.mu.Lock() }
+func (c *Cell) Lock() {
+	for !c.lock.CompareAndSwap(0, 1) {
+		// The critical sections are a handful of epoch compares; a
+		// short spin almost always wins. Yield after a few rounds so a
+		// descheduled holder cannot starve us at low GOMAXPROCS.
+		for i := 0; i < 8; i++ {
+			if c.lock.Load() == 0 {
+				break
+			}
+		}
+		if c.lock.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+}
 
 // Unlock releases the per-location spinlock.
-func (c *Cell) Unlock() { c.mu.Unlock() }
+func (c *Cell) Unlock() { c.lock.Store(0) }
 
 // ClearReads resets the read metadata (the R' = ⊥e step of the write and
 // atomic rules).
@@ -70,19 +100,39 @@ func (c *Cell) InflateReads() {
 // pageBits is the per-page coverage: 64 KiB of device memory per page.
 const pageBits = 16
 
+// pageStripes is the fixed stripe count of the global page table. Power
+// of two so stripe selection is a mask; 64 stripes keep the per-stripe
+// copy-on-write maps tiny and allocation contention negligible.
+const pageStripes = 64
+
 type page struct {
 	cells []Cell
 }
 
-// Memory is the shadow of one device: a page table for global memory plus
-// per-block shared-memory shadows.
+// pageMap is an immutable pageID→page snapshot; a stripe publishes a
+// fresh copy on every allocation.
+type pageMap map[uint64]*page
+
+// stripe is one shard of the global page table.
+type stripe struct {
+	pages atomic.Pointer[pageMap] // immutable; nil until first allocation
+	mu    sync.Mutex              // serializes allocation (slow path) only
+}
+
+// blockMap is the immutable blockID→shared-slab counterpart for shared
+// memory, published the same way.
+type blockMap map[int32][]Cell
+
+// Memory is the shadow of one device: a striped page table for global
+// memory plus per-block shared-memory shadows.
 type Memory struct {
 	granularity int
 
-	mu     sync.RWMutex
-	global map[uint64]*page
-	shared map[int32][]Cell
-	shSize int64
+	stripes [pageStripes]stripe
+
+	sharedPtr atomic.Pointer[blockMap]
+	sharedMu  sync.Mutex // allocation slow path only
+	shSize    int64
 
 	syncMu sync.Mutex
 	syncs  map[Key]*SyncLoc
@@ -105,8 +155,6 @@ func New(granularity int, sharedBytes int64) *Memory {
 	}
 	return &Memory{
 		granularity: granularity,
-		global:      make(map[uint64]*page),
-		shared:      make(map[int32][]Cell),
 		shSize:      sharedBytes,
 		syncs:       make(map[Key]*SyncLoc),
 	}
@@ -115,66 +163,139 @@ func New(granularity int, sharedBytes int64) *Memory {
 // Granularity returns the bytes covered per cell.
 func (m *Memory) Granularity() int { return m.granularity }
 
+// SpanCache is one detector worker's private lookup cache: the last
+// global page and the last shared-block slab it resolved. GPU warps
+// overwhelmingly access runs of nearby addresses, so almost every lookup
+// after the first hits the cache and touches no shared state. The zero
+// value is ready to use. A SpanCache must not be shared across
+// goroutines.
+type SpanCache struct {
+	pageID uint64
+	page   *page // nil until the first global hit
+
+	sharedBlock int32
+	shared      []Cell // nil until the first shared hit
+}
+
+// globalPage returns (allocating if needed) the page covering pageID.
+func (m *Memory) globalPage(pageID uint64) *page {
+	s := &m.stripes[pageID&(pageStripes-1)]
+	if pm := s.pages.Load(); pm != nil {
+		if p := (*pm)[pageID]; p != nil {
+			return p
+		}
+	}
+	// Double-checked allocation: re-load under the stripe lock, then
+	// publish a copied map so readers never see a map being written.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.pages.Load()
+	if old != nil {
+		if p := (*old)[pageID]; p != nil {
+			return p
+		}
+	}
+	p := &page{cells: make([]Cell, (1<<pageBits)/m.granularity)}
+	next := make(pageMap, 1)
+	if old != nil {
+		next = make(pageMap, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[pageID] = p
+	s.pages.Store(&next)
+	return p
+}
+
+// sharedSlab returns (allocating if needed) block b's shared-memory
+// shadow slab.
+func (m *Memory) sharedSlab(block int32) []Cell {
+	if bm := m.sharedPtr.Load(); bm != nil {
+		if cells := (*bm)[block]; cells != nil {
+			return cells
+		}
+	}
+	m.sharedMu.Lock()
+	defer m.sharedMu.Unlock()
+	old := m.sharedPtr.Load()
+	if old != nil {
+		if cells := (*old)[block]; cells != nil {
+			return cells
+		}
+	}
+	n := m.shSize/int64(m.granularity) + 1
+	cells := make([]Cell, n)
+	next := make(blockMap, 1)
+	if old != nil {
+		next = make(blockMap, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[block] = cells
+	m.sharedPtr.Store(&next)
+	return cells
+}
+
 // CellFor returns the cell covering (space, block, addr), allocating
 // shadow pages on demand. Callers lock the cell before use.
 func (m *Memory) CellFor(space logging.SpaceID, block int32, addr uint64) *Cell {
+	return m.cellCached(nil, space, block, addr)
+}
+
+// cellCached resolves one cell, consulting and refreshing the worker's
+// cache when one is supplied.
+func (m *Memory) cellCached(sc *SpanCache, space logging.SpaceID, block int32, addr uint64) *Cell {
 	if space == logging.SpaceShared {
-		return m.sharedCell(block, addr)
+		var cells []Cell
+		if sc != nil && sc.shared != nil && sc.sharedBlock == block {
+			cells = sc.shared
+		} else {
+			cells = m.sharedSlab(block)
+			if sc != nil {
+				sc.sharedBlock = block
+				sc.shared = cells
+			}
+		}
+		idx := addr / uint64(m.granularity)
+		if idx >= uint64(len(cells)) {
+			// Out-of-bounds shared accesses are the simulator's problem;
+			// clamp defensively.
+			idx = uint64(len(cells)) - 1
+		}
+		return &cells[idx]
 	}
-	return m.globalCell(addr)
-}
-
-func (m *Memory) globalCell(addr uint64) *Cell {
 	pageID := addr >> pageBits
+	var p *page
+	if sc != nil && sc.page != nil && sc.pageID == pageID {
+		p = sc.page
+	} else {
+		p = m.globalPage(pageID)
+		if sc != nil {
+			sc.pageID = pageID
+			sc.page = p
+		}
+	}
 	idx := (addr & (1<<pageBits - 1)) / uint64(m.granularity)
-	m.mu.RLock()
-	p := m.global[pageID]
-	m.mu.RUnlock()
-	if p == nil {
-		m.mu.Lock()
-		p = m.global[pageID]
-		if p == nil {
-			p = &page{cells: make([]Cell, (1<<pageBits)/m.granularity)}
-			m.global[pageID] = p
-		}
-		m.mu.Unlock()
-	}
 	return &p.cells[idx]
-}
-
-func (m *Memory) sharedCell(block int32, addr uint64) *Cell {
-	idx := addr / uint64(m.granularity)
-	m.mu.RLock()
-	cells := m.shared[block]
-	m.mu.RUnlock()
-	if cells == nil {
-		m.mu.Lock()
-		cells = m.shared[block]
-		if cells == nil {
-			n := m.shSize/int64(m.granularity) + 1
-			cells = make([]Cell, n)
-			m.shared[block] = cells
-		}
-		m.mu.Unlock()
-	}
-	if idx >= uint64(len(cells)) {
-		// Out-of-bounds shared accesses are the simulator's problem;
-		// clamp defensively.
-		idx = uint64(len(cells)) - 1
-	}
-	return &cells[idx]
 }
 
 // Span visits every cell covering [addr, addr+size) in (space, block),
 // invoking fn with each cell locked.
 func (m *Memory) Span(space logging.SpaceID, block int32, addr uint64, size int, fn func(*Cell)) {
+	m.SpanCached(nil, space, block, addr, size, fn)
+}
+
+// SpanCached is Span with a worker-private lookup cache; sc may be nil.
+func (m *Memory) SpanCached(sc *SpanCache, space logging.SpaceID, block int32, addr uint64, size int, fn func(*Cell)) {
 	if size < 1 {
 		size = 1
 	}
 	step := uint64(m.granularity)
 	first := addr / step * step
 	for a := first; a < addr+uint64(size); a += step {
-		c := m.CellFor(space, block, a)
+		c := m.cellCached(sc, space, block, a)
 		c.Lock()
 		fn(c)
 		c.Unlock()
@@ -183,10 +304,14 @@ func (m *Memory) Span(space logging.SpaceID, block int32, addr uint64, size int,
 
 // Stats reports shadow occupancy.
 func (m *Memory) Stats() (globalPages int, sharedBlocks int, syncLocs int) {
-	m.mu.RLock()
-	globalPages = len(m.global)
-	sharedBlocks = len(m.shared)
-	m.mu.RUnlock()
+	for i := range m.stripes {
+		if pm := m.stripes[i].pages.Load(); pm != nil {
+			globalPages += len(*pm)
+		}
+	}
+	if bm := m.sharedPtr.Load(); bm != nil {
+		sharedBlocks = len(*bm)
+	}
 	m.syncMu.Lock()
 	syncLocs = len(m.syncs)
 	m.syncMu.Unlock()
