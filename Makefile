@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-scaling stress-multiqueue serve ci fmt-check vet-smoke
+.PHONY: all build vet test race bench bench-sim bench-scaling stress-multiqueue serve ci fmt-check vet-smoke
 
 all: build vet test
 
@@ -47,6 +47,14 @@ bench:
 # asserting the determinism contract at every width.
 bench-scaling:
 	$(GO) run ./cmd/benchtab -scaling -o BENCH_scaling.json
+
+# Warp-vectorized interpreter A/B: gpusim microbenchmarks (warp stepping
+# and log emission, both dispatch paths, with allocation counts), then
+# the suite-wide artifact (BENCH_sim.json) gated on report equality and
+# the 1.5x suite speedup floor.
+bench-sim:
+	$(GO) test -bench='BenchmarkWarpStep|BenchmarkLogEmission' -benchmem -run=^$$ ./internal/gpusim/
+	$(GO) run ./cmd/benchtab -sim -min-speedup 1.5 -o BENCH_sim.json
 
 # The multi-queue determinism stress: the 66-program bug suite at 4
 # queues vs 1 queue, repeated, with real parallelism and under the Go

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // /debug/pprof/* on the -pprof listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,8 +37,22 @@ func main() {
 		timeout = flag.Duration("timeout", 30*time.Second, "default per-job wall-clock budget")
 		budget  = flag.Uint64("budget", 1<<24, "default per-job warp-instruction budget")
 		maxBuf  = flag.Int64("maxbuf", 1<<30, "per-job total buffer byte cap (-1 = unlimited)")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		// Profiling stays off the job-serving listener so a capture can
+		// never be triggered (or slowed) by detection traffic; the
+		// DefaultServeMux carries the /debug/pprof/* handlers registered
+		// by the net/http/pprof import.
+		go func() {
+			log.Printf("barracudad: pprof on http://%s/debug/pprof/", *pprof)
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				log.Printf("barracudad: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	srv := server.New(server.SchedulerOptions{
 		Workers:          *workers,

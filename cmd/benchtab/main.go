@@ -14,6 +14,11 @@
 // once and replayed through the multi-queue transport, asserting at
 // every width that the canonical race report matches the 1-queue run,
 // and writes BENCH_scaling.json.
+//
+// With -sim it A/B-benchmarks the warp-vectorized interpreter (warp-major
+// dispatch, static-uniformity scalarization, pooled launch state) against
+// the legacy lane-major interpreter over the suite, verifying that both
+// paths produce canonically identical reports, and writes BENCH_sim.json.
 package main
 
 import (
@@ -37,6 +42,8 @@ func main() {
 		serverB  = flag.Bool("server", false, "benchmark the detection service (cold vs warm cache) instead")
 		staticB  = flag.Bool("static", false, "benchmark the static instrumentation pruner instead")
 		scalingB = flag.Bool("scaling", false, "benchmark detection throughput vs queue count instead")
+		simB     = flag.Bool("sim", false, "benchmark the warp-vectorized interpreter against the lane-major baseline instead")
+		minSpeed = flag.Float64("min-speedup", 0, "with -sim: fail unless the suite speedup reaches this factor")
 		jobs     = flag.Int("jobs", 32, "jobs per phase for -server")
 		workers  = flag.Int("workers", 4, "detection workers for -server")
 		out      = flag.String("o", "", "output artifact path (default BENCH_server.json / BENCH_static.json / BENCH_scaling.json)")
@@ -62,6 +69,18 @@ func main() {
 			path = "BENCH_scaling.json"
 		}
 		if err := runScalingBench(path); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *simB {
+		runtime.GOMAXPROCS(runtime.NumCPU())
+		path := *out
+		if path == "" {
+			path = "BENCH_sim.json"
+		}
+		if err := runSimBench(path, *minSpeed); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}

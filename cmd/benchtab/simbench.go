@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"barracuda/internal/bench"
+)
+
+// SimBench is the BENCH_sim.json schema: the warp-vectorized interpreter
+// (one dispatch per warp-instruction, static-uniformity scalarization,
+// pooled launch state) measured A/B against the legacy lane-major
+// interpreter over the 26-benchmark suite.
+type SimBench struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Benchmarks int `json:"benchmarks"`
+
+	WarpInstrs uint64 `json:"warp_instrs"`
+	Records    uint64 `json:"records"`
+
+	LaneWarpInstrsPerSec float64 `json:"lane_major_warp_instrs_per_sec"`
+	WarpWarpInstrsPerSec float64 `json:"warp_major_warp_instrs_per_sec"`
+	LaneRecordsPerSec    float64 `json:"lane_major_records_per_sec"`
+	WarpRecordsPerSec    float64 `json:"warp_major_records_per_sec"`
+	LaneNSPerWarpInstr   float64 `json:"lane_major_ns_per_warp_instr"`
+	WarpNSPerWarpInstr   float64 `json:"warp_major_ns_per_warp_instr"`
+	LaneAllocsPerLaunch  float64 `json:"lane_major_allocs_per_launch"`
+	WarpAllocsPerLaunch  float64 `json:"warp_major_allocs_per_launch"`
+
+	Speedup      float64 `json:"speedup"`
+	AllocRatio   float64 `json:"alloc_ratio"`
+	DigestsEqual bool    `json:"digests_equal"`
+
+	Points []SimBenchPoint `json:"points"`
+}
+
+// SimBenchPoint is one benchmark's measurement.
+type SimBenchPoint struct {
+	Name         string  `json:"name"`
+	WarpInstrs   uint64  `json:"warp_instrs"`
+	Records      uint64  `json:"records"`
+	LaneUS       float64 `json:"lane_major_us"`
+	WarpUS       float64 `json:"warp_major_us"`
+	Speedup      float64 `json:"speedup"`
+	DigestsEqual bool    `json:"digests_equal"`
+}
+
+// runSimBench runs the interpreter A/B experiment, writes the artifact,
+// and (when minSpeedup > 0) enforces the perf and equivalence gate.
+func runSimBench(outPath string, minSpeedup float64) error {
+	r, err := bench.Sim(bench.SimOptions{})
+	if err != nil {
+		return err
+	}
+	out := SimBench{
+		NumCPU:               runtime.NumCPU(),
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		Benchmarks:           len(r.Points),
+		WarpInstrs:           r.WarpInstrs,
+		Records:              r.Records,
+		LaneWarpInstrsPerSec: r.LaneWarpInstrsPerSec,
+		WarpWarpInstrsPerSec: r.WarpWarpInstrsPerSec,
+		LaneRecordsPerSec:    r.LaneRecordsPerSec,
+		WarpRecordsPerSec:    r.WarpRecordsPerSec,
+		LaneNSPerWarpInstr:   r.LaneNSPerWarpInstr,
+		WarpNSPerWarpInstr:   r.WarpNSPerWarpInstr,
+		LaneAllocsPerLaunch:  r.LaneAllocsPerLaunch,
+		WarpAllocsPerLaunch:  r.WarpAllocsPerLaunch,
+		Speedup:              r.Speedup,
+		AllocRatio:           r.AllocRatio,
+		DigestsEqual:         r.DigestsEqual,
+	}
+	for _, p := range r.Points {
+		out.Points = append(out.Points, SimBenchPoint{
+			Name:         p.Name,
+			WarpInstrs:   p.WarpInstrs,
+			Records:      p.Records,
+			LaneUS:       p.LaneNS / 1000,
+			WarpUS:       p.WarpNS / 1000,
+			Speedup:      p.Speedup,
+			DigestsEqual: p.DigestsEqual,
+		})
+	}
+	data, _ := json.MarshalIndent(out, "", "  ")
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d benchmarks, speedup %.2fx (%.0f -> %.0f warp-instrs/sec), allocs/launch %.1f -> %.1f, digests_equal=%v\n",
+		outPath, out.Benchmarks, out.Speedup,
+		out.LaneWarpInstrsPerSec, out.WarpWarpInstrsPerSec,
+		out.LaneAllocsPerLaunch, out.WarpAllocsPerLaunch, out.DigestsEqual)
+	if !out.DigestsEqual {
+		return fmt.Errorf("interpreter paths disagree: canonical digests differ")
+	}
+	if minSpeedup > 0 && out.Speedup < minSpeedup {
+		return fmt.Errorf("suite speedup %.3fx below required %.3fx", out.Speedup, minSpeedup)
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"barracuda/internal/detector"
+	"barracuda/internal/gpusim"
+	"barracuda/internal/logging"
+)
+
+// SimPoint is one benchmark's A/B measurement of the two interpreter
+// paths: the legacy lane-major baseline and the warp-vectorized fast
+// path. Times are best-of-repeats for one instrumented launch with log
+// emission into a discarding sink — the simulator-side cost the detector
+// pipeline pays, with no consumer attached.
+type SimPoint struct {
+	Name         string
+	WarpInstrs   uint64  // dynamic warp instructions per launch
+	Records      uint64  // records emitted per launch
+	LaneNS       float64 // lane-major launch time, ns
+	WarpNS       float64 // warp-major launch time, ns
+	Speedup      float64 // LaneNS / WarpNS
+	DigestsEqual bool    // full-pipeline canonical reports match
+}
+
+// SimResult aggregates the suite-wide interpreter comparison, the
+// BENCH_sim.json payload.
+type SimResult struct {
+	Points []SimPoint
+
+	// Suite totals for one full pass (best-of-repeats per benchmark).
+	WarpInstrs uint64
+	Records    uint64
+	LaneNS     float64
+	WarpNS     float64
+
+	LaneWarpInstrsPerSec float64
+	WarpWarpInstrsPerSec float64
+	LaneRecordsPerSec    float64
+	WarpRecordsPerSec    float64
+	LaneNSPerWarpInstr   float64
+	WarpNSPerWarpInstr   float64
+
+	// Heap allocations per warm launch, averaged over the suite: the
+	// zero-alloc launch-state claim. Warm means the module was already
+	// launched once, so compilation and (on the warp path) the arena are
+	// populated.
+	LaneAllocsPerLaunch float64
+	WarpAllocsPerLaunch float64
+
+	Speedup      float64 // suite warp-instrs/sec ratio, warp over lane
+	AllocRatio   float64 // lane allocs/launch over warp allocs/launch
+	DigestsEqual bool    // every benchmark's reports matched
+}
+
+// SimOptions tunes the interpreter A/B experiment.
+type SimOptions struct {
+	// Repeats is how many timed launches per path; the fastest is kept
+	// (default 5).
+	Repeats int
+	// AllocLaunches is how many warm launches the allocation counter is
+	// averaged over (default 8).
+	AllocLaunches int
+}
+
+// simSink discards records; the experiment measures emission, not
+// consumption.
+type simSink struct{ n uint64 }
+
+func (s *simSink) Emit(r *logging.Record) { s.n++ }
+
+// simDigest runs one benchmark through the full detection pipeline on a
+// fresh session (fresh device, zeroed buffers) with the given
+// interpreter path and returns the canonical report digest.
+func simDigest(b *Benchmark, laneMajor bool) (string, error) {
+	s, launch, err := session(b, detector.Config{})
+	if err != nil {
+		return "", err
+	}
+	launch.LaneMajor = laneMajor
+	res, err := s.Detect("main", launch)
+	if err != nil {
+		return "", fmt.Errorf("bench %s (laneMajor=%v): %w", b.Name, laneMajor, err)
+	}
+	return res.Report.CanonicalDigest(), nil
+}
+
+// simTime measures the best-of-repeats instrumented launch time of one
+// path, returning the stats of the final launch.
+func simTime(s *detector.Session, launch gpusim.LaunchConfig, laneMajor bool, repeats int) (time.Duration, gpusim.Stats, error) {
+	launch.Sink = &simSink{}
+	launch.EmitBranchEvents = true
+	launch.LaneMajor = laneMajor
+	// Warm-up: compile the kernel and populate the arena.
+	if _, err := s.Instr.Launch("main", launch); err != nil {
+		return 0, gpusim.Stats{}, err
+	}
+	var best time.Duration
+	var stats gpusim.Stats
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		st, err := s.Instr.Launch("main", launch)
+		d := time.Since(start)
+		if err != nil {
+			return 0, gpusim.Stats{}, err
+		}
+		if best == 0 || d < best {
+			best = d
+		}
+		stats = st
+	}
+	return best, stats, nil
+}
+
+// simAllocs measures heap allocations per warm launch.
+func simAllocs(s *detector.Session, launch gpusim.LaunchConfig, laneMajor bool, launches int) (float64, error) {
+	launch.Sink = &simSink{}
+	launch.EmitBranchEvents = true
+	launch.LaneMajor = laneMajor
+	if _, err := s.Instr.Launch("main", launch); err != nil {
+		return 0, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < launches; i++ {
+		if _, err := s.Instr.Launch("main", launch); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(launches), nil
+}
+
+// Sim runs the warp-vectorized interpreter A/B experiment over the full
+// benchmark suite.
+func Sim(opts SimOptions) (*SimResult, error) {
+	repeats := opts.Repeats
+	if repeats <= 0 {
+		repeats = 5
+	}
+	allocN := opts.AllocLaunches
+	if allocN <= 0 {
+		allocN = 8
+	}
+	res := &SimResult{DigestsEqual: true}
+	var laneAllocs, warpAllocs float64
+	for _, b := range All() {
+		laneDig, err := simDigest(b, true)
+		if err != nil {
+			return nil, err
+		}
+		warpDig, err := simDigest(b, false)
+		if err != nil {
+			return nil, err
+		}
+		s, launch, err := session(b, detector.Config{})
+		if err != nil {
+			return nil, err
+		}
+		laneT, laneStats, err := simTime(s, launch, true, repeats)
+		if err != nil {
+			return nil, err
+		}
+		warpT, warpStats, err := simTime(s, launch, false, repeats)
+		if err != nil {
+			return nil, err
+		}
+		la, err := simAllocs(s, launch, true, allocN)
+		if err != nil {
+			return nil, err
+		}
+		wa, err := simAllocs(s, launch, false, allocN)
+		if err != nil {
+			return nil, err
+		}
+		if warpStats != laneStats {
+			return nil, fmt.Errorf("bench %s: stats diverged between paths: lane %+v warp %+v",
+				b.Name, laneStats, warpStats)
+		}
+		pt := SimPoint{
+			Name:         b.Name,
+			WarpInstrs:   warpStats.WarpInstrs,
+			Records:      warpStats.Records,
+			LaneNS:       float64(laneT.Nanoseconds()),
+			WarpNS:       float64(warpT.Nanoseconds()),
+			DigestsEqual: laneDig == warpDig,
+		}
+		if pt.WarpNS > 0 {
+			pt.Speedup = pt.LaneNS / pt.WarpNS
+		}
+		res.Points = append(res.Points, pt)
+		res.WarpInstrs += pt.WarpInstrs
+		res.Records += pt.Records
+		res.LaneNS += pt.LaneNS
+		res.WarpNS += pt.WarpNS
+		laneAllocs += la
+		warpAllocs += wa
+		res.DigestsEqual = res.DigestsEqual && pt.DigestsEqual
+	}
+	n := float64(len(res.Points))
+	res.LaneAllocsPerLaunch = laneAllocs / n
+	res.WarpAllocsPerLaunch = warpAllocs / n
+	if res.LaneNS > 0 {
+		res.LaneWarpInstrsPerSec = float64(res.WarpInstrs) / res.LaneNS * 1e9
+		res.LaneRecordsPerSec = float64(res.Records) / res.LaneNS * 1e9
+		res.LaneNSPerWarpInstr = res.LaneNS / float64(res.WarpInstrs)
+	}
+	if res.WarpNS > 0 {
+		res.WarpWarpInstrsPerSec = float64(res.WarpInstrs) / res.WarpNS * 1e9
+		res.WarpRecordsPerSec = float64(res.Records) / res.WarpNS * 1e9
+		res.WarpNSPerWarpInstr = res.WarpNS / float64(res.WarpInstrs)
+		res.Speedup = res.LaneNS / res.WarpNS
+	}
+	if res.WarpAllocsPerLaunch > 0 {
+		res.AllocRatio = res.LaneAllocsPerLaunch / res.WarpAllocsPerLaunch
+	}
+	return res, nil
+}

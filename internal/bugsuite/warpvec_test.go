@@ -1,0 +1,125 @@
+package bugsuite
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"barracuda/internal/detector"
+	"barracuda/internal/gpusim"
+)
+
+// warpvecResult captures everything the warp-vectorized interpreter must
+// reproduce bit-for-bit against the legacy lane-major baseline: the
+// canonical report digest, the ordered race set, and the launch stats.
+type warpvecResult struct {
+	digest string
+	races  string
+	stats  gpusim.Stats
+}
+
+// warpvecRun executes one suite test under the detector with an explicit
+// interpreter path (laneMajor) and warp size (0 = architecture default).
+func warpvecRun(tc *Test, ws int, laneMajor bool) (warpvecResult, error) {
+	s, err := detector.OpenPTX(tc.PTX, detector.Config{})
+	if err != nil {
+		return warpvecResult{}, err
+	}
+	launch, err := tc.launch(s.Dev)
+	if err != nil {
+		return warpvecResult{}, err
+	}
+	launch.WarpSize = ws
+	launch.LaneMajor = laneMajor
+	res, err := s.Detect(tc.Kernel, launch)
+	if err != nil {
+		if errors.Is(err, gpusim.ErrStepBudget) {
+			return warpvecResult{digest: "HANG\n"}, nil
+		}
+		// Launch errors (e.g. the barrier-divergence park deadlock some
+		// programs hit at odd warp sizes) are outcomes too: both paths
+		// must fail identically, message and all.
+		return warpvecResult{digest: "ERROR: " + err.Error() + "\n"}, nil
+	}
+	var races string
+	for _, rc := range res.Report.Races {
+		races += fmt.Sprintf("%+v\n", rc)
+	}
+	return warpvecResult{
+		digest: res.Report.CanonicalDigest(),
+		races:  races,
+		stats:  res.SimStats,
+	}, nil
+}
+
+// warpvecCompare asserts both interpreter paths agree on one test/warp-size.
+func warpvecCompare(t *testing.T, tc *Test, ws int) {
+	t.Helper()
+	lane, err := warpvecRun(tc, ws, true)
+	if err != nil {
+		t.Fatalf("lane-major run: %v", err)
+	}
+	warp, err := warpvecRun(tc, ws, false)
+	if err != nil {
+		t.Fatalf("warp-major run: %v", err)
+	}
+	if lane.digest != warp.digest {
+		t.Errorf("canonical digest diverged (ws=%d):\n--- lane-major ---\n%s--- warp-major ---\n%s",
+			ws, lane.digest, warp.digest)
+	}
+	if lane.races != warp.races {
+		t.Errorf("race set diverged (ws=%d):\n--- lane-major ---\n%s--- warp-major ---\n%s",
+			ws, lane.races, warp.races)
+	}
+	if lane.stats != warp.stats {
+		t.Errorf("launch stats diverged (ws=%d):\nlane-major: %+v\nwarp-major: %+v",
+			ws, lane.stats, warp.stats)
+	}
+}
+
+// TestWarpVectorizedEquivalence is the correctness contract of the
+// warp-vectorized interpreter (warp-major dispatch + static-uniformity
+// scalarization + pooled launch state): across the full bug suite, the
+// fast path must reproduce the lane-major baseline exactly — identical
+// canonical report digests, identical ordered race sets, and identical
+// Stats counters (warp/thread instructions, records, barriers,
+// divergences). Run at the default 32-lane warp and at warp size 5,
+// which forces partial last warps and odd masks through every broadcast
+// and bit-iteration path.
+func TestWarpVectorizedEquivalence(t *testing.T) {
+	for _, tc := range Tests() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			warpvecCompare(t, tc, 0)
+			warpvecCompare(t, tc, 5)
+		})
+	}
+}
+
+// TestWarpVectorizedEquivalenceAllWarpSizes sweeps every legal warp size
+// on one racy and one barrier-heavy program, covering full masks, partial
+// last warps, and single-digit warps where scalarization broadcasts to
+// almost nobody.
+func TestWarpVectorizedEquivalenceAllWarpSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warp-size sweep is slow")
+	}
+	want := map[string]bool{"gl-waw-interwarp-racy": true, "sh-barrier-waw-free": true}
+	var picked []*Test
+	for _, tc := range Tests() {
+		if want[tc.Name] {
+			picked = append(picked, tc)
+		}
+	}
+	if len(picked) == 0 {
+		t.Fatal("sweep test programs not found in suite")
+	}
+	for _, tc := range picked {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			for ws := 2; ws <= 32; ws++ {
+				warpvecCompare(t, tc, ws)
+			}
+		})
+	}
+}

@@ -40,6 +40,12 @@ type LaunchConfig struct {
 	// range 2..32). Running a kernel at a smaller warp size exposes
 	// latent bugs in code that assumes 32-thread lockstep.
 	WarpSize int
+
+	// LaneMajor selects the legacy lane-major interpreter (per-lane opcode
+	// dispatch, no launch-state pooling) instead of the warp-major fast
+	// path. Kept as the A/B baseline for BENCH_sim.json; both paths are
+	// report- and stats-equivalent.
+	LaneMajor bool
 }
 
 // ErrStepBudget is returned (wrapped) when a launch exceeds
@@ -94,20 +100,21 @@ type blockState struct {
 }
 
 type engine struct {
-	mod     *Module
-	lk      *loadedKernel
-	code    []cInstr
-	dev     *Device
-	cfg     LaunchConfig
-	grid    Dim3
-	block   Dim3
-	bsz     int // threads per block
-	wpb     int // warps per block
-	ws      int // warp width (lanes per warp)
-	rng     *rand.Rand
-	stats   Stats
-	rec     logging.Record // scratch record
-	syncSeq uint64         // global ordering for synchronization records
+	mod       *Module
+	lk        *loadedKernel
+	code      []cInstr
+	dev       *Device
+	cfg       LaunchConfig
+	grid      Dim3
+	block     Dim3
+	bsz       int // threads per block
+	wpb       int // warps per block
+	ws        int // warp width (lanes per warp)
+	rng       *rand.Rand
+	laneMajor bool // run the legacy per-lane dispatch path (A/B baseline)
+	stats     Stats
+	rec       logging.Record // scratch record
+	syncSeq   uint64         // global ordering for synchronization records
 }
 
 // Launch runs a kernel to completion and returns execution statistics.
@@ -145,6 +152,7 @@ func (mod *Module) Launch(name string, cfg LaunchConfig) (Stats, error) {
 		return Stats{}, fmt.Errorf("gpusim: warp size %d out of range [2,32]", e.ws)
 	}
 	e.wpb = (e.bsz + e.ws - 1) / e.ws
+	e.laneMajor = cfg.LaneMajor
 	if cfg.RandomSched {
 		e.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
@@ -154,7 +162,12 @@ func (mod *Module) Launch(name string, cfg LaunchConfig) (Stats, error) {
 	return e.stats, nil
 }
 
-func (e *engine) newBlock(idx int) *blockState {
+func (e *engine) newBlock(ar *launchArena, idx int) *blockState {
+	if ar != nil {
+		if blk, ok := ar.takeBlock(e, idx); ok {
+			return blk
+		}
+	}
 	blk := &blockState{
 		idx:    idx,
 		shared: make([]byte, e.lk.sharedBytes),
@@ -199,13 +212,27 @@ func (e *engine) run() error {
 	if maxRes > nBlocks {
 		maxRes = nBlocks
 	}
-	resident := make([]*blockState, 0, maxRes)
+	ar := e.acquireArena()
+	var resident []*blockState
+	var order []*warpState
+	if ar != nil {
+		resident, order = ar.resident[:0], ar.order[:0]
+	} else {
+		resident = make([]*blockState, 0, maxRes)
+		order = make([]*warpState, 0, maxRes*e.wpb)
+	}
+	defer func() {
+		if ar != nil {
+			// Keep the (possibly grown) scratch slices for the next launch.
+			ar.resident, ar.order = resident[:0], order[:0]
+			e.releaseArena(ar)
+		}
+	}()
 	nextBlock := 0
 	for len(resident) < maxRes {
-		resident = append(resident, e.newBlock(nextBlock))
+		resident = append(resident, e.newBlock(ar, nextBlock))
 		nextBlock++
 	}
-	order := make([]*warpState, 0, maxRes*e.wpb)
 	for len(resident) > 0 {
 		// Gather runnable warps for this pass.
 		order = order[:0]
@@ -237,15 +264,18 @@ func (e *engine) run() error {
 				return fmt.Errorf("%w after %d instructions", ErrStepBudget, e.stats.WarpInstrs)
 			}
 		}
-		// Retire finished blocks and bring in the next wave.
+		// Retire finished blocks into the arena and bring in the next wave.
 		keep := resident[:0]
 		for _, blk := range resident {
 			if blk.liveWarp > 0 {
 				keep = append(keep, blk)
 				continue
 			}
+			if ar != nil {
+				ar.free = append(ar.free, blk)
+			}
 			if nextBlock < nBlocks {
-				keep = append(keep, e.newBlock(nextBlock))
+				keep = append(keep, e.newBlock(ar, nextBlock))
 				nextBlock++
 			}
 		}
@@ -331,11 +361,4 @@ func (e *engine) execError(pc int, format string, args ...any) error {
 		line = e.lk.cfg.Instrs[pc].Line
 	}
 	return fmt.Errorf("pc %d (line %d): %s", pc, line, fmt.Sprintf(format, args...))
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -3,6 +3,7 @@ package gpusim
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"barracuda/internal/kernel"
 	"barracuda/internal/ptx"
@@ -37,6 +38,11 @@ type loadedKernel struct {
 	localBytes int64
 
 	code []cInstr // lazily compiled executable form
+
+	// arena pools launch state across launches of this kernel (see
+	// arena.go). A launch takes ownership with an atomic swap and stores
+	// the arena back when done.
+	arena atomic.Pointer[launchArena]
 }
 
 // LoadModule prepares a parsed PTX module for execution on the device,

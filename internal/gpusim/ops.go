@@ -7,6 +7,7 @@ import (
 
 	"barracuda/internal/logging"
 	"barracuda/internal/ptx"
+	"barracuda/internal/staticanalysis"
 	"barracuda/internal/trace"
 )
 
@@ -48,6 +49,19 @@ type cInstr struct {
 	size     int // operand size in bytes from the instruction type
 	target   int // branch target pc
 	rpc      int // precomputed reconvergence pc for conditional branches
+
+	// Warp-major execution (selected once at compile time).
+	fn      warpHandler // per-opcode warp-level handler
+	uniform bool        // all inputs warp-uniform: execute once, broadcast
+
+	// _log record template, precomputed so execLog only fills the
+	// launch-dependent fields (warp, block, mask, addresses, values).
+	logTmpl   *logging.Record
+	logSkip   bool // If/Else/Fi marker: runtime no-op
+	logBar    bool // barrier record (no address payload)
+	logSync   bool // acquire/release record: stamp the global Seq
+	logVal    bool // carries a stored-value operand (write records)
+	logAddrOK bool // has a well-formed address operand
 }
 
 // compile lowers a loaded kernel's instructions into executable form,
@@ -97,8 +111,51 @@ func (mod *Module) compile(lk *loadedKernel) ([]cInstr, error) {
 		}
 		code[i] = ci
 	}
+	// Warp-major lowering: pick the per-opcode handler, thread the static
+	// warp-uniformity facts in for scalarization, and precompute _log
+	// record templates. All cached with the compiled code.
+	uni := staticanalysis.ComputeUniformity(lk.cfg)
+	for i := range code {
+		ci := &code[i]
+		ci.fn = selectHandler(ci)
+		if scalarizableOp(ci) {
+			ci.uniform = uni.InputsUniform(i)
+		}
+		if ci.op == ptx.OpLog {
+			prepLog(ci)
+		}
+	}
 	lk.code = code
 	return code, nil
+}
+
+// prepLog precomputes the launch-invariant part of a _log record.
+func prepLog(ci *cInstr) {
+	k := trace.FromLogKind(ci.in.LogK)
+	switch k {
+	case trace.OpIf, trace.OpElse, trace.OpFi:
+		ci.logSkip = true
+		return
+	}
+	rec := &logging.Record{Op: k, PC: uint32(ci.in.Line)}
+	if k == trace.OpBar {
+		ci.logBar = true
+		ci.logTmpl = rec
+		return
+	}
+	rec.Size = uint8(ci.in.AccSz)
+	switch ci.in.Space {
+	case ptx.SpaceShared:
+		rec.Space = logging.SpaceShared
+	case ptx.SpaceLocal:
+		rec.Space = logging.SpaceLocal
+	default:
+		rec.Space = logging.SpaceGlobal
+	}
+	ci.logSync = k.IsSync()
+	ci.logVal = len(ci.args) > 1
+	ci.logAddrOK = len(ci.args) > 0 && ci.args[0].kind == ptx.OpndMem
+	ci.logTmpl = rec
 }
 
 func (mod *Module) compileOperand(lk *loadedKernel, in *ptx.Instr, o ptx.Operand) (cOperand, error) {
@@ -316,10 +373,8 @@ func (e *engine) stepWarp(w *warpState) error {
 	exec := eff
 	if ci.guard >= 0 && ci.op != ptx.OpBra {
 		exec = 0
-		for lane := 0; lane < e.ws; lane++ {
-			if eff&(1<<uint(lane)) == 0 {
-				continue
-			}
+		for m := eff; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
 			if e.pred(w, lane, ci.guard) != ci.guardNeg {
 				exec |= 1 << uint(lane)
 			}
@@ -343,19 +398,40 @@ func (e *engine) stepWarp(w *warpState) error {
 		top.pc++
 		return nil
 	case ptx.OpLog:
-		if err := e.execLog(w, ci, exec); err != nil {
+		var err error
+		if e.laneMajor {
+			err = e.execLogLaneMajor(w, ci, exec)
+		} else {
+			err = e.execLog(w, ci, exec)
+		}
+		if err != nil {
 			return e.execError(pc, "%v", err)
 		}
 		top.pc++
 		return nil
 	}
 
-	for lane := 0; lane < e.ws; lane++ {
-		if exec&(1<<uint(lane)) == 0 {
-			continue
+	if e.laneMajor {
+		// A/B reference path: per-lane dispatch, exactly the pre-warp-major
+		// interpreter shape.
+		for lane := 0; lane < e.ws; lane++ {
+			if exec&(1<<uint(lane)) == 0 {
+				continue
+			}
+			if err := e.execLane(w, ci, lane); err != nil {
+				return e.execError(pc, "lane %d: %v", lane, err)
+			}
 		}
-		if err := e.execLane(w, ci, lane); err != nil {
-			return e.execError(pc, "lane %d: %v", lane, err)
+		top.pc++
+		return nil
+	}
+	if exec != 0 {
+		if ci.uniform {
+			if err := e.execUniform(w, ci, exec); err != nil {
+				return e.execError(pc, "%v", err)
+			}
+		} else if err := ci.fn(e, w, ci, exec); err != nil {
+			return e.execError(pc, "%v", err)
 		}
 	}
 	top.pc++
@@ -400,10 +476,65 @@ func (e *engine) execBranch(w *warpState, top *stackEntry, ci *cInstr, eff uint3
 	return nil
 }
 
-// execLog emits a warp-level record for a `_log.*` pseudo-instruction.
+// execLog emits a warp-level record for a `_log.*` pseudo-instruction using
+// the record template precomputed at compile time; only the warp, block,
+// mask, addresses and values are filled at runtime. When the site's address
+// inputs are warp-uniform the address is computed once and broadcast.
 // If/Else/Fi markers are no-ops at runtime: the semantic divergence events
 // are emitted by the SIMT stack machinery, which knows the actual masks.
 func (e *engine) execLog(w *warpState, ci *cInstr, exec uint32) error {
+	if ci.logSkip || e.cfg.Sink == nil || exec == 0 {
+		return nil
+	}
+	rec := &e.rec
+	*rec = *ci.logTmpl
+	rec.Warp = uint32(w.gwid)
+	rec.Block = uint32(w.blk.idx)
+	rec.Mask = exec
+	if ci.logBar {
+		e.cfg.Sink.Emit(rec)
+		e.stats.Records++
+		return nil
+	}
+	if !ci.logAddrOK {
+		return fmt.Errorf("_log.%v without address operand", ci.in.LogK)
+	}
+	if ci.logSync {
+		e.syncSeq++
+		rec.Seq = e.syncSeq
+	}
+	a0 := &ci.args[0]
+	if ci.uniform {
+		first := bits.TrailingZeros32(exec)
+		addr := e.laneAddr(w, first, a0)
+		var v uint64
+		if ci.logVal {
+			v = e.val(w, first, &ci.args[1])
+		}
+		for m := exec; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			rec.Addrs[lane] = addr
+			if ci.logVal {
+				rec.Vals[lane] = v
+			}
+		}
+	} else {
+		for m := exec; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			rec.Addrs[lane] = e.laneAddr(w, lane, a0)
+			if ci.logVal {
+				rec.Vals[lane] = e.val(w, lane, &ci.args[1])
+			}
+		}
+	}
+	e.cfg.Sink.Emit(rec)
+	e.stats.Records++
+	return nil
+}
+
+// execLogLaneMajor is the pre-template _log emission path, kept verbatim as
+// the LaneMajor A/B baseline.
+func (e *engine) execLogLaneMajor(w *warpState, ci *cInstr, exec uint32) error {
 	if e.cfg.Sink == nil || exec == 0 {
 		return nil
 	}

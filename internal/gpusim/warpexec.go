@@ -1,0 +1,865 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"barracuda/internal/ptx"
+)
+
+// Warp-major execution: every compiled instruction carries a warpHandler
+// selected once in Module.compile. The hot loop in stepWarp then performs a
+// single indirect call per warp-instruction instead of re-running the
+// opcode switch and operand resolution once per lane. Handlers bake the
+// per-instruction invariants (opcode, type width, signedness, operand
+// shapes, constants) into closures at compile time and iterate only the
+// active lanes of the exec mask.
+//
+// Equivalence contract: every handler must produce bit-identical register,
+// predicate and memory effects — and identical error text — to the
+// lane-major reference path (execLane/execArith), which is kept intact and
+// selectable via LaunchConfig.LaneMajor for A/B measurement. The
+// equivalence suite in the bug-suite and litmus tests enforces this over
+// report digests, race sets and Stats counters.
+
+// warpHandler executes one compiled instruction for all active lanes.
+type warpHandler func(e *engine, w *warpState, ci *cInstr, exec uint32) error
+
+// execLaneLoop is the generic fallback: per-lane reference execution with
+// bit-iteration over the active mask. Used for rare or complex shapes
+// (vector memory ops, atomics, unusual operand patterns).
+func execLaneLoop(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+	for m := exec; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
+		if err := e.execLane(w, ci, lane); err != nil {
+			return fmt.Errorf("lane %d: %v", lane, err)
+		}
+	}
+	return nil
+}
+
+// execUniform executes a statically warp-uniform instruction once (on the
+// first active lane, via the reference interpreter) and broadcasts the
+// destination to the remaining active lanes. Soundness comes from the
+// staticanalysis warp-uniformity facts: every input holds the same value
+// in every lane, and the ops admitted by scalarizableOp are deterministic,
+// so running one lane computes what all lanes would.
+func (e *engine) execUniform(w *warpState, ci *cInstr, exec uint32) error {
+	first := bits.TrailingZeros32(exec)
+	if err := e.execLane(w, ci, first); err != nil {
+		return fmt.Errorf("lane %d: %v", first, err)
+	}
+	rest := exec &^ (1 << uint(first))
+	if rest == 0 {
+		return nil
+	}
+	if ci.dst.isPred {
+		v := e.pred(w, first, ci.dst.reg)
+		for m := rest; m != 0; m &= m - 1 {
+			e.setPred(w, bits.TrailingZeros32(m), ci.dst.reg, v)
+		}
+	} else {
+		v := e.reg(w, first, ci.dst.reg)
+		for m := rest; m != 0; m &= m - 1 {
+			e.setRegRaw(w, bits.TrailingZeros32(m), ci.dst.reg, v)
+		}
+	}
+	return nil
+}
+
+// scalarizableOp reports whether an opcode may be executed once per warp
+// when its inputs are warp-uniform: deterministic, side-effect-free on
+// memory (or a load from a single warp-shared location), with a single
+// destination. Stores, atomics and lane-private local memory are excluded.
+// _log is included only so execLog can compute the (uniform) address once;
+// stepWarp routes it before the execUniform dispatch.
+func scalarizableOp(ci *cInstr) bool {
+	switch ci.op {
+	case ptx.OpMov, ptx.OpCvta, ptx.OpCvt, ptx.OpNot, ptx.OpNeg,
+		ptx.OpAdd, ptx.OpSub, ptx.OpMul, ptx.OpMad, ptx.OpDiv, ptx.OpRem,
+		ptx.OpMin, ptx.OpMax, ptx.OpAnd, ptx.OpOr, ptx.OpXor,
+		ptx.OpShl, ptx.OpShr, ptx.OpSetp, ptx.OpSelp:
+		return ci.hasDst
+	case ptx.OpLd:
+		return ci.hasDst && ci.in.Vec <= 1 && ci.in.Space != ptx.SpaceLocal
+	case ptx.OpLog:
+		return true
+	}
+	return false
+}
+
+// fetchFn reads one operand for a lane; base is lane*nRegs, precomputed by
+// the caller.
+type fetchFn func(e *engine, w *warpState, lane, base int) uint64
+
+// fetcher compiles an operand into either a constant (isConst=true) or a
+// fetch function, mirroring engine.val exactly.
+func fetcher(o cOperand) (fn fetchFn, c uint64, isConst bool) {
+	switch o.kind {
+	case ptx.OpndImm:
+		return nil, o.imm, true
+	case ptx.OpndFImm:
+		return nil, math.Float64bits(o.f), true
+	case ptx.OpndSym:
+		return nil, o.symAddr, true
+	case ptx.OpndReg:
+		if o.isPred {
+			p := o.reg
+			return func(e *engine, w *warpState, lane, base int) uint64 {
+				if w.preds[lane*e.lk.nPreds+p] {
+					return 1
+				}
+				return 0
+			}, 0, false
+		}
+		r := o.reg
+		return func(e *engine, w *warpState, lane, base int) uint64 {
+			return w.regs[base+r]
+		}, 0, false
+	case ptx.OpndSreg:
+		s := o.sreg
+		return func(e *engine, w *warpState, lane, base int) uint64 {
+			return e.sregVal(w, lane, s)
+		}, 0, false
+	}
+	return func(e *engine, w *warpState, lane, base int) uint64 { return 0 }, 0, false
+}
+
+// selectHandler picks the warp-major handler for a compiled instruction.
+// Shapes the specialized makers cannot prove well-formed at compile time
+// fall back to the per-lane reference loop, preserving runtime behavior
+// (including panics/errors) exactly.
+func selectHandler(ci *cInstr) warpHandler {
+	t := ci.in.Type
+	switch ci.op {
+	case ptx.OpMov, ptx.OpCvta:
+		if len(ci.args) < 1 {
+			return execLaneLoop
+		}
+		return makeMov(ci)
+	case ptx.OpLd:
+		if len(ci.args) < 1 {
+			return execLaneLoop
+		}
+		return makeLd(ci)
+	case ptx.OpSt:
+		if len(ci.args) < 2 || ci.in.Vec > 1 {
+			return execLaneLoop
+		}
+		return makeSt(ci)
+	case ptx.OpSetp:
+		if len(ci.args) < 2 {
+			return execLaneLoop
+		}
+		return makeSetp(ci)
+	case ptx.OpSelp:
+		if len(ci.args) < 3 {
+			return execLaneLoop
+		}
+		return makeSelp(ci)
+	case ptx.OpCvt:
+		if len(ci.args) < 1 {
+			return execLaneLoop
+		}
+		return makeCvt(ci)
+	case ptx.OpNot:
+		if len(ci.args) < 1 || t.Float() {
+			return execLaneLoop
+		}
+		size := ci.size
+		return makeIntUn(ci, func(v uint64) uint64 { return truncTo(^v, size) })
+	case ptx.OpNeg:
+		if len(ci.args) < 1 || t.Float() {
+			return execLaneLoop
+		}
+		size := ci.size
+		return makeIntUn(ci, func(v uint64) uint64 { return truncTo(-v, size) })
+	case ptx.OpMad:
+		if len(ci.args) < 3 {
+			return execLaneLoop
+		}
+		if t.Float() {
+			return makeFloatArith(ci)
+		}
+		return makeIntTri(ci, intMadOp(ci))
+	case ptx.OpAdd, ptx.OpSub, ptx.OpMul, ptx.OpDiv, ptx.OpRem, ptx.OpMin, ptx.OpMax,
+		ptx.OpAnd, ptx.OpOr, ptx.OpXor, ptx.OpShl, ptx.OpShr:
+		if len(ci.args) < 2 {
+			return execLaneLoop
+		}
+		if t.Float() {
+			return makeFloatArith(ci)
+		}
+		if sf := intBinOp(ci); sf != nil {
+			return makeIntBin(ci, sf)
+		}
+		return execLaneLoop
+	}
+	return execLaneLoop
+}
+
+// makeMov handles mov/cvta: constant broadcast, register copy, or the
+// generic per-lane form for sreg/predicate sources.
+func makeMov(ci *cInstr) warpHandler {
+	t := ci.in.Type
+	d := ci.dst.reg
+	a := ci.args[0]
+	if v, ok := constMovBits(a, t); ok {
+		return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+			nR := e.lk.nRegs
+			regs := w.regs
+			for m := exec; m != 0; m &= m - 1 {
+				regs[bits.TrailingZeros32(m)*nR+d] = v
+			}
+			return nil
+		}
+	}
+	if !t.Float() && a.kind == ptx.OpndReg && !a.isPred {
+		s := a.reg
+		return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+			nR := e.lk.nRegs
+			regs := w.regs
+			for m := exec; m != 0; m &= m - 1 {
+				base := bits.TrailingZeros32(m) * nR
+				regs[base+d] = regs[base+s]
+			}
+			return nil
+		}
+	}
+	if t.Float() {
+		return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+			for m := exec; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros32(m)
+				e.setRegRaw(w, lane, d, fbits(e.fval(w, lane, &ci.args[0], t), t))
+			}
+			return nil
+		}
+	}
+	return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+		for m := exec; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setRegRaw(w, lane, d, e.val(w, lane, &ci.args[0]))
+		}
+		return nil
+	}
+}
+
+// constMovBits evaluates a constant mov source to the exact bits the
+// reference path would store.
+func constMovBits(a cOperand, t ptx.Type) (uint64, bool) {
+	switch a.kind {
+	case ptx.OpndImm, ptx.OpndFImm:
+		if t.Float() {
+			return fbits(a.f, t), true
+		}
+		if a.kind == ptx.OpndFImm {
+			return math.Float64bits(a.f), true
+		}
+		return a.imm, true
+	case ptx.OpndSym:
+		if t.Float() {
+			return fbits(bitsToF(a.symAddr, t), t), true
+		}
+		return a.symAddr, true
+	}
+	return 0, false
+}
+
+// makeLd handles scalar loads with the space decision hoisted to compile
+// time. Vector loads fall back to the reference loop.
+func makeLd(ci *cInstr) warpHandler {
+	in := ci.in
+	if in.Vec > 1 {
+		return execLaneLoop
+	}
+	d := ci.dst.reg
+	if in.Space == ptx.SpaceParam {
+		a := ci.args[0]
+		if a.symK != symParam {
+			return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+				return fmt.Errorf("lane %d: ld.param with non-parameter operand",
+					bits.TrailingZeros32(exec))
+			}
+		}
+		idx := a.symAddr
+		return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+			v := e.cfg.Args[idx]
+			nR := e.lk.nRegs
+			for m := exec; m != 0; m &= m - 1 {
+				w.regs[bits.TrailingZeros32(m)*nR+d] = v
+			}
+			return nil
+		}
+	}
+	size := ci.size
+	signed := in.Type.Signed()
+	space := in.Space
+	a0 := ci.args[0]
+	return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+		nR := e.lk.nRegs
+		for m := exec; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			base := lane * nR
+			var addr uint64
+			if a0.baseReg >= 0 {
+				addr = w.regs[base+a0.baseReg] + uint64(a0.off)
+			} else {
+				addr = a0.symAddr + uint64(a0.off)
+			}
+			v, err := e.loadSpace(w, lane, space, addr, size)
+			if err != nil {
+				return fmt.Errorf("lane %d: %v", lane, err)
+			}
+			if signed {
+				v = uint64(signExt(v, size))
+			}
+			w.regs[base+d] = v
+		}
+		return nil
+	}
+}
+
+// makeSt handles scalar stores; the value operand's constant forms
+// (including the float-immediate re-encoding quirk) are folded at compile
+// time.
+func makeSt(ci *cInstr) warpHandler {
+	in := ci.in
+	t := in.Type
+	size := ci.size
+	space := in.Space
+	a0 := ci.args[0]
+	v1 := ci.args[1]
+	var cval uint64
+	isConst := false
+	if t.Float() && v1.kind == ptx.OpndFImm {
+		cval, isConst = truncTo(fbits(v1.f, t), size), true
+	} else if _, c, k := fetcher(v1); k {
+		cval, isConst = truncTo(c, size), true
+	}
+	fv, _, _ := fetcher(v1)
+	return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+		nR := e.lk.nRegs
+		for m := exec; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			base := lane * nR
+			var addr uint64
+			if a0.baseReg >= 0 {
+				addr = w.regs[base+a0.baseReg] + uint64(a0.off)
+			} else {
+				addr = a0.symAddr + uint64(a0.off)
+			}
+			v := cval
+			if !isConst {
+				v = truncTo(fv(e, w, lane, base), size)
+			}
+			if err := e.storeSpace(w, lane, space, addr, size, v); err != nil {
+				return fmt.Errorf("lane %d: %v", lane, err)
+			}
+		}
+		return nil
+	}
+}
+
+func makeSetp(ci *cInstr) warpHandler {
+	in := ci.in
+	t := in.Type
+	d := ci.dst.reg
+	if t.Float() {
+		cmp := in.Cmp
+		return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+			nP := e.lk.nPreds
+			for m := exec; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros32(m)
+				w.preds[lane*nP+d] = cmpFloat(cmp,
+					e.fval(w, lane, &ci.args[0], t), e.fval(w, lane, &ci.args[1], t))
+			}
+			return nil
+		}
+	}
+	cf := intCmpFunc(in.Cmp, t, ci.size)
+	f0, c0, k0 := fetcher(ci.args[0])
+	f1, c1, k1 := fetcher(ci.args[1])
+	return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+		nR, nP := e.lk.nRegs, e.lk.nPreds
+		for m := exec; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			base := lane * nR
+			a, b := c0, c1
+			if !k0 {
+				a = f0(e, w, lane, base)
+			}
+			if !k1 {
+				b = f1(e, w, lane, base)
+			}
+			w.preds[lane*nP+d] = cf(a, b)
+		}
+		return nil
+	}
+}
+
+// intCmpFunc bakes the comparison op, signedness and width into a closure
+// with cmpInt's exact semantics (inputs truncated, then sign-extended).
+func intCmpFunc(op ptx.CmpOp, t ptx.Type, size int) func(a, b uint64) bool {
+	if t.Signed() {
+		cmp := func(x, y int64) bool { return false }
+		switch op {
+		case ptx.CmpEQ:
+			cmp = func(x, y int64) bool { return x == y }
+		case ptx.CmpNE:
+			cmp = func(x, y int64) bool { return x != y }
+		case ptx.CmpLT:
+			cmp = func(x, y int64) bool { return x < y }
+		case ptx.CmpLE:
+			cmp = func(x, y int64) bool { return x <= y }
+		case ptx.CmpGT:
+			cmp = func(x, y int64) bool { return x > y }
+		case ptx.CmpGE:
+			cmp = func(x, y int64) bool { return x >= y }
+		}
+		return func(a, b uint64) bool {
+			return cmp(signExt(truncTo(a, size), size), signExt(truncTo(b, size), size))
+		}
+	}
+	cmp := func(x, y uint64) bool { return false }
+	switch op {
+	case ptx.CmpEQ:
+		cmp = func(x, y uint64) bool { return x == y }
+	case ptx.CmpNE:
+		cmp = func(x, y uint64) bool { return x != y }
+	case ptx.CmpLT:
+		cmp = func(x, y uint64) bool { return x < y }
+	case ptx.CmpLE:
+		cmp = func(x, y uint64) bool { return x <= y }
+	case ptx.CmpGT:
+		cmp = func(x, y uint64) bool { return x > y }
+	case ptx.CmpGE:
+		cmp = func(x, y uint64) bool { return x >= y }
+	}
+	return func(a, b uint64) bool { return cmp(truncTo(a, size), truncTo(b, size)) }
+}
+
+func makeSelp(ci *cInstr) warpHandler {
+	size := ci.size
+	d := ci.dst.reg
+	cond := ci.args[2]
+	f0, c0, k0 := fetcher(ci.args[0])
+	f1, c1, k1 := fetcher(ci.args[1])
+	pick := func(e *engine, w *warpState, lane, base int, take bool) uint64 {
+		if take {
+			if k0 {
+				return c0
+			}
+			return f0(e, w, lane, base)
+		}
+		if k1 {
+			return c1
+		}
+		return f1(e, w, lane, base)
+	}
+	if cond.isPred {
+		p := cond.reg
+		return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+			nR, nP := e.lk.nRegs, e.lk.nPreds
+			for m := exec; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros32(m)
+				base := lane * nR
+				w.regs[base+d] = truncTo(pick(e, w, lane, base, w.preds[lane*nP+p]), size)
+			}
+			return nil
+		}
+	}
+	fc, cc, kc := fetcher(cond)
+	return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+		nR := e.lk.nRegs
+		for m := exec; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			base := lane * nR
+			cv := cc
+			if !kc {
+				cv = fc(e, w, lane, base)
+			}
+			w.regs[base+d] = truncTo(pick(e, w, lane, base, cv != 0), size)
+		}
+		return nil
+	}
+}
+
+func makeCvt(ci *cInstr) warpHandler {
+	cf := cvtFunc(ci.in.Type, ci.in.Src)
+	d := ci.dst.reg
+	f0, c0, k0 := fetcher(ci.args[0])
+	return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+		nR := e.lk.nRegs
+		for m := exec; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			base := lane * nR
+			v := c0
+			if !k0 {
+				v = f0(e, w, lane, base)
+			}
+			w.regs[base+d] = cf(v)
+		}
+		return nil
+	}
+}
+
+// cvtFunc bakes convert's four-way type dispatch into a closure.
+func cvtFunc(dt, st ptx.Type) func(v uint64) uint64 {
+	dsz, ssz := dt.Size(), st.Size()
+	switch {
+	case dt.Float() && st.Float():
+		return func(v uint64) uint64 { return fbits(bitsToF(v, st), dt) }
+	case dt.Float():
+		if st.Signed() {
+			return func(v uint64) uint64 { return fbits(float64(signExt(v, ssz)), dt) }
+		}
+		return func(v uint64) uint64 { return fbits(float64(truncTo(v, ssz)), dt) }
+	case st.Float():
+		return func(v uint64) uint64 { return truncTo(uint64(int64(bitsToF(v, st))), dsz) }
+	default:
+		if st.Signed() {
+			return func(v uint64) uint64 { return truncTo(uint64(signExt(v, ssz)), dsz) }
+		}
+		return func(v uint64) uint64 { return truncTo(truncTo(v, ssz), dsz) }
+	}
+}
+
+func makeIntUn(ci *cInstr, sf func(v uint64) uint64) warpHandler {
+	d := ci.dst.reg
+	a := ci.args[0]
+	if a.kind == ptx.OpndReg && !a.isPred {
+		s := a.reg
+		return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+			nR := e.lk.nRegs
+			regs := w.regs
+			for m := exec; m != 0; m &= m - 1 {
+				base := bits.TrailingZeros32(m) * nR
+				regs[base+d] = sf(regs[base+s])
+			}
+			return nil
+		}
+	}
+	f0, c0, k0 := fetcher(a)
+	return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+		nR := e.lk.nRegs
+		for m := exec; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			base := lane * nR
+			v := c0
+			if !k0 {
+				v = f0(e, w, lane, base)
+			}
+			w.regs[base+d] = sf(v)
+		}
+		return nil
+	}
+}
+
+// makeIntBin specializes the common operand shapes of a two-input integer
+// op around a compiled scalar function that takes raw register bits and
+// returns the exact bits to store.
+func makeIntBin(ci *cInstr, sf func(a, b uint64) uint64) warpHandler {
+	d := ci.dst.reg
+	a0, a1 := ci.args[0], ci.args[1]
+	r0ok := a0.kind == ptx.OpndReg && !a0.isPred
+	r1ok := a1.kind == ptx.OpndReg && !a1.isPred
+	switch {
+	case r0ok && r1ok:
+		r0, r1 := a0.reg, a1.reg
+		return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+			nR := e.lk.nRegs
+			regs := w.regs
+			for m := exec; m != 0; m &= m - 1 {
+				base := bits.TrailingZeros32(m) * nR
+				regs[base+d] = sf(regs[base+r0], regs[base+r1])
+			}
+			return nil
+		}
+	case r0ok && a1.kind == ptx.OpndImm:
+		r0, c1 := a0.reg, a1.imm
+		return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+			nR := e.lk.nRegs
+			regs := w.regs
+			for m := exec; m != 0; m &= m - 1 {
+				base := bits.TrailingZeros32(m) * nR
+				regs[base+d] = sf(regs[base+r0], c1)
+			}
+			return nil
+		}
+	default:
+		f0, c0, k0 := fetcher(a0)
+		f1, c1, k1 := fetcher(a1)
+		return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+			nR := e.lk.nRegs
+			for m := exec; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros32(m)
+				base := lane * nR
+				a, b := c0, c1
+				if !k0 {
+					a = f0(e, w, lane, base)
+				}
+				if !k1 {
+					b = f1(e, w, lane, base)
+				}
+				w.regs[base+d] = sf(a, b)
+			}
+			return nil
+		}
+	}
+}
+
+func makeIntTri(ci *cInstr, sf func(a, b, c uint64) uint64) warpHandler {
+	d := ci.dst.reg
+	a0, a1, a2 := ci.args[0], ci.args[1], ci.args[2]
+	if a0.kind == ptx.OpndReg && !a0.isPred &&
+		a1.kind == ptx.OpndReg && !a1.isPred &&
+		a2.kind == ptx.OpndReg && !a2.isPred {
+		r0, r1, r2 := a0.reg, a1.reg, a2.reg
+		return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+			nR := e.lk.nRegs
+			regs := w.regs
+			for m := exec; m != 0; m &= m - 1 {
+				base := bits.TrailingZeros32(m) * nR
+				regs[base+d] = sf(regs[base+r0], regs[base+r1], regs[base+r2])
+			}
+			return nil
+		}
+	}
+	f0, c0, k0 := fetcher(a0)
+	f1, c1, k1 := fetcher(a1)
+	f2, c2, k2 := fetcher(a2)
+	return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+		nR := e.lk.nRegs
+		for m := exec; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			base := lane * nR
+			a, b, c := c0, c1, c2
+			if !k0 {
+				a = f0(e, w, lane, base)
+			}
+			if !k1 {
+				b = f1(e, w, lane, base)
+			}
+			if !k2 {
+				c = f2(e, w, lane, base)
+			}
+			w.regs[base+d] = sf(a, b, c)
+		}
+		return nil
+	}
+}
+
+// intBinOp compiles a two-input integer op into a scalar function with
+// execArith's exact semantics: both inputs truncated to the operand width
+// first, the result truncated to the store width. Returns nil for shapes
+// the reference path would reject (caller falls back).
+func intBinOp(ci *cInstr) func(a, b uint64) uint64 {
+	in := ci.in
+	size := ci.size
+	signed := in.Type.Signed()
+	switch ci.op {
+	case ptx.OpAdd:
+		return func(a, b uint64) uint64 { return truncTo(truncTo(a, size)+truncTo(b, size), size) }
+	case ptx.OpSub:
+		return func(a, b uint64) uint64 { return truncTo(truncTo(a, size)-truncTo(b, size), size) }
+	case ptx.OpAnd:
+		return func(a, b uint64) uint64 { return truncTo(a&b, size) }
+	case ptx.OpOr:
+		return func(a, b uint64) uint64 { return truncTo(a|b, size) }
+	case ptx.OpXor:
+		return func(a, b uint64) uint64 { return truncTo(a^b, size) }
+	case ptx.OpShl:
+		return func(a, b uint64) uint64 {
+			a, b = truncTo(a, size), truncTo(b, size)
+			if b >= uint64(8*size) {
+				return 0
+			}
+			return truncTo(a<<b, size)
+		}
+	case ptx.OpShr:
+		if signed {
+			return func(a, b uint64) uint64 {
+				a, b = truncTo(a, size), truncTo(b, size)
+				sh := b
+				if sh >= uint64(8*size) {
+					sh = uint64(8*size) - 1
+				}
+				return truncTo(uint64(signExt(a, size)>>sh), size)
+			}
+		}
+		return func(a, b uint64) uint64 {
+			a, b = truncTo(a, size), truncTo(b, size)
+			if b >= uint64(8*size) {
+				return 0
+			}
+			return truncTo(a>>b, size)
+		}
+	case ptx.OpMin:
+		if signed {
+			return func(a, b uint64) uint64 {
+				a, b = truncTo(a, size), truncTo(b, size)
+				if signExt(a, size) < signExt(b, size) {
+					return a
+				}
+				return b
+			}
+		}
+		return func(a, b uint64) uint64 {
+			a, b = truncTo(a, size), truncTo(b, size)
+			if a < b {
+				return a
+			}
+			return b
+		}
+	case ptx.OpMax:
+		if signed {
+			return func(a, b uint64) uint64 {
+				a, b = truncTo(a, size), truncTo(b, size)
+				if signExt(a, size) > signExt(b, size) {
+					return a
+				}
+				return b
+			}
+		}
+		return func(a, b uint64) uint64 {
+			a, b = truncTo(a, size), truncTo(b, size)
+			if a > b {
+				return a
+			}
+			return b
+		}
+	case ptx.OpMul:
+		switch {
+		case in.Wide:
+			if signed {
+				return func(a, b uint64) uint64 {
+					a, b = truncTo(a, size), truncTo(b, size)
+					return truncTo(uint64(signExt(a, size)*signExt(b, size)), 2*size)
+				}
+			}
+			return func(a, b uint64) uint64 {
+				return truncTo(truncTo(a, size)*truncTo(b, size), 2*size)
+			}
+		case in.Hi:
+			if size == 4 {
+				if signed {
+					return func(a, b uint64) uint64 {
+						a, b = truncTo(a, size), truncTo(b, size)
+						return truncTo(uint64(signExt(a, size)*signExt(b, size))>>32, size)
+					}
+				}
+				return func(a, b uint64) uint64 {
+					a, b = truncTo(a, size), truncTo(b, size)
+					return truncTo((a*b)>>32, size)
+				}
+			}
+			return func(a, b uint64) uint64 {
+				hi, _ := bits.Mul64(truncTo(a, size), truncTo(b, size))
+				return truncTo(hi, size)
+			}
+		default:
+			return func(a, b uint64) uint64 {
+				return truncTo(truncTo(a, size)*truncTo(b, size), size)
+			}
+		}
+	case ptx.OpDiv:
+		if signed {
+			return func(a, b uint64) uint64 {
+				a, b = truncTo(a, size), truncTo(b, size)
+				if b == 0 {
+					return 0
+				}
+				return truncTo(uint64(signExt(a, size)/signExt(b, size)), size)
+			}
+		}
+		return func(a, b uint64) uint64 {
+			a, b = truncTo(a, size), truncTo(b, size)
+			if b == 0 {
+				return 0
+			}
+			return truncTo(a/b, size)
+		}
+	case ptx.OpRem:
+		if signed {
+			return func(a, b uint64) uint64 {
+				a, b = truncTo(a, size), truncTo(b, size)
+				if b == 0 {
+					return 0
+				}
+				return truncTo(uint64(signExt(a, size)%signExt(b, size)), size)
+			}
+		}
+		return func(a, b uint64) uint64 {
+			a, b = truncTo(a, size), truncTo(b, size)
+			if b == 0 {
+				return 0
+			}
+			return truncTo(a%b, size)
+		}
+	}
+	return nil
+}
+
+// intMadOp compiles mad: inputs arrive raw; the wide form adds the raw
+// third operand (matching execArith exactly), the narrow form truncates it.
+func intMadOp(ci *cInstr) func(a, b, c uint64) uint64 {
+	in := ci.in
+	size := ci.size
+	signed := in.Type.Signed()
+	if in.Wide {
+		if signed {
+			return func(a, b, c uint64) uint64 {
+				a, b = truncTo(a, size), truncTo(b, size)
+				return truncTo(uint64(signExt(a, size)*signExt(b, size))+c, 2*size)
+			}
+		}
+		return func(a, b, c uint64) uint64 {
+			return truncTo(truncTo(a, size)*truncTo(b, size)+c, 2*size)
+		}
+	}
+	return func(a, b, c uint64) uint64 {
+		return truncTo(truncTo(a, size)*truncTo(b, size)+truncTo(c, size), size)
+	}
+}
+
+// makeFloatArith covers the float add/sub/mul/div/min/max/mad core; other
+// float ops fall back to the reference loop (which reports them as
+// unsupported, matching lane-major behavior).
+func makeFloatArith(ci *cInstr) warpHandler {
+	t := ci.in.Type
+	d := ci.dst.reg
+	var ff func(a, b, c float64) float64
+	switch ci.op {
+	case ptx.OpAdd:
+		ff = func(a, b, c float64) float64 { return a + b }
+	case ptx.OpSub:
+		ff = func(a, b, c float64) float64 { return a - b }
+	case ptx.OpMul:
+		ff = func(a, b, c float64) float64 { return a * b }
+	case ptx.OpDiv:
+		ff = func(a, b, c float64) float64 { return a / b }
+	case ptx.OpMin:
+		ff = func(a, b, c float64) float64 { return math.Min(a, b) }
+	case ptx.OpMax:
+		ff = func(a, b, c float64) float64 { return math.Max(a, b) }
+	case ptx.OpMad:
+		ff = func(a, b, c float64) float64 { return a*b + c }
+	default:
+		return execLaneLoop
+	}
+	isMad := ci.op == ptx.OpMad
+	return func(e *engine, w *warpState, ci *cInstr, exec uint32) error {
+		for m := exec; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			a := e.fval(w, lane, &ci.args[0], t)
+			b := e.fval(w, lane, &ci.args[1], t)
+			var c float64
+			if isMad {
+				c = e.fval(w, lane, &ci.args[2], t)
+			}
+			e.setRegRaw(w, lane, d, fbits(ff(a, b, c), t))
+		}
+		return nil
+	}
+}

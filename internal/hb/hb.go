@@ -366,13 +366,6 @@ func intersects(a, b *op) bool {
 	return false
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // String renders an op for diagnostics.
 func (o *op) String() string {
 	return fmt.Sprintf("%v tids=%v addr=%#x pc=%d", o.kind, o.tids, o.addr, o.pc)

@@ -1,0 +1,164 @@
+package staticanalysis
+
+import (
+	"testing"
+
+	"barracuda/internal/kernel"
+	"barracuda/internal/ptx"
+)
+
+// findOp returns the index of the n-th instruction with the given opcode.
+func findOp(t *testing.T, c *kernel.CFG, op ptx.Op, n int) int {
+	t.Helper()
+	for i, in := range c.Instrs {
+		if in.Op == op {
+			if n == 0 {
+				return i
+			}
+			n--
+		}
+	}
+	t.Fatalf("opcode %v occurrence %d not found", op, n)
+	return -1
+}
+
+func TestUniformityLoopCounter(t *testing.T) {
+	// A param-bound loop counter is warp-uniform on every iteration, and a
+	// uniform loop guard keeps the whole body out of divergent control.
+	c := buildCFG(t, `.visible .entry k(.param .u32 n) {
+	.reg .u32 %r<8>;
+	.reg .pred %p<2>;
+	ld.param.u32 %r1, [n];
+	mov.u32 %r2, 0;
+L:
+	add.u32 %r2, %r2, 1;
+	setp.lt.u32 %p1, %r2, %r1;
+	@%p1 bra L;
+	ret;
+}`)
+	u := ComputeUniformity(c)
+	add := findOp(t, c, ptx.OpAdd, 0)
+	if !u.InputsUniform(add) {
+		t.Error("loop-counter add must have uniform inputs")
+	}
+	if u.Divergent(add) {
+		t.Error("uniform loop guard must not create a divergent region")
+	}
+	if !u.RegUniform(add, "%r2") {
+		t.Error("reg %r2 must stay uniform across the back edge")
+	}
+}
+
+func TestUniformityTidVarying(t *testing.T) {
+	c := buildCFG(t, `.visible .entry k(.param .u64 out) {
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<4>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	add.u32 %r2, %r1, 1;
+	st.global.u32 [%rd1], %r2;
+	ret;
+}`)
+	u := ComputeUniformity(c)
+	add := findOp(t, c, ptx.OpAdd, 0)
+	if u.InputsUniform(add) {
+		t.Error("tid-derived input must be varying")
+	}
+	if u.RegUniform(add, "%r1") {
+		t.Error("reg %r1 holds tid.x and must be varying")
+	}
+	st := findOp(t, c, ptx.OpSt, 0)
+	if !u.RegUniform(st, "%rd1") {
+		t.Error("param-loaded rd1 must be uniform")
+	}
+}
+
+func TestUniformityDivergentRegionDemotion(t *testing.T) {
+	// A constant def inside the influence region of a tid-varying branch is
+	// NOT uniform after reconvergence: only a subset of lanes executed it,
+	// so the others keep stale values.
+	c := buildCFG(t, `.visible .entry k(.param .u64 out) {
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<4>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	setp.lt.u32 %p1, %r1, 16;
+	mov.u32 %r2, 7;
+	@%p1 bra T;
+	mov.u32 %r2, 9;
+T:
+	add.u32 %r3, %r2, 1;
+	st.global.u32 [%rd1], %r3;
+	ret;
+}`)
+	u := ComputeUniformity(c)
+	// mov %r2, 9 sits in the divergent region; its inputs (an immediate)
+	// are still uniform — scalarization keys on inputs, not on the def.
+	mov9 := findOp(t, c, ptx.OpMov, 2)
+	if !u.Divergent(mov9) {
+		t.Error("taken-path mov must be under divergent control")
+	}
+	if !u.InputsUniform(mov9) {
+		t.Error("immediate-operand mov has uniform inputs even when divergent")
+	}
+	add := findOp(t, c, ptx.OpAdd, 0)
+	if u.RegUniform(add, "%r2") {
+		t.Error("reg %r2 defined under divergence must be varying after reconvergence")
+	}
+	if u.Divergent(add) {
+		t.Error("reconvergence block must not be marked divergent")
+	}
+}
+
+func TestUniformityGuardedDef(t *testing.T) {
+	c := buildCFG(t, `.visible .entry k(.param .u32 n) {
+	.reg .u32 %r<8>;
+	.reg .pred %p<4>;
+	ld.param.u32 %r1, [n];
+	mov.u32 %r2, 0;
+	mov.u32 %r4, 0;
+	setp.lt.u32 %p1, %r1, 16;
+	@%p1 mov.u32 %r2, 5;
+	mov.u32 %r3, %tid.x;
+	setp.lt.u32 %p2, %r3, 16;
+	@%p2 mov.u32 %r4, 5;
+	add.u32 %r5, %r2, %r4;
+	ret;
+}`)
+	u := ComputeUniformity(c)
+	add := findOp(t, c, ptx.OpAdd, 0)
+	if !u.RegUniform(add, "%r2") {
+		t.Error("uniform-guard + uniform-old guarded def must stay uniform")
+	}
+	if u.RegUniform(add, "%r4") {
+		t.Error("varying-guard guarded def must be varying")
+	}
+}
+
+func TestUniformityLoads(t *testing.T) {
+	c := buildCFG(t, `.visible .entry k(.param .u64 p) {
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<4>;
+	ld.param.u64 %rd1, [p];
+	ld.global.u32 %r1, [%rd1];
+	mov.u32 %r2, %tid.x;
+	cvt.u64.u32 %rd2, %r2;
+	add.u64 %rd3, %rd1, %rd2;
+	ld.global.u32 %r3, [%rd3];
+	atom.global.add.u32 %r4, [%rd1], %r1;
+	add.u32 %r5, %r1, %r3;
+	ret;
+}`)
+	u := ComputeUniformity(c)
+	add := findOp(t, c, ptx.OpAdd, 1) // the u32 add at the end
+	if !u.RegUniform(add, "%r1") {
+		t.Error("load at uniform address must be uniform (simulator contract)")
+	}
+	if u.RegUniform(add, "%r3") {
+		t.Error("load at tid-varying address must be varying")
+	}
+	if u.RegUniform(add, "%r4") {
+		t.Error("atomic destination must be varying")
+	}
+}
