@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-sim bench-scaling stress-multiqueue serve ci fmt-check vet-smoke
+.PHONY: all build vet test race bench bench-sim bench-scaling bench-detect stress-multiqueue serve ci fmt-check vet-smoke
 
 all: build vet test
 
@@ -55,6 +55,14 @@ bench-scaling:
 bench-sim:
 	$(GO) test -bench='BenchmarkWarpStep|BenchmarkLogEmission' -benchmem -run=^$$ ./internal/gpusim/
 	$(GO) run ./cmd/benchtab -sim -min-speedup 1.5 -o BENCH_sim.json
+
+# Coalesced-span shadow fast path A/B: core microbenchmarks (ns per warp
+# access and allocations, span vs per-cell, including the read-inflation
+# worst case), then the mix-level artifact (BENCH_detect.json) gated on
+# canonical-digest equality and the 2x coalesced speedup floor.
+bench-detect:
+	$(GO) test -bench=BenchmarkWarpAccess -benchmem -run=^$$ ./internal/core/
+	$(GO) run ./cmd/benchtab -detect -min-speedup 2.0 -o BENCH_detect.json
 
 # The multi-queue determinism stress: the 66-program bug suite at 4
 # queues vs 1 queue, repeated, with real parallelism and under the Go

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"barracuda/internal/bench"
+)
+
+// DetectBench is the BENCH_detect.json schema: the coalesced-span shadow
+// fast path (one region-locked span operation per uniform warp access)
+// measured A/B against the per-cell baseline over synthetic coalesced,
+// strided and divergent access mixes.
+type DetectBench struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+
+	// CoalescedSpeedup is the headline number the fast path exists for:
+	// per-cell drain time over span drain time on the fully-coalesced mix.
+	CoalescedSpeedup float64 `json:"coalesced_speedup"`
+	DigestsEqual     bool    `json:"digests_equal"`
+
+	Points []DetectBenchPoint `json:"points"`
+}
+
+// DetectBenchPoint is one access mix's measurement.
+type DetectBenchPoint struct {
+	Mix          string `json:"mix"`
+	Records      int    `json:"records"`
+	LaneAccesses uint64 `json:"lane_accesses"`
+
+	CellRecordsPerSec float64 `json:"per_cell_records_per_sec"`
+	SpanRecordsPerSec float64 `json:"span_records_per_sec"`
+	CellNSPerAccess   float64 `json:"per_cell_ns_per_warp_access"`
+	SpanNSPerAccess   float64 `json:"span_ns_per_warp_access"`
+
+	Speedup      float64 `json:"speedup"`
+	DigestsEqual bool    `json:"digests_equal"`
+}
+
+// runDetectBench runs the shadow-path A/B experiment, writes the
+// artifact, and (when minSpeedup > 0) enforces the perf and equivalence
+// gate on the coalesced mix.
+func runDetectBench(outPath string, minSpeedup float64) error {
+	r, err := bench.DetectBench(bench.DetectOptions{})
+	if err != nil {
+		return err
+	}
+	out := DetectBench{
+		NumCPU:           runtime.NumCPU(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		CoalescedSpeedup: r.CoalescedSpeedup,
+		DigestsEqual:     r.DigestsEqual,
+	}
+	fmt.Println("shadow-path A/B: per-cell baseline vs coalesced-span fast path")
+	fmt.Printf("%-10s %9s %14s %14s %12s %12s %8s\n",
+		"mix", "records", "cell rec/s", "span rec/s", "cell ns/acc", "span ns/acc", "speedup")
+	for _, p := range r.Points {
+		out.Points = append(out.Points, DetectBenchPoint{
+			Mix:               p.Mix,
+			Records:           p.Records,
+			LaneAccesses:      p.LaneAccesses,
+			CellRecordsPerSec: p.CellRecordsPerSec,
+			SpanRecordsPerSec: p.SpanRecordsPerSec,
+			CellNSPerAccess:   p.CellNSPerAccess,
+			SpanNSPerAccess:   p.SpanNSPerAccess,
+			Speedup:           p.Speedup,
+			DigestsEqual:      p.DigestsEqual,
+		})
+		fmt.Printf("%-10s %9d %14.0f %14.0f %12.1f %12.1f %7.2fx\n",
+			p.Mix, p.Records, p.CellRecordsPerSec, p.SpanRecordsPerSec,
+			p.CellNSPerAccess, p.SpanNSPerAccess, p.Speedup)
+	}
+	data, _ := json.MarshalIndent(out, "", "  ")
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: coalesced speedup %.2fx, digests_equal=%v\n",
+		outPath, out.CoalescedSpeedup, out.DigestsEqual)
+	if !out.DigestsEqual {
+		return fmt.Errorf("shadow paths disagree: canonical digests differ")
+	}
+	if minSpeedup > 0 && out.CoalescedSpeedup < minSpeedup {
+		return fmt.Errorf("coalesced speedup %.3fx below required %.3fx", out.CoalescedSpeedup, minSpeedup)
+	}
+	return nil
+}

@@ -19,6 +19,12 @@
 // dispatch, static-uniformity scalarization, pooled launch state) against
 // the legacy lane-major interpreter over the suite, verifying that both
 // paths produce canonically identical reports, and writes BENCH_sim.json.
+//
+// With -detect it A/B-benchmarks the coalesced-span shadow fast path (one
+// region-locked span operation per uniform warp access) against the
+// per-cell baseline over synthetic coalesced, strided and divergent
+// access mixes, verifying canonical-digest equality on every run, and
+// writes BENCH_detect.json.
 package main
 
 import (
@@ -43,7 +49,8 @@ func main() {
 		staticB  = flag.Bool("static", false, "benchmark the static instrumentation pruner instead")
 		scalingB = flag.Bool("scaling", false, "benchmark detection throughput vs queue count instead")
 		simB     = flag.Bool("sim", false, "benchmark the warp-vectorized interpreter against the lane-major baseline instead")
-		minSpeed = flag.Float64("min-speedup", 0, "with -sim: fail unless the suite speedup reaches this factor")
+		detectB  = flag.Bool("detect", false, "benchmark the coalesced-span shadow fast path against the per-cell baseline instead")
+		minSpeed = flag.Float64("min-speedup", 0, "with -sim or -detect: fail unless the speedup reaches this factor")
 		jobs     = flag.Int("jobs", 32, "jobs per phase for -server")
 		workers  = flag.Int("workers", 4, "detection workers for -server")
 		out      = flag.String("o", "", "output artifact path (default BENCH_server.json / BENCH_static.json / BENCH_scaling.json)")
@@ -81,6 +88,18 @@ func main() {
 			path = "BENCH_sim.json"
 		}
 		if err := runSimBench(path, *minSpeed); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *detectB {
+		runtime.GOMAXPROCS(runtime.NumCPU())
+		path := *out
+		if path == "" {
+			path = "BENCH_detect.json"
+		}
+		if err := runDetectBench(path, *minSpeed); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}

@@ -121,7 +121,7 @@ func (d *Detector) Handle(r *logging.Record) {
 		}
 		tid := int32(widx*d.warpSize + lane) // thread index within block
 		for b := uint64(0); b < uint64(maxInt(int(r.Size), 1)); b++ {
-			d.access(blk, addrs, r.Addrs[lane]+b, tid, r.PC, write)
+			d.access(blk, addrs, r.LaneAddr(lane)+b, tid, r.PC, write)
 		}
 	}
 }

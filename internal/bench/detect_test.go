@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"testing"
+
+	"barracuda/internal/detector"
+)
+
+// TestDetectBenchSmoke: the A/B experiment runs, every mix's reports
+// are identical between the span fast path and the per-cell baseline,
+// and the coalesced mix is not slower under spans.
+func TestDetectBenchSmoke(t *testing.T) {
+	res, err := DetectBench(DetectOptions{Repeats: 2, Iters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("expected 3 mixes, got %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if !p.DigestsEqual {
+			t.Errorf("mix %s: reports diverged between span and per-cell paths", p.Mix)
+		}
+		if p.Records == 0 || p.CellNS == 0 || p.SpanNS == 0 {
+			t.Errorf("mix %s: empty measurement: %+v", p.Mix, p)
+		}
+	}
+	if res.CoalescedSpeedup < 1.0 {
+		t.Errorf("coalesced mix slower under spans: speedup %.2f < 1.0", res.CoalescedSpeedup)
+	}
+}
+
+// TestSpanReplayEquivalence is the benchmark-suite half of the span
+// correctness contract (the bug-suite half lives in
+// internal/bugsuite/span_test.go): every Table 1 benchmark's captured
+// record stream, replayed through the multi-queue transport, must
+// produce the same canonical report with the span fast path as with
+// the per-cell baseline — at one queue and four, and (long mode) at
+// warp size 5, where partial masks exercise classification rejection
+// and span demotion.
+func TestSpanReplayEquivalence(t *testing.T) {
+	warpSizes := []int{0}
+	queueCounts := []int{1, 4}
+	if !testing.Short() {
+		warpSizes = []int{0, 5}
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			for _, ws := range warpSizes {
+				s, launch, err := session(b, detector.Config{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				launch.WarpSize = ws
+				cap, err := s.Capture("main", launch)
+				if err != nil {
+					t.Fatalf("capture (ws=%d): %v", ws, err)
+				}
+				for _, q := range queueCounts {
+					digs := map[bool]string{}
+					for _, perCell := range []bool{true, false} {
+						res, err := detector.Replay(cap, detector.Config{Queues: q, PerCellShadow: perCell})
+						if err != nil {
+							t.Fatalf("replay (ws=%d q=%d perCell=%v): %v", ws, q, perCell, err)
+						}
+						digs[perCell] = res.Report.CanonicalDigest()
+					}
+					if digs[true] != digs[false] {
+						t.Errorf("canonical digest diverged (ws=%d q=%d):\n--- per-cell ---\n%s--- span ---\n%s",
+							ws, q, digs[true], digs[false])
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"math/bits"
+	"time"
+
+	"barracuda/internal/core"
+	"barracuda/internal/logging"
+	"barracuda/internal/ptvc"
+	"barracuda/internal/trace"
+)
+
+// DetectPoint is one access mix's A/B measurement of the two shadow
+// paths: the coalesced-span fast path (the default) and the per-cell
+// baseline (Options.PerCellShadow). Times are best-of-repeats for
+// draining the mix's full record stream through one detector worker.
+type DetectPoint struct {
+	Mix          string
+	Records      int
+	LaneAccesses uint64 // sum of active lanes over all records
+
+	CellNS float64 // per-cell baseline drain time, ns
+	SpanNS float64 // span fast-path drain time, ns
+
+	CellRecordsPerSec float64
+	SpanRecordsPerSec float64
+	CellNSPerAccess   float64 // ns per warp access (one record)
+	SpanNSPerAccess   float64
+
+	Speedup      float64 // CellNS / SpanNS
+	DigestsEqual bool    // canonical reports match between paths
+}
+
+// DetectResult aggregates the consumer-side A/B experiment, the
+// BENCH_detect.json payload.
+type DetectResult struct {
+	Points []DetectPoint
+
+	// CoalescedSpeedup is the speedup on the fully-coalesced mix — the
+	// headline number the span fast path exists for, and the one
+	// `benchtab -detect -min-speedup` gates on.
+	CoalescedSpeedup float64
+	DigestsEqual     bool
+}
+
+// DetectOptions tunes the detection A/B experiment.
+type DetectOptions struct {
+	// Repeats is how many times each mix is drained per path; the
+	// fastest drain is kept (default 5).
+	Repeats int
+	// Iters scales the stream length (instruction sweeps per warp,
+	// default 200).
+	Iters int
+}
+
+// detectGeo is the synthetic launch the mixes are generated for:
+// 8 blocks of 128 threads, 32-lane warps — 32 warps total, each
+// sweeping a private 4 KiB window of global memory so the streams are
+// race-free and the measurement is pure shadow-path cost.
+func detectGeo() ptvc.Geometry {
+	return ptvc.Geometry{WarpSize: 32, BlockSize: 128, Blocks: 8}
+}
+
+const detectWindow = 4096 // bytes of global memory per warp
+
+// detectStream generates one mix's record stream. kind selects the
+// address pattern per warp instruction:
+//
+//	coalesced — lane i touches base+4i: one contiguous 128-byte run,
+//	  the pattern GPU kernels are tuned for and the span fast path's
+//	  target. Classify tags every record.
+//	strided   — lane i touches base+8i (stride 2× the access size):
+//	  never coalesced, both paths take the per-cell loop. This bounds
+//	  the classifier's overhead on span-ineligible traffic.
+//	divergent — scattered addresses and partial masks from a
+//	  deterministic LCG: the worst case, also per-cell on both paths.
+func detectStream(kind string, iters int) []logging.Record {
+	geo := detectGeo()
+	wpb := geo.WarpsPerBlock()
+	warps := geo.Blocks * wpb
+	instrsPerSweep := 8
+	recs := make([]logging.Record, 0, warps*iters*instrsPerSweep)
+	lcg := uint64(0x9E3779B97F4A7C15)
+	rnd := func() uint64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return lcg >> 33
+	}
+	for it := 0; it < iters; it++ {
+		for w := 0; w < warps; w++ {
+			window := uint64(w) * detectWindow
+			for i := 0; i < instrsPerSweep; i++ {
+				var r logging.Record
+				r.Warp = uint32(w)
+				r.Block = uint32(w / wpb)
+				r.Space = logging.SpaceGlobal
+				r.Size = 4
+				r.PC = uint32(i + 1)
+				if i%2 == 0 {
+					r.Op = trace.OpRead
+				} else {
+					r.Op = trace.OpWrite
+				}
+				switch kind {
+				case "coalesced":
+					r.Mask = ^uint32(0)
+					base := window + uint64(i)*128
+					for lane := 0; lane < 32; lane++ {
+						r.Addrs[lane] = base + uint64(lane)*4
+						r.Vals[lane] = uint64(lane)
+					}
+				case "strided":
+					r.Mask = ^uint32(0)
+					base := window + uint64(i)*256%detectWindow
+					for lane := 0; lane < 32; lane++ {
+						r.Addrs[lane] = window + (base+uint64(lane)*8)%detectWindow
+						r.Vals[lane] = uint64(lane)
+					}
+				case "divergent":
+					r.Mask = uint32(rnd()) | 1 // never empty
+					for lane := 0; lane < 32; lane++ {
+						if r.Mask&(1<<uint(lane)) == 0 {
+							continue
+						}
+						r.Addrs[lane] = window + rnd()%(detectWindow/4)*4
+						r.Vals[lane] = uint64(lane)
+					}
+				}
+				r.Classify()
+				recs = append(recs, r)
+			}
+		}
+	}
+	return recs
+}
+
+// detectDrain runs one mix's stream through a fresh detector (one
+// worker, the single-queue consumer shape) and returns the drain time
+// and the canonical report digest.
+func detectDrain(recs []logging.Record, perCell bool) (time.Duration, string) {
+	det := core.New(detectGeo(), 0, core.Options{PerCellShadow: perCell})
+	w := det.NewWorker()
+	start := time.Now()
+	for i := range recs {
+		w.Handle(&recs[i])
+	}
+	d := time.Since(start)
+	return d, det.Report().CanonicalDigest()
+}
+
+// DetectBench runs the shadow-path A/B experiment: each mix's stream is
+// drained through the per-cell baseline and the span fast path,
+// best-of-repeats, with canonical-digest equality checked every run.
+func DetectBench(opts DetectOptions) (*DetectResult, error) {
+	repeats := opts.Repeats
+	if repeats <= 0 {
+		repeats = 5
+	}
+	iters := opts.Iters
+	if iters <= 0 {
+		iters = 200
+	}
+	res := &DetectResult{DigestsEqual: true}
+	for _, mix := range []string{"coalesced", "strided", "divergent"} {
+		recs := detectStream(mix, iters)
+		var lanes uint64
+		for i := range recs {
+			lanes += uint64(bits.OnesCount32(recs[i].Mask))
+		}
+		pt := DetectPoint{Mix: mix, Records: len(recs), LaneAccesses: lanes, DigestsEqual: true}
+		var cellBest, spanBest time.Duration
+		for rep := 0; rep < repeats; rep++ {
+			cd, cdig := detectDrain(recs, true)
+			sd, sdig := detectDrain(recs, false)
+			if rep == 0 || cd < cellBest {
+				cellBest = cd
+			}
+			if rep == 0 || sd < spanBest {
+				spanBest = sd
+			}
+			if cdig != sdig {
+				pt.DigestsEqual = false
+			}
+		}
+		pt.CellNS = float64(cellBest.Nanoseconds())
+		pt.SpanNS = float64(spanBest.Nanoseconds())
+		if pt.CellNS > 0 {
+			pt.CellRecordsPerSec = float64(pt.Records) / pt.CellNS * 1e9
+			pt.CellNSPerAccess = pt.CellNS / float64(pt.Records)
+		}
+		if pt.SpanNS > 0 {
+			pt.SpanRecordsPerSec = float64(pt.Records) / pt.SpanNS * 1e9
+			pt.SpanNSPerAccess = pt.SpanNS / float64(pt.Records)
+			pt.Speedup = pt.CellNS / pt.SpanNS
+		}
+		if mix == "coalesced" {
+			res.CoalescedSpeedup = pt.Speedup
+		}
+		res.DigestsEqual = res.DigestsEqual && pt.DigestsEqual
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}

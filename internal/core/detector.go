@@ -145,6 +145,10 @@ type Options struct {
 	// FullVC replaces the compressed PTVC representation with plain
 	// per-thread vector clocks — the ablation baseline for §4.3.1.
 	FullVC bool
+	// PerCellShadow disables the coalesced-span fast path, forcing every
+	// warp access down the per-cell shadow loop — the A/B baseline for
+	// the span optimization (pattern of gpusim's LaneMajor knob).
+	PerCellShadow bool
 }
 
 // raceKey dedupes dynamic races into static ones.
@@ -178,6 +182,12 @@ type Detector struct {
 	geo  ptvc.Geometry
 	opts Options
 	mem  *shadow.Memory
+
+	// spans enables the coalesced-span fast path (shadow memory in
+	// region-lock mode with uniform-span summaries). Off under FullVC
+	// (per-thread clocks are not uniform across a warp) and under the
+	// PerCellShadow baseline knob.
+	spans bool
 
 	warps []*warpMirror // indexed by global warp id; block-affine access
 
@@ -274,6 +284,9 @@ func New(geo ptvc.Geometry, sharedBytes int64, opts Options) *Detector {
 	d.base.lastGwid = -1
 	if opts.FullVC {
 		d.fullVC = newFullVCState(geo)
+	} else if !opts.PerCellShadow {
+		d.spans = true
+		d.mem.EnableSpans(geo)
 	}
 	return d
 }
@@ -375,20 +388,12 @@ func ordered(g *ptvc.Group, tid vc.TID, e vc.Epoch) bool {
 func (d *Detector) handleMemory(r *logging.Record, w *Worker) {
 	g := w.warp(int(r.Warp)).top()
 	w.hist[g.Format()].Add(1)
-	blk := int32(-1)
-	if r.Space == logging.SpaceShared {
-		blk = int32(r.Block)
-	}
-	var span *shadow.SpanCache
-	if w.caching {
-		span = &w.span
-	}
-	for lane := 0; lane < d.geo.WarpSize && lane < logging.WarpWidth; lane++ {
-		if r.Mask&(1<<uint(lane)) == 0 {
-			continue
+	if !d.trySpan(r, g, w) {
+		var span *shadow.SpanCache
+		if w.caching {
+			span = &w.span
 		}
-		tid := d.geo.TIDOf(int(r.Warp), lane)
-		d.mem.SpanCached(span, r.Space, blk, r.Addrs[lane], int(r.Size), func(c *shadow.Cell) {
+		d.forEachLaneCell(span, r, func(lane int, tid vc.TID, c *shadow.Cell) {
 			switch r.Op {
 			case trace.OpRead:
 				d.applyRead(c, g, tid, r, lane)
@@ -543,7 +548,7 @@ func (d *Detector) handleSync(r *logging.Record, w *Worker) {
 		if r.Mask&(1<<uint(lane)) == 0 {
 			continue
 		}
-		key := shadow.Key{Space: r.Space, Block: blk, Addr: r.Addrs[lane]}
+		key := shadow.Key{Space: r.Space, Block: blk, Addr: r.LaneAddr(lane)}
 		loc := d.mem.SyncFor(key)
 		loc.Lock()
 		if r.Op.IsAcquire() {
@@ -687,7 +692,7 @@ func (d *Detector) report(tid vc.TID, r *logging.Record,
 		Kind:      kind,
 		Space:     r.Space,
 		Block:     blk,
-		Addr:      r.Addrs[lane],
+		Addr:      r.LaneAddr(lane),
 		Prev:      Access{TID: prevTID, PC: prevPC, Write: prevWrite, Atomic: prevAtomic},
 		Cur:       Access{TID: tid, PC: r.PC, Write: curWrite, Atomic: r.Op == trace.OpAtom},
 		SameInstr: sameInstr,

@@ -130,68 +130,62 @@ func (d *Detector) fullWarpMask(gwid int) uint32 {
 
 func (d *Detector) fullMemory(r *logging.Record, w *Worker) {
 	s := d.fullVC
-	blk := int32(-1)
-	if r.Space == logging.SpaceShared {
-		blk = int32(r.Block)
-	}
-	for lane := 0; lane < d.geo.WarpSize && lane < logging.WarpWidth; lane++ {
-		if r.Mask&(1<<uint(lane)) == 0 {
-			continue
-		}
-		tid := d.geo.TIDOf(int(r.Warp), lane)
+	// The full-VC ablation cannot use uniform-span summaries — after a
+	// joinFork every lane's own clock component differs, so a warp access
+	// is not expressible as a single (warp, mask, clock) layer. It shares
+	// the per-lane cell iteration with the epoch detector's fallback path.
+	d.forEachLaneCell(nil, r, func(lane int, tid vc.TID, c *shadow.Cell) {
 		myClock := s.clocks[tid].Get(tid)
-		d.mem.Span(r.Space, blk, r.Addrs[lane], int(r.Size), func(c *shadow.Cell) {
-			switch r.Op {
-			case trace.OpRead:
-				if !s.ordered(tid, c.W) {
-					d.report(tid, r, lane, false, c.W.T, c.WritePC, true, c.Atomic, false)
-				}
-				if c.ReadShared {
-					c.Readers[tid] = myClock
-				} else if s.ordered(tid, c.R) {
-					c.R = vc.Epoch{T: tid, C: myClock}
-				} else {
-					c.InflateReads()
-					c.Readers[tid] = myClock
-				}
-				c.ReadPC = r.PC
-			case trace.OpWrite, trace.OpAtom:
-				atomic := r.Op == trace.OpAtom
-				checkW := !atomic || !c.Atomic
-				if checkW && !s.ordered(tid, c.W) {
-					sameInstr := !c.W.IsZero() &&
-						d.geo.WarpOf(c.W.T) == int(r.Warp) &&
-						r.Mask&(1<<uint(d.geo.LaneOf(c.W.T))) != 0 &&
-						c.W.C == s.clocks[c.W.T].Get(c.W.T)
-					filtered := false
-					if sameInstr && !d.opts.NoSameValueFilter && !atomic && !c.Atomic {
-						if r.Vals[d.geo.LaneOf(c.W.T)] == r.Vals[lane] {
-							filtered = true
-							w.sameValue.Add(1)
-						}
-					}
-					if !filtered {
-						d.report(tid, r, lane, true, c.W.T, c.WritePC, true, c.Atomic, sameInstr)
-					}
-				}
-				if c.ReadShared {
-					// TID order, matching checkReaders: keeps the
-					// reported representative reader deterministic.
-					for _, u := range sortedReaders(c.Readers) {
-						if !s.ordered(tid, vc.Epoch{T: u, C: c.Readers[u]}) {
-							d.report(tid, r, lane, true, u, c.ReadPC, false, false, false)
-						}
-					}
-				} else if !s.ordered(tid, c.R) {
-					d.report(tid, r, lane, true, c.R.T, c.ReadPC, false, false, false)
-				}
-				c.W = vc.Epoch{T: tid, C: myClock}
-				c.Atomic = atomic
-				c.WritePC = r.PC
-				c.ClearReads()
+		switch r.Op {
+		case trace.OpRead:
+			if !s.ordered(tid, c.W) {
+				d.report(tid, r, lane, false, c.W.T, c.WritePC, true, c.Atomic, false)
 			}
-		})
-	}
+			if c.ReadShared {
+				c.Readers[tid] = myClock
+			} else if s.ordered(tid, c.R) {
+				c.R = vc.Epoch{T: tid, C: myClock}
+			} else {
+				c.InflateReads()
+				c.Readers[tid] = myClock
+			}
+			c.ReadPC = r.PC
+		case trace.OpWrite, trace.OpAtom:
+			atomic := r.Op == trace.OpAtom
+			checkW := !atomic || !c.Atomic
+			if checkW && !s.ordered(tid, c.W) {
+				sameInstr := !c.W.IsZero() &&
+					d.geo.WarpOf(c.W.T) == int(r.Warp) &&
+					r.Mask&(1<<uint(d.geo.LaneOf(c.W.T))) != 0 &&
+					c.W.C == s.clocks[c.W.T].Get(c.W.T)
+				filtered := false
+				if sameInstr && !d.opts.NoSameValueFilter && !atomic && !c.Atomic {
+					if r.Vals[d.geo.LaneOf(c.W.T)] == r.Vals[lane] {
+						filtered = true
+						w.sameValue.Add(1)
+					}
+				}
+				if !filtered {
+					d.report(tid, r, lane, true, c.W.T, c.WritePC, true, c.Atomic, sameInstr)
+				}
+			}
+			if c.ReadShared {
+				// TID order, matching checkReaders: keeps the
+				// reported representative reader deterministic.
+				for _, u := range sortedReaders(c.Readers) {
+					if !s.ordered(tid, vc.Epoch{T: u, C: c.Readers[u]}) {
+						d.report(tid, r, lane, true, u, c.ReadPC, false, false, false)
+					}
+				}
+			} else if !s.ordered(tid, c.R) {
+				d.report(tid, r, lane, true, c.R.T, c.ReadPC, false, false, false)
+			}
+			c.W = vc.Epoch{T: tid, C: myClock}
+			c.Atomic = atomic
+			c.WritePC = r.PC
+			c.ClearReads()
+		}
+	})
 }
 
 func (d *Detector) fullSyncOp(r *logging.Record) {
@@ -206,7 +200,7 @@ func (d *Detector) fullSyncOp(r *logging.Record) {
 			continue
 		}
 		tid := d.geo.TIDOf(int(r.Warp), lane)
-		key := shadow.Key{Space: r.Space, Block: blk, Addr: r.Addrs[lane]}
+		key := shadow.Key{Space: r.Space, Block: blk, Addr: r.LaneAddr(lane)}
 		loc := s.syncs[key]
 		if loc == nil {
 			loc = &fullSync{perBlock: make(map[int]*vc.VC)}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"barracuda/internal/logging"
+	"barracuda/internal/ptvc"
+	"barracuda/internal/trace"
+)
+
+// propStream generates a pseudo-random warp memory stream mixing every
+// shape the span fast path has to handle or reject: contiguous runs
+// (coalesce candidates, including ones that straddle the 64 KiB page
+// boundary), strided and scattered layouts, partial masks, sizes 1–8,
+// global and shared space, reads, writes and atomics — with the address
+// ranges kept small so warps genuinely collide and races, read
+// inflation and demotion all occur.
+func propStream(rng *rand.Rand, geo ptvc.Geometry, n int) []logging.Record {
+	warps := geo.Blocks * geo.WarpsPerBlock()
+	sizes := []uint8{1, 2, 4, 8}
+	recs := make([]logging.Record, 0, n)
+	for len(recs) < n {
+		var r logging.Record
+		r.Warp = uint32(rng.Intn(warps))
+		r.Block = r.Warp / uint32(geo.WarpsPerBlock())
+		switch rng.Intn(4) {
+		case 0:
+			r.Op = trace.OpWrite
+		case 1:
+			r.Op = trace.OpAtom
+		default:
+			r.Op = trace.OpRead
+		}
+		r.Size = sizes[rng.Intn(len(sizes))]
+		r.PC = uint32(1 + rng.Intn(12))
+		if rng.Intn(3) == 0 {
+			r.Space = logging.SpaceShared
+		} else {
+			r.Space = logging.SpaceGlobal
+		}
+		if rng.Intn(2) == 0 {
+			r.Mask = ^uint32(0)
+		} else {
+			r.Mask = rng.Uint32() | 1<<uint(rng.Intn(32))
+		}
+		var base uint64
+		if r.Space == logging.SpaceShared {
+			base = uint64(rng.Intn(256)) // slab is 1 KiB; runs may overrun it
+		} else if rng.Intn(4) == 0 {
+			// Straddle the page boundary: multi-run spans and the
+			// lane-split rejection.
+			base = 1<<16 - uint64(rng.Intn(64))
+		} else {
+			base = uint64(rng.Intn(2048))
+		}
+		layout := rng.Intn(3)
+		rank := 0
+		for lane := 0; lane < 32; lane++ {
+			if r.Mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			switch layout {
+			case 0: // contiguous: coalesce candidate
+				r.Addrs[lane] = base + uint64(rank)*uint64(r.Size)
+			case 1: // strided
+				r.Addrs[lane] = base + uint64(rank)*uint64(r.Size)*2
+			default: // scattered, possibly lane-overlapping
+				r.Addrs[lane] = base + uint64(rng.Intn(512))
+			}
+			r.Vals[lane] = uint64(rng.Intn(3)) // small: same-value filter hits
+			rank++
+		}
+		r.Classify()
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// propRun drains a stream through one detector configuration and
+// renders everything observable: the canonical digest, the ordered race
+// list, divergences and the counters.
+func propRun(geo ptvc.Geometry, recs []logging.Record, gran int, perCell bool) string {
+	d := New(geo, 1024, Options{Granularity: gran, PerCellShadow: perCell})
+	w := d.NewWorker()
+	for i := range recs {
+		w.Handle(&recs[i])
+	}
+	rep := d.Report()
+	out := rep.CanonicalDigest()
+	// Report() orders races by (prevPC, curPC, kind); synthetic streams
+	// reuse a handful of PCs, and ties land in map-iteration order — so
+	// sort the full rendering for a stable comparison. The multiset of
+	// races (down to counts, addresses and representative TIDs) is
+	// deterministic with a single worker.
+	lines := make([]string, 0, len(rep.Races))
+	for _, rc := range rep.Races {
+		lines = append(lines, fmt.Sprintf("%+v count=%d\n", rc, rc.Count))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		out += l
+	}
+	out += fmt.Sprintf("divergences=%d records=%d samevalue=%d\n",
+		len(rep.Divergences), rep.RecordsSeen, rep.SameValueGag)
+	return out
+}
+
+// TestSpanPropertyEquivalence is the randomized half of the span
+// correctness contract: for arbitrary warp record streams — coalesced
+// or not, racing or not, at byte and word granularity — the span fast
+// path must produce byte-identical reports to the per-cell baseline,
+// down to race ordering, dynamic counts and the same-value filter
+// counter. Single worker, so the whole report is deterministic. Runs
+// under -race in CI, which also exercises the region-lock protocol.
+func TestSpanPropertyEquivalence(t *testing.T) {
+	geo := ptvc.Geometry{WarpSize: 32, BlockSize: 64, Blocks: 4}
+	n := 400
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		for _, gran := range []int{1, 4} {
+			recs := propStream(rand.New(rand.NewSource(int64(seed))), geo, n)
+			cell := propRun(geo, recs, gran, true)
+			span := propRun(geo, recs, gran, false)
+			if cell != span {
+				t.Fatalf("seed %d gran %d: reports diverged\n--- per-cell ---\n%s--- span ---\n%s",
+					seed, gran, cell, span)
+			}
+		}
+	}
+}
+
+// TestSpanPropertyEquivalenceSmallWarp re-runs the property at warp
+// size 5: every mask has bits beyond the warp width (which must gate
+// the span path off, not change behavior) and partial top warps abound.
+func TestSpanPropertyEquivalenceSmallWarp(t *testing.T) {
+	geo := ptvc.Geometry{WarpSize: 5, BlockSize: 17, Blocks: 3}
+	for seed := 0; seed < 10; seed++ {
+		recs := propStream(rand.New(rand.NewSource(int64(100+seed))), geo, 300)
+		cell := propRun(geo, recs, 1, true)
+		span := propRun(geo, recs, 1, false)
+		if cell != span {
+			t.Fatalf("seed %d: reports diverged\n--- per-cell ---\n%s--- span ---\n%s",
+				seed, cell, span)
+		}
+	}
+}

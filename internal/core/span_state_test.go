@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"barracuda/internal/logging"
+	"barracuda/internal/ptvc"
+	"barracuda/internal/shadow"
+	"barracuda/internal/trace"
+)
+
+// spanRec builds one classified coalesced record: full mask, lane i at
+// base+i*size.
+func spanRec(op trace.OpKind, warp uint32, base uint64, size uint8, pc uint32) *logging.Record {
+	r := &logging.Record{Op: op, Warp: warp, Block: warp / 2, Space: logging.SpaceGlobal, Size: size, PC: pc, Mask: ^uint32(0)}
+	for lane := 0; lane < 32; lane++ {
+		r.Addrs[lane] = base + uint64(lane)*uint64(size)
+		r.Vals[lane] = uint64(lane)
+	}
+	r.Classify()
+	if !r.Coalesced() {
+		panic("spanRec: record not coalesced")
+	}
+	return r
+}
+
+// TestSpanReadInflationBoundary walks the full read-state lifecycle
+// across the summary/per-cell boundary: a coalesced read installs a
+// read-layer summary; an unordered cross-block read demotes it and
+// inflates every cell's read map (READINFLATE); a coalesced write then
+// reports the read-write races, clears the maps (ClearReads) and
+// re-uniforms the range under a fresh write summary.
+func TestSpanReadInflationBoundary(t *testing.T) {
+	geo := ptvc.Geometry{WarpSize: 32, BlockSize: 64, Blocks: 4}
+	d := New(geo, 0, Options{})
+	if !d.spans {
+		t.Fatal("spans not enabled by default")
+	}
+	w := d.NewWorker()
+
+	w.Handle(spanRec(trace.OpRead, 0, 0, 4, 1))
+	w.Handle(spanRec(trace.OpRead, 4, 0, 4, 2)) // different block: unordered
+
+	// Both readers must now be in every cell's inflated map.
+	for _, addr := range []uint64{0, 64, 124} {
+		c := d.Shadow().CellFor(logging.SpaceGlobal, -1, addr)
+		if !c.ReadShared || len(c.Readers) != 2 {
+			t.Fatalf("addr %d: ReadShared=%v readers=%v, want inflated with 2", addr, c.ReadShared, c.Readers)
+		}
+	}
+
+	w.Handle(spanRec(trace.OpWrite, 0, 0, 4, 3))
+	rep := d.Report()
+	if got := rep.CountKind(InterBlock); got != 1 {
+		t.Errorf("inter-block read-write races = %d, want 1", got)
+	}
+
+	// The write re-uniformed the range: one summary, and (after its
+	// demotion via CellFor) clean per-cell write epochs with no read map.
+	sums := 0
+	d.Shadow().SpanRuns(nil, logging.SpaceGlobal, -1, 0, 128, 4, func(reg *shadow.Region, lo, hi, off int) {
+		reg.Lock()
+		sums += len(reg.Sums())
+		reg.Unlock()
+	})
+	if sums != 1 {
+		t.Errorf("write summaries after re-uniforming = %d, want 1", sums)
+	}
+	for _, addr := range []uint64{0, 124} {
+		c := d.Shadow().CellFor(logging.SpaceGlobal, -1, addr)
+		if c.ReadShared || c.Readers != nil || !c.R.IsZero() {
+			t.Errorf("addr %d: ClearReads not applied across bulk store: %+v", addr, c)
+		}
+		wantT := geo.TIDOf(0, int(addr/4))
+		if c.W.T != wantT || c.WritePC != 3 {
+			t.Errorf("addr %d: W=%+v pc=%d, want T=%d pc=3", addr, c.W, c.WritePC, wantT)
+		}
+	}
+}
+
+// TestSpanAtomicBitLifecycle: the atomic bit must survive the summary
+// round trip — set by a coalesced atomic (virgin install), honored by a
+// following atomic from another warp of the same block after a barrier-
+// free but ordered... — here simply: same warp updates in place, and a
+// plain write clears the bit again, both purely in summary form.
+func TestSpanAtomicBitLifecycle(t *testing.T) {
+	geo := ptvc.Geometry{WarpSize: 32, BlockSize: 64, Blocks: 4}
+	d := New(geo, 0, Options{})
+	w := d.NewWorker()
+
+	w.Handle(spanRec(trace.OpAtom, 0, 0, 4, 1))
+	c := d.Shadow().CellFor(logging.SpaceGlobal, -1, 64)
+	if !c.Atomic {
+		t.Fatal("atomic bit lost through summary install + demotion")
+	}
+
+	// Fresh range, stays in summary form: atomic then same-warp write.
+	w.Handle(spanRec(trace.OpAtom, 1, 4096, 4, 2))
+	w.Handle(spanRec(trace.OpWrite, 1, 4096, 4, 3))
+	c = d.Shadow().CellFor(logging.SpaceGlobal, -1, 4096)
+	if c.Atomic {
+		t.Error("plain write did not clear the atomic bit in summary form")
+	}
+	if c.WritePC != 3 {
+		t.Errorf("WritePC = %d, want 3 (the plain write)", c.WritePC)
+	}
+	if rep := d.Report(); rep.HasRaces() {
+		t.Errorf("unexpected races: %+v", rep.Races)
+	}
+}
+
+// TestSpanAtomicCrossWarpNoRace: atomics from different blocks do not
+// race with each other (ATOMEXCL); in summary form this is the skipW
+// path of spanCheck. The R layer is absent, so the whole check is O(1)
+// and the record must stay on the fast path — verified by the summary
+// still being intact (the demote path would reinstall, which is
+// indistinguishable, so instead verify no race and correct bit).
+func TestSpanAtomicCrossWarpNoRace(t *testing.T) {
+	geo := ptvc.Geometry{WarpSize: 32, BlockSize: 64, Blocks: 4}
+	d := New(geo, 0, Options{})
+	w := d.NewWorker()
+
+	w.Handle(spanRec(trace.OpAtom, 0, 0, 4, 1))
+	w.Handle(spanRec(trace.OpAtom, 4, 0, 4, 2)) // different block, unordered
+	if rep := d.Report(); rep.HasRaces() {
+		t.Fatalf("atomic-atomic reported as race: %+v", rep.Races)
+	}
+	c := d.Shadow().CellFor(logging.SpaceGlobal, -1, 0)
+	if !c.Atomic {
+		t.Error("atomic bit lost across cross-warp atomic update")
+	}
+	if c.W.T != geo.TIDOf(4, 0) {
+		t.Errorf("W.T = %d, want the second atomic's lane 0 tid %d", c.W.T, geo.TIDOf(4, 0))
+	}
+}

@@ -47,6 +47,10 @@ type Config struct {
 	StaticPrune bool
 	// NoSameValueFilter disables the intra-warp same-value write filter.
 	NoSameValueFilter bool
+	// PerCellShadow disables the coalesced-span shadow fast path: every
+	// warp access takes the per-cell loop. The A/B baseline for the span
+	// optimization; race reports are identical either way.
+	PerCellShadow bool
 }
 
 // Validate rejects nonsensical configurations. Zero values select
@@ -259,6 +263,7 @@ func (s *Session) Detect(kernelName string, launch gpusim.LaunchConfig) (*Result
 		MaxRaces:          s.cfg.MaxRaces,
 		NoSameValueFilter: s.cfg.NoSameValueFilter,
 		FullVC:            s.cfg.FullVC,
+		PerCellShadow:     s.cfg.PerCellShadow,
 	})
 	set := logging.NewSet(s.cfg.Queues, s.cfg.QueueCap)
 

@@ -92,6 +92,7 @@ func Replay(cap *Capture, cfg Config) (*ReplayResult, error) {
 		MaxRaces:          cfg.MaxRaces,
 		NoSameValueFilter: cfg.NoSameValueFilter,
 		FullVC:            cfg.FullVC,
+		PerCellShadow:     cfg.PerCellShadow,
 	})
 	set := logging.NewSet(cfg.Queues, cfg.QueueCap)
 

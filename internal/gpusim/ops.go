@@ -518,13 +518,38 @@ func (e *engine) execLog(w *warpState, ci *cInstr, exec uint32) error {
 				rec.Vals[lane] = v
 			}
 		}
+		// A broadcast address is stride-0, coalesced only in the
+		// degenerate single-lane case.
+		if exec&(exec-1) == 0 && !ci.logSync && rec.Size != 0 {
+			rec.Flags = logging.FlagCoalesced
+			rec.Base = addr
+		}
 	} else {
+		// Classify while filling: a contiguous ascending run over the
+		// active lanes with stride == Size gets the compact coalesced
+		// encoding, so the transport can skip the address array.
+		coal := true
+		first := true
+		var base, next uint64
 		for m := exec; m != 0; m &= m - 1 {
 			lane := bits.TrailingZeros32(m)
-			rec.Addrs[lane] = e.laneAddr(w, lane, a0)
+			a := e.laneAddr(w, lane, a0)
+			rec.Addrs[lane] = a
 			if ci.logVal {
 				rec.Vals[lane] = e.val(w, lane, &ci.args[1])
 			}
+			switch {
+			case first:
+				base, next, first = a, a+uint64(rec.Size), false
+			case a == next:
+				next += uint64(rec.Size)
+			default:
+				coal = false
+			}
+		}
+		if coal && !ci.logSync && rec.Size != 0 {
+			rec.Flags = logging.FlagCoalesced
+			rec.Base = base
 		}
 	}
 	e.cfg.Sink.Emit(rec)

@@ -94,7 +94,7 @@ func (c *Checker) Handle(r *logging.Record) {
 				tids:  []vc.TID{tid},
 				space: r.Space,
 				block: blk,
-				addr:  r.Addrs[lane],
+				addr:  r.LaneAddr(lane),
 				size:  int(r.Size),
 				pc:    r.PC,
 				warp:  int(r.Warp),

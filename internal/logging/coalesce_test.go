@@ -1,0 +1,187 @@
+package logging
+
+import (
+	"reflect"
+	"testing"
+
+	"barracuda/internal/trace"
+)
+
+// TestClassifyCoalesced covers the classifier's accept/reject boundary.
+func TestClassifyCoalesced(t *testing.T) {
+	mk := func(op trace.OpKind, size uint8, mask uint32, addrs ...uint64) *Record {
+		r := &Record{Op: op, Size: size, Mask: mask}
+		lane := 0
+		for m := mask; m != 0 && len(addrs) > 0; m &= m - 1 {
+			for mask&(1<<uint(lane)) == 0 {
+				lane++
+			}
+			r.Addrs[lane] = addrs[0]
+			addrs = addrs[1:]
+			lane++
+		}
+		return r
+	}
+	cases := []struct {
+		name string
+		r    *Record
+		want bool
+		base uint64
+	}{
+		{"full-contiguous", mk(trace.OpWrite, 4, 0xF, 100, 104, 108, 112), true, 100},
+		{"single-lane", mk(trace.OpRead, 8, 1<<7, 640), true, 640},
+		{"partial-mask-contiguous", mk(trace.OpRead, 4, 0b1010, 16, 20), true, 16},
+		{"strided", mk(trace.OpWrite, 4, 0x7, 0, 8, 16), false, 0},
+		{"descending", mk(trace.OpWrite, 4, 0x3, 104, 100), false, 0},
+		{"same-address", mk(trace.OpRead, 4, 0x3, 100, 100), false, 0},
+		{"sync-op", mk(trace.OpAcqGlb, 4, 0x3, 100, 104), false, 0},
+		{"barrier", mk(trace.OpBar, 0, 0xF), false, 0},
+		{"zero-size", mk(trace.OpWrite, 0, 0x3, 0, 0), false, 0},
+		{"empty-mask", mk(trace.OpWrite, 4, 0), false, 0},
+		{"atom-contiguous", mk(trace.OpAtom, 4, 0x3, 40, 44), true, 40},
+	}
+	for _, tc := range cases {
+		tc.r.Classify()
+		if got := tc.r.Coalesced(); got != tc.want {
+			t.Errorf("%s: Coalesced() = %v, want %v", tc.name, got, tc.want)
+		}
+		if tc.r.Base != tc.base {
+			t.Errorf("%s: Base = %d, want %d", tc.name, tc.r.Base, tc.base)
+		}
+	}
+}
+
+// TestLaneAddrMatchesAddrs: for a classified record the compact encoding
+// must reproduce the address array exactly, at every active lane.
+func TestLaneAddrMatchesAddrs(t *testing.T) {
+	r := &Record{Op: trace.OpWrite, Size: 8, Mask: 0xFFF0_00F1}
+	// Fill ascending contiguous addresses over the active lanes.
+	rank := 0
+	for lane := 0; lane < WarpWidth; lane++ {
+		if r.Mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		r.Addrs[lane] = 0x1000 + uint64(rank)*8
+		rank++
+	}
+	r.Classify()
+	if !r.Coalesced() {
+		t.Fatal("contiguous record not classified coalesced")
+	}
+	for lane := 0; lane < WarpWidth; lane++ {
+		if r.Mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		if got, want := r.LaneAddr(lane), r.Addrs[lane]; got != want {
+			t.Errorf("LaneAddr(%d) = %#x, want %#x", lane, got, want)
+		}
+	}
+	// Non-coalesced records fall back to the array.
+	r.Flags = 0
+	r.Addrs[4] = 0xdead
+	if r.Mask&(1<<4) != 0 && r.LaneAddr(4) != 0xdead {
+		t.Errorf("non-coalesced LaneAddr ignored Addrs")
+	}
+}
+
+// TestCopyHeaderCoversAllScalarFields is the drift guard: every
+// non-array field of Record must be copied by copyHeader, so a future
+// field addition cannot silently vanish on the coalesced wire path.
+func TestCopyHeaderCoversAllScalarFields(t *testing.T) {
+	var src, dst Record
+	sv := reflect.ValueOf(&src).Elem()
+	rt := sv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if f.Type.Kind() == reflect.Array {
+			continue // Addrs, Vals: intentionally skipped
+		}
+		fv := sv.Field(i)
+		switch f.Type.Kind() {
+		case reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uint:
+			fv.SetUint(uint64(i + 1))
+		case reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64, reflect.Int:
+			fv.SetInt(int64(i + 1))
+		default:
+			t.Fatalf("Record field %s has kind %v: teach this test and copyHeader about it", f.Name, f.Type.Kind())
+		}
+	}
+	copyHeader(&dst, &src)
+	for i := 0; i < rt.NumField(); i++ {
+		if rt.Field(i).Type.Kind() == reflect.Array {
+			continue
+		}
+		if !reflect.DeepEqual(sv.Field(i).Interface(), reflect.ValueOf(&dst).Elem().Field(i).Interface()) {
+			t.Errorf("copyHeader misses Record.%s — update copyHeader (and the wire contract) for the new field", rt.Field(i).Name)
+		}
+	}
+}
+
+// TestWireSkipsCoalescedArrays: a coalesced read's Addrs/Vals do not
+// travel; a coalesced write keeps Vals (same-value filter needs them at
+// coarse granularity); non-coalesced records travel in full.
+func TestWireSkipsCoalescedArrays(t *testing.T) {
+	q := NewQueue(8)
+
+	// Poison the ring slots so "skipped" is observable.
+	poison := Record{Op: trace.OpNone}
+	for i := range poison.Addrs {
+		poison.Addrs[i] = ^uint64(0)
+		poison.Vals[i] = ^uint64(0)
+	}
+	for i := 0; i < q.Cap(); i++ {
+		q.Enqueue(&poison)
+	}
+	var sink Record
+	for i := 0; i < q.Cap(); i++ {
+		q.Dequeue(&sink)
+	}
+
+	r := Record{Op: trace.OpRead, Size: 4, Mask: 0x3}
+	r.Addrs[0], r.Addrs[1] = 100, 104
+	r.Classify()
+	if !r.Coalesced() {
+		t.Fatal("setup: record not coalesced")
+	}
+	q.Enqueue(&r)
+	// Pre-fill the dequeue destination with a sentinel distinct from the
+	// ring poison: if either hop copied the arrays, Addrs[0] would be the
+	// record's 100 or the ring's ^0, not the sentinel.
+	const sentinel = 0xBBBB_BBBB_BBBB_BBBB
+	var got Record
+	for i := range got.Addrs {
+		got.Addrs[i] = sentinel
+	}
+	q.Dequeue(&got)
+	if !got.Coalesced() || got.Base != 100 || got.Mask != 0x3 || got.Op != trace.OpRead {
+		t.Fatalf("header mangled: %+v", got)
+	}
+	if got.Addrs[0] != sentinel {
+		t.Errorf("coalesced read copied Addrs: %#x", got.Addrs[0])
+	}
+	if got.LaneAddr(0) != 100 || got.LaneAddr(1) != 104 {
+		t.Errorf("LaneAddr after wire = %#x,%#x want 100,104", got.LaneAddr(0), got.LaneAddr(1))
+	}
+
+	w := Record{Op: trace.OpWrite, Size: 4, Mask: 0x3}
+	w.Addrs[0], w.Addrs[1] = 200, 204
+	w.Vals[0], w.Vals[1] = 7, 9
+	w.Classify()
+	q.Enqueue(&w)
+	q.Dequeue(&got)
+	if got.Vals[0] != 7 || got.Vals[1] != 9 {
+		t.Errorf("coalesced write lost Vals: %v", got.Vals[:2])
+	}
+
+	full := Record{Op: trace.OpWrite, Size: 4, Mask: 0x3}
+	full.Addrs[0], full.Addrs[1] = 300, 312 // strided: not coalesced
+	full.Classify()
+	if full.Coalesced() {
+		t.Fatal("setup: strided record classified coalesced")
+	}
+	q.Enqueue(&full)
+	q.Dequeue(&got)
+	if got.Addrs[0] != 300 || got.Addrs[1] != 312 {
+		t.Errorf("non-coalesced record lost Addrs: %v", got.Addrs[:2])
+	}
+}

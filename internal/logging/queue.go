@@ -14,6 +14,7 @@
 package logging
 
 import (
+	"math/bits"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -85,6 +86,17 @@ func (s SpaceID) String() string {
 	return "?"
 }
 
+// Record flags.
+const (
+	// FlagCoalesced marks a memory record whose active lanes form one
+	// contiguous ascending run: lane rank k (k-th set bit of Mask)
+	// accesses Base + k*Size. For such records the per-lane address
+	// array is redundant — LaneAddr reconstructs every address from the
+	// (Base, Mask, Size) header — so the transport skips copying Addrs
+	// (and, for non-write records, Vals) across the wire.
+	FlagCoalesced uint8 = 1 << 0
+)
+
 // Record is one warp-level event, closely modeled on the paper's queue
 // record: a header identifying the warp, the operation and the active
 // mask, plus one address slot per lane. (The paper's record is
@@ -96,8 +108,14 @@ type Record struct {
 	Op    trace.OpKind
 	Space SpaceID
 	Size  uint8  // access size in bytes (memory ops)
+	Flags uint8  // FlagCoalesced et al.
 	Mask  uint32 // active thread mask (bit i = lane i)
 	PC    uint32 // source line of the logged instruction
+	// Base is the first active lane's address of a coalesced record
+	// (§4.2's compact encoding of the dominant access pattern): with
+	// FlagCoalesced set, lane rank k accesses Base + k*Size and Addrs
+	// need not travel on the wire.
+	Base uint64
 	// Seq is a global sequence number stamped on synchronization
 	// (acquire/release) records only. Detector threads process sync
 	// records in Seq order, which — combined with per-queue FIFO order —
@@ -110,6 +128,90 @@ type Record struct {
 	// all lanes of a warp write the same value to a location, the
 	// outcome is well-defined and not reported as a race.
 	Vals [WarpWidth]uint64
+}
+
+// Coalesced reports whether the record carries the compact base+mask
+// encoding (FlagCoalesced).
+func (r *Record) Coalesced() bool { return r.Flags&FlagCoalesced != 0 }
+
+// LaneAddr returns the address accessed by a lane: the compact encoding
+// for coalesced records, the per-lane slot otherwise. The lane must be
+// active (Mask bit set); for inactive lanes of a coalesced record the
+// result is meaningless.
+func (r *Record) LaneAddr(lane int) uint64 {
+	if r.Flags&FlagCoalesced == 0 {
+		return r.Addrs[lane]
+	}
+	rank := bits.OnesCount32(r.Mask & (1<<uint(lane) - 1))
+	return r.Base + uint64(rank)*uint64(r.Size)
+}
+
+// Classify tags a filled memory record as coalesced when its active
+// lanes form a contiguous ascending run with stride == Size, and clears
+// the tag otherwise. It is the reference classifier: the simulator's
+// emission path detects the same pattern inline while filling Addrs.
+func (r *Record) Classify() {
+	r.Flags &^= FlagCoalesced
+	r.Base = 0
+	switch r.Op {
+	case trace.OpRead, trace.OpWrite, trace.OpAtom:
+	default:
+		return // only plain memory accesses span cells
+	}
+	if r.Mask == 0 || r.Size == 0 {
+		return
+	}
+	first := true
+	var base, next uint64
+	for m := r.Mask; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
+		a := r.Addrs[lane]
+		if first {
+			base, next, first = a, a+uint64(r.Size), false
+			continue
+		}
+		if a != next {
+			return
+		}
+		next += uint64(r.Size)
+	}
+	r.Flags |= FlagCoalesced
+	r.Base = base
+}
+
+// copyRecord moves a record across the transport. Coalesced records skip
+// the 256-byte address array — LaneAddr reconstructs every address from
+// the header — and skip the value array too unless the record is a write
+// (the same-value filter may still need Vals when lanes share a shadow
+// cell at coarse granularity). Everything else is copied in full.
+//
+// Callers reuse destination slots/buffers, so a skipped array may hold
+// stale data from an earlier record; consumers must go through LaneAddr
+// (and only read Vals of write records), never raw Addrs.
+func copyRecord(dst, src *Record) {
+	if src.Flags&FlagCoalesced == 0 {
+		*dst = *src
+		return
+	}
+	copyHeader(dst, src)
+	if src.Op == trace.OpWrite {
+		dst.Vals = src.Vals
+	}
+}
+
+// copyHeader copies every non-array field. A reflection test asserts
+// this stays in sync with the Record struct.
+func copyHeader(dst, src *Record) {
+	dst.Warp = src.Warp
+	dst.Block = src.Block
+	dst.Op = src.Op
+	dst.Space = src.Space
+	dst.Size = src.Size
+	dst.Flags = src.Flags
+	dst.Mask = src.Mask
+	dst.PC = src.PC
+	dst.Base = src.Base
+	dst.Seq = src.Seq
 }
 
 // Queue is a bounded multi-producer single-consumer ring of Records.
@@ -159,7 +261,7 @@ func (q *Queue) Enqueue(r *Record) {
 	for i-q.readHead.Load() >= q.capacity {
 		bo.Wait()
 	}
-	q.slots[i&(q.capacity-1)] = *r
+	copyRecord(&q.slots[i&(q.capacity-1)], r)
 	q.seq[i&(q.capacity-1)].Store(i + 1)
 	q.advanceCommit()
 }
@@ -183,7 +285,7 @@ func (q *Queue) TryDequeue(r *Record) bool {
 	if q.seq[i&(q.capacity-1)].Load() != i+1 {
 		return false
 	}
-	*r = q.slots[i&(q.capacity-1)]
+	copyRecord(r, &q.slots[i&(q.capacity-1)])
 	q.readHead.Store(i + 1)
 	return true
 }
@@ -223,7 +325,7 @@ func (q *Queue) DequeueBatch(dst []Record) int {
 	}
 	mask := q.capacity - 1
 	for k := uint64(0); k < n; k++ {
-		dst[k] = q.slots[(rh+k)&mask]
+		copyRecord(&dst[k], &q.slots[(rh+k)&mask])
 	}
 	q.readHead.Store(rh + n)
 	return int(n)

@@ -91,7 +91,7 @@ func (p *Profiler) Handle(r *logging.Record) {
 		if r.Mask&(1<<uint(lane)) == 0 {
 			continue
 		}
-		a := r.Addrs[lane]
+		a := r.LaneAddr(lane)
 		s.Lanes++
 		if r.Space == logging.SpaceGlobal {
 			p.touched[a&^63] = true // 64-byte footprint granularity

@@ -30,6 +30,7 @@ type ConfigJSON struct {
 	NoPrune           bool `json:"no_prune,omitempty"`
 	StaticPrune       bool `json:"static_prune,omitempty"`
 	NoSameValueFilter bool `json:"no_same_value_filter,omitempty"`
+	PerCellShadow     bool `json:"per_cell_shadow,omitempty"`
 }
 
 // Detector converts to the internal config.
@@ -43,6 +44,7 @@ func (c ConfigJSON) Detector() detector.Config {
 		NoPrune:           c.NoPrune,
 		StaticPrune:       c.StaticPrune,
 		NoSameValueFilter: c.NoSameValueFilter,
+		PerCellShadow:     c.PerCellShadow,
 	}
 }
 

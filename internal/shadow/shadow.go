@@ -105,13 +105,9 @@ const pageBits = 16
 // copy-on-write maps tiny and allocation contention negligible.
 const pageStripes = 64
 
-type page struct {
-	cells []Cell
-}
-
-// pageMap is an immutable pageID→page snapshot; a stripe publishes a
+// pageMap is an immutable pageID→region snapshot; a stripe publishes a
 // fresh copy on every allocation.
-type pageMap map[uint64]*page
+type pageMap map[uint64]*Region
 
 // stripe is one shard of the global page table.
 type stripe struct {
@@ -121,7 +117,7 @@ type stripe struct {
 
 // blockMap is the immutable blockID→shared-slab counterpart for shared
 // memory, published the same way.
-type blockMap map[int32][]Cell
+type blockMap map[int32]*Region
 
 // Memory is the shadow of one device: a striped page table for global
 // memory plus per-block shared-memory shadows.
@@ -133,6 +129,14 @@ type Memory struct {
 	sharedPtr atomic.Pointer[blockMap]
 	sharedMu  sync.Mutex // allocation slow path only
 	shSize    int64
+
+	// Coalesced-span mode (see span.go): when enabled, every
+	// record-path cell access takes its region's lock first, so spans
+	// and per-cell work serialize per region and uniform-span summaries
+	// can be demoted transparently. geo maps (warp, lane) ranks back to
+	// thread ids when a summary is materialized into cells.
+	spans bool
+	geo   ptvc.Geometry
 
 	syncMu sync.Mutex
 	syncs  map[Key]*SyncLoc
@@ -163,6 +167,20 @@ func New(granularity int, sharedBytes int64) *Memory {
 // Granularity returns the bytes covered per cell.
 func (m *Memory) Granularity() int { return m.granularity }
 
+// EnableSpans switches the shadow into coalesced-span mode: uniform-span
+// summaries may be installed per region (see span.go), and every
+// record-path cell access goes through its region's lock so summaries
+// demote transparently before per-cell state is observed. geo is needed
+// to materialize a summary's per-rank epochs back into cells. Call once,
+// before any detection traffic.
+func (m *Memory) EnableSpans(geo ptvc.Geometry) {
+	m.spans = true
+	m.geo = geo
+}
+
+// SpansEnabled reports whether coalesced-span mode is on.
+func (m *Memory) SpansEnabled() bool { return m.spans }
+
 // SpanCache is one detector worker's private lookup cache: the last
 // global page and the last shared-block slab it resolved. GPU warps
 // overwhelmingly access runs of nearby addresses, so almost every lookup
@@ -171,14 +189,14 @@ func (m *Memory) Granularity() int { return m.granularity }
 // goroutines.
 type SpanCache struct {
 	pageID uint64
-	page   *page // nil until the first global hit
+	page   *Region // nil until the first global hit
 
 	sharedBlock int32
-	shared      []Cell // nil until the first shared hit
+	shared      *Region // nil until the first shared hit
 }
 
 // globalPage returns (allocating if needed) the page covering pageID.
-func (m *Memory) globalPage(pageID uint64) *page {
+func (m *Memory) globalPage(pageID uint64) *Region {
 	s := &m.stripes[pageID&(pageStripes-1)]
 	if pm := s.pages.Load(); pm != nil {
 		if p := (*pm)[pageID]; p != nil {
@@ -195,7 +213,7 @@ func (m *Memory) globalPage(pageID uint64) *page {
 			return p
 		}
 	}
-	p := &page{cells: make([]Cell, (1<<pageBits)/m.granularity)}
+	p := &Region{cells: make([]Cell, (1<<pageBits)/m.granularity)}
 	next := make(pageMap, 1)
 	if old != nil {
 		next = make(pageMap, len(*old)+1)
@@ -210,22 +228,22 @@ func (m *Memory) globalPage(pageID uint64) *page {
 
 // sharedSlab returns (allocating if needed) block b's shared-memory
 // shadow slab.
-func (m *Memory) sharedSlab(block int32) []Cell {
+func (m *Memory) sharedSlab(block int32) *Region {
 	if bm := m.sharedPtr.Load(); bm != nil {
-		if cells := (*bm)[block]; cells != nil {
-			return cells
+		if r := (*bm)[block]; r != nil {
+			return r
 		}
 	}
 	m.sharedMu.Lock()
 	defer m.sharedMu.Unlock()
 	old := m.sharedPtr.Load()
 	if old != nil {
-		if cells := (*old)[block]; cells != nil {
-			return cells
+		if r := (*old)[block]; r != nil {
+			return r
 		}
 	}
 	n := m.shSize/int64(m.granularity) + 1
-	cells := make([]Cell, n)
+	r := &Region{cells: make([]Cell, n)}
 	next := make(blockMap, 1)
 	if old != nil {
 		next = make(blockMap, len(*old)+1)
@@ -233,52 +251,68 @@ func (m *Memory) sharedSlab(block int32) []Cell {
 			next[k] = v
 		}
 	}
-	next[block] = cells
+	next[block] = r
 	m.sharedPtr.Store(&next)
-	return cells
+	return r
 }
 
 // CellFor returns the cell covering (space, block, addr), allocating
-// shadow pages on demand. Callers lock the cell before use.
+// shadow pages on demand. Callers lock the cell before use. In span
+// mode any summary covering the cell is demoted first; CellFor is then
+// only race-free against concurrent span traffic on other regions, so
+// concurrent production code must go through SpanCached instead.
 func (m *Memory) CellFor(space logging.SpaceID, block int32, addr uint64) *Cell {
-	return m.cellCached(nil, space, block, addr)
+	reg, idx := m.regionCached(nil, space, block, addr)
+	if m.spans {
+		reg.Lock()
+		reg.demoteOverlapping(m, idx, idx+1)
+		reg.touched = true
+		reg.Unlock()
+	}
+	return &reg.cells[idx]
 }
 
-// cellCached resolves one cell, consulting and refreshing the worker's
-// cache when one is supplied.
-func (m *Memory) cellCached(sc *SpanCache, space logging.SpaceID, block int32, addr uint64) *Cell {
+// regionCached resolves the region and in-region cell index covering
+// one address, consulting and refreshing the worker's cache when one is
+// supplied. Shared-memory indices clamp to the slab (out-of-bounds
+// shared accesses are the simulator's problem).
+func (m *Memory) regionCached(sc *SpanCache, space logging.SpaceID, block int32, addr uint64) (*Region, int) {
 	if space == logging.SpaceShared {
-		var cells []Cell
+		var reg *Region
 		if sc != nil && sc.shared != nil && sc.sharedBlock == block {
-			cells = sc.shared
+			reg = sc.shared
 		} else {
-			cells = m.sharedSlab(block)
+			reg = m.sharedSlab(block)
 			if sc != nil {
 				sc.sharedBlock = block
-				sc.shared = cells
+				sc.shared = reg
 			}
 		}
 		idx := addr / uint64(m.granularity)
-		if idx >= uint64(len(cells)) {
-			// Out-of-bounds shared accesses are the simulator's problem;
-			// clamp defensively.
-			idx = uint64(len(cells)) - 1
+		if idx >= uint64(len(reg.cells)) {
+			idx = uint64(len(reg.cells)) - 1
 		}
-		return &cells[idx]
+		return reg, int(idx)
 	}
 	pageID := addr >> pageBits
-	var p *page
+	var reg *Region
 	if sc != nil && sc.page != nil && sc.pageID == pageID {
-		p = sc.page
+		reg = sc.page
 	} else {
-		p = m.globalPage(pageID)
+		reg = m.globalPage(pageID)
 		if sc != nil {
 			sc.pageID = pageID
-			sc.page = p
+			sc.page = reg
 		}
 	}
-	idx := (addr & (1<<pageBits - 1)) / uint64(m.granularity)
-	return &p.cells[idx]
+	return reg, int((addr & (1<<pageBits - 1)) / uint64(m.granularity))
+}
+
+// cellCached resolves one cell through the worker cache (legacy path;
+// does not demote summaries).
+func (m *Memory) cellCached(sc *SpanCache, space logging.SpaceID, block int32, addr uint64) *Cell {
+	reg, idx := m.regionCached(sc, space, block, addr)
+	return &reg.cells[idx]
 }
 
 // Span visits every cell covering [addr, addr+size) in (space, block),
@@ -288,18 +322,64 @@ func (m *Memory) Span(space logging.SpaceID, block int32, addr uint64, size int,
 }
 
 // SpanCached is Span with a worker-private lookup cache; sc may be nil.
+//
+// In span mode the visit additionally holds the current region's lock
+// and demotes every uniform-span summary the span overlaps before any
+// cell is observed, preserving exact per-cell semantics; with spans
+// disabled the loop is the original lock-free-table walk, byte for byte.
 func (m *Memory) SpanCached(sc *SpanCache, space logging.SpaceID, block int32, addr uint64, size int, fn func(*Cell)) {
 	if size < 1 {
 		size = 1
 	}
 	step := uint64(m.granularity)
 	first := addr / step * step
-	for a := first; a < addr+uint64(size); a += step {
-		c := m.cellCached(sc, space, block, a)
+	end := addr + uint64(size)
+	if !m.spans {
+		for a := first; a < end; a += step {
+			c := m.cellCached(sc, space, block, a)
+			c.Lock()
+			fn(c)
+			c.Unlock()
+		}
+		return
+	}
+	var cur *Region
+	for a := first; a < end; a += step {
+		reg, idx := m.regionCached(sc, space, block, a)
+		if reg != cur {
+			if cur != nil {
+				cur.Unlock()
+			}
+			cur = reg
+			cur.Lock()
+			// Demote everything this span will touch within the region.
+			stop := regionEnd(space, a)
+			if end < stop {
+				stop = end
+			}
+			last := idx + int((stop-a-1)/step)
+			if last >= len(reg.cells) {
+				last = len(reg.cells) - 1
+			}
+			reg.demoteOverlapping(m, idx, last+1)
+			reg.touched = true
+		}
+		c := &reg.cells[idx]
 		c.Lock()
 		fn(c)
 		c.Unlock()
 	}
+	if cur != nil {
+		cur.Unlock()
+	}
+}
+
+// regionEnd returns the first address past the region containing a.
+func regionEnd(space logging.SpaceID, a uint64) uint64 {
+	if space == logging.SpaceShared {
+		return ^uint64(0) // one slab per block
+	}
+	return (a>>pageBits + 1) << pageBits
 }
 
 // Stats reports shadow occupancy.

@@ -1,0 +1,262 @@
+// Coalesced-span support: uniform-span summaries over cell runs.
+//
+// BARRACUDA's logging design (§4.2) leans on coalesced warp accesses —
+// 32 lanes touching one contiguous region. In span mode a region (one
+// global 64 KiB page, or one block's shared slab) can carry *uniform-
+// span summaries*: a sorted list of non-overlapping cell runs whose
+// FastTrack metadata is described exactly by a compact per-layer
+// (warp, mask, clock, pc, size) tuple instead of per-cell epochs. A
+// whole coalesced warp access then updates one summary under one region
+// lock instead of taking up to lanes×size cell spinlocks.
+//
+// The invariant mirrors the read-epoch/read-map duality of Cell
+// (InflateReads): a summary is the compressed form, per-cell epochs the
+// inflated form, and the moment any access diverges from the
+// summarized pattern — a different address layout, a partial overlap,
+// state that a per-lane-rank epoch pair cannot express — the summary is
+// *demoted*: materialized back into the exact per-cell epochs the
+// per-cell path would have produced, then discarded. Demotion is
+// transparent; the per-cell rules never observe that a summary existed.
+package shadow
+
+import (
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"barracuda/internal/logging"
+	"barracuda/internal/vc"
+)
+
+// SpanLayer is one access layer (write or read) of a uniform-span
+// summary: lane rank k of Mask holds epoch (TIDOf(Warp, lane_k), Clock)
+// over the k-th Size-byte slice of the run. A zero Size means the layer
+// is absent (zero epochs).
+type SpanLayer struct {
+	Warp  uint32
+	Mask  uint32
+	Clock vc.Clock
+	PC    uint32
+	Size  uint8
+}
+
+// Valid reports whether the layer is present.
+func (l *SpanLayer) Valid() bool { return l.Size != 0 }
+
+// SpanSum summarizes the cells [Lo, Hi) of a region: every cell's write
+// epoch comes from layer W (plus the Atomic bit), every cell's read
+// epoch from layer R, and no cell has an inflated read map. Both layers
+// cover the exact same cell range; their lane layouts may differ.
+type SpanSum struct {
+	Lo, Hi int // cell index range within the region
+	W, R   SpanLayer
+	Atomic bool // the summarized write was atomic
+}
+
+// Region is one lockable run of shadow cells: a global 64 KiB page or a
+// block's shared-memory slab. In span mode, every record-path access to
+// a region's cells holds the region lock, which is what lets summaries
+// be installed, answered and demoted without per-cell locking.
+type Region struct {
+	cells []Cell
+
+	// lock is a CAS spinlock with the same shape as Cell's: region
+	// critical sections are a summary lookup plus a handful of epoch
+	// compares on the fast path.
+	lock atomic.Uint32
+
+	// touched records that some cell outside the summaries may be
+	// nonzero (any per-cell mutation or demotion sets it). While false,
+	// a span over an unsummarized range needs no checks at all — the
+	// cells are still virgin. Guarded by lock.
+	touched bool
+
+	// sums is the sorted, non-overlapping summary list. Guarded by lock.
+	sums []SpanSum
+}
+
+// Lock acquires the region spinlock.
+func (r *Region) Lock() {
+	for !r.lock.CompareAndSwap(0, 1) {
+		for i := 0; i < 8; i++ {
+			if r.lock.Load() == 0 {
+				break
+			}
+		}
+		if r.lock.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases the region spinlock.
+func (r *Region) Unlock() { r.lock.Store(0) }
+
+// Cells exposes the region's cell slab (callers hold the region lock in
+// span mode).
+func (r *Region) Cells() []Cell { return r.cells }
+
+// Touched reports whether any cell outside the summaries may be nonzero.
+func (r *Region) Touched() bool { return r.touched }
+
+// SetTouched marks the region's unsummarized cells as possibly nonzero.
+func (r *Region) SetTouched() { r.touched = true }
+
+// Sums returns the live summary list (tests and stats).
+func (r *Region) Sums() []SpanSum { return r.sums }
+
+// sumRange returns the index range [i, j) of summaries overlapping the
+// cell range [lo, hi).
+func (r *Region) sumRange(lo, hi int) (int, int) {
+	i := sort.Search(len(r.sums), func(k int) bool { return r.sums[k].Hi > lo })
+	j := i
+	for j < len(r.sums) && r.sums[j].Lo < hi {
+		j++
+	}
+	return i, j
+}
+
+// FindSpan looks up [lo, hi) in the summary list: exact is non-nil when
+// a single summary covers exactly that range; overlap reports whether
+// any summary overlaps it at all.
+func (r *Region) FindSpan(lo, hi int) (exact *SpanSum, overlap bool) {
+	i, j := r.sumRange(lo, hi)
+	if i == j {
+		return nil, false
+	}
+	if j == i+1 && r.sums[i].Lo == lo && r.sums[i].Hi == hi {
+		return &r.sums[i], true
+	}
+	return nil, true
+}
+
+// DemoteOverlapping materializes and removes every summary overlapping
+// [lo, hi). Call with the region locked.
+func (r *Region) DemoteOverlapping(m *Memory, lo, hi int) { r.demoteOverlapping(m, lo, hi) }
+
+func (r *Region) demoteOverlapping(m *Memory, lo, hi int) {
+	i, j := r.sumRange(lo, hi)
+	if i == j {
+		return
+	}
+	for k := i; k < j; k++ {
+		m.materialize(r, &r.sums[k])
+	}
+	r.sums = append(r.sums[:i], r.sums[j:]...)
+	r.touched = true
+}
+
+// Install inserts a summary. The caller must have removed (demoted or
+// replaced) everything overlapping [s.Lo, s.Hi) first, and must hold
+// the region lock.
+func (r *Region) Install(s SpanSum) {
+	i := sort.Search(len(r.sums), func(k int) bool { return r.sums[k].Lo >= s.Lo })
+	r.sums = append(r.sums, SpanSum{})
+	copy(r.sums[i+1:], r.sums[i:])
+	r.sums[i] = s
+}
+
+// LaneAt returns the lane index of the rank-th set bit of mask.
+func LaneAt(mask uint32, rank int) int {
+	for ; rank > 0; rank-- {
+		mask &= mask - 1
+	}
+	return bits.TrailingZeros32(mask)
+}
+
+// materialize writes a summary's exact per-cell state back into the
+// cells — span demotion, the analogue of InflateReads. Cells under a
+// summary are wholly described by it, so every metadata field is
+// (re)written: a missing layer means zero epochs, and no summarized
+// cell ever has an inflated read map. Runs under the region lock; cell
+// locks are not taken because span mode routes every record-path cell
+// access through that same region lock.
+func (m *Memory) materialize(reg *Region, s *SpanSum) {
+	gran := m.granularity
+	for idx := s.Lo; idx < s.Hi; idx++ {
+		c := &reg.cells[idx]
+		off := (idx - s.Lo) * gran
+		if s.W.Valid() {
+			lane := LaneAt(s.W.Mask, off/int(s.W.Size))
+			c.W = vc.Epoch{T: m.geo.TIDOf(int(s.W.Warp), lane), C: s.W.Clock}
+			c.WritePC = s.W.PC
+			c.Atomic = s.Atomic
+		} else {
+			c.W = vc.Epoch{}
+			c.WritePC = 0
+			c.Atomic = false
+		}
+		if s.R.Valid() {
+			lane := LaneAt(s.R.Mask, off/int(s.R.Size))
+			c.R = vc.Epoch{T: m.geo.TIDOf(int(s.R.Warp), lane), C: s.R.Clock}
+			c.ReadPC = s.R.PC
+		} else {
+			c.R = vc.Epoch{}
+			c.ReadPC = 0
+		}
+		c.Readers = nil
+		c.ReadShared = false
+	}
+}
+
+// SpanRuns splits the byte range [addr, addr+n) of (space, block) into
+// per-region cell runs and invokes fn once per run with the region, the
+// cell range [lo, hi) and the byte offset of the run within the whole
+// span. Regions are handed over unlocked; fn locks. It returns false —
+// without invoking fn at all — when the range cannot go down the span
+// fast path: a shared range outside the slab (the per-cell path's
+// clamping semantics must win), a granularity that does not tile pages,
+// or a region boundary that would split one lane's size-byte access.
+func (m *Memory) SpanRuns(sc *SpanCache, space logging.SpaceID, block int32, addr uint64, n, size int, fn func(reg *Region, lo, hi, byteOff int)) bool {
+	gran := uint64(m.granularity)
+	if space == logging.SpaceShared {
+		reg := m.sharedRegion(sc, block)
+		lo := addr / gran
+		last := (addr + uint64(n) - 1) / gran
+		if last >= uint64(len(reg.cells)) {
+			return false
+		}
+		fn(reg, int(lo), int(last)+1, 0)
+		return true
+	}
+	if (1<<pageBits)%gran != 0 {
+		return false
+	}
+	end := addr + uint64(n)
+	// Validate region boundaries first: a page split must fall between
+	// two lanes, or rank arithmetic breaks.
+	for a := addr; a < end; {
+		stop := (a>>pageBits + 1) << pageBits
+		if stop >= end {
+			break
+		}
+		if (stop-addr)%uint64(size) != 0 {
+			return false
+		}
+		a = stop
+	}
+	for a := addr; a < end; {
+		stop := (a>>pageBits + 1) << pageBits
+		if stop > end {
+			stop = end
+		}
+		reg, lo := m.regionCached(sc, space, block, a)
+		fn(reg, lo, lo+int((stop-a-1)/gran)+1, int(a-addr))
+		a = stop
+	}
+	return true
+}
+
+// sharedRegion resolves a block's shared slab through the worker cache.
+func (m *Memory) sharedRegion(sc *SpanCache, block int32) *Region {
+	if sc != nil && sc.shared != nil && sc.sharedBlock == block {
+		return sc.shared
+	}
+	reg := m.sharedSlab(block)
+	if sc != nil {
+		sc.sharedBlock = block
+		sc.shared = reg
+	}
+	return reg
+}
