@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-sim bench-scaling bench-detect stress-multiqueue serve ci fmt-check vet-smoke
+.PHONY: all build vet test race bench bench-sim bench-scaling bench-detect bench-fleet fleet-sim stress-multiqueue serve ci fmt-check vet-smoke
 
 all: build vet test
 
@@ -64,6 +64,20 @@ bench-detect:
 	$(GO) test -bench=BenchmarkWarpAccess -benchmem -run=^$$ ./internal/core/
 	$(GO) run ./cmd/benchtab -detect -min-speedup 2.0 -o BENCH_detect.json
 
+# Fleet warm-routing A/B in the deterministic cluster simulator:
+# BENCH_fleet.json (warm hit rate + jobs/sec, ring vs random, at
+# N ∈ {1,2,4,8}), gated on the N=4 hit-rate gain over random placement.
+bench-fleet:
+	$(GO) run ./cmd/benchtab -fleet -min-hit-gain 1.05 -o BENCH_fleet.json
+
+# The cluster-simulator determinism smoke, under the Go race detector:
+# each scenario runs twice at a fixed seed and fails unless both passes
+# produce identical schedule and report digests with zero lost jobs —
+# including a crash + heartbeat-loss scenario that exercises failover.
+fleet-sim:
+	$(GO) run -race ./cmd/fleetsim -nodes 4 -jobs 20000 -seed 42 -repeat 2
+	$(GO) run -race ./cmd/fleetsim -nodes 8 -jobs 20000 -seed 42 -traffic mixed -crash 2@0.3 -hbloss 0.05 -repeat 2
+
 # The multi-queue determinism stress: the 66-program bug suite at 4
 # queues vs 1 queue, repeated, with real parallelism and under the Go
 # race detector.
@@ -74,4 +88,4 @@ stress-multiqueue:
 serve:
 	$(GO) run ./cmd/barracudad -addr :8321
 
-ci: build vet fmt-check test race vet-smoke stress-multiqueue
+ci: build vet fmt-check test race vet-smoke stress-multiqueue fleet-sim

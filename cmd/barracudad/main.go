@@ -11,6 +11,16 @@
 //	curl -s -X POST localhost:8321/jobs -d '{"ptx":"...","kernel":"k","grid":1,"block":32,"buffers":[4]}'
 //	curl -s 'localhost:8321/jobs/job-1?wait_ms=5000'
 //	curl -s localhost:8321/metrics
+//
+// Fleet modes:
+//
+//	barracudad -coordinator -addr :8320
+//	barracudad -addr :8321 -join http://coord:8320 -advertise http://worker1:8321
+//
+// A coordinator owns no detection workers of its own; it routes jobs to
+// joined workers by module cache key so repeat submissions land on the
+// node whose session cache is already warm. Workers join with -join and
+// otherwise behave exactly like a standalone daemon.
 package main
 
 import (
@@ -22,9 +32,11 @@ import (
 	_ "net/http/pprof" // /debug/pprof/* on the -pprof listener
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"barracuda/internal/fleet"
 	"barracuda/internal/server"
 )
 
@@ -38,6 +50,12 @@ func main() {
 		budget  = flag.Uint64("budget", 1<<24, "default per-job warp-instruction budget")
 		maxBuf  = flag.Int64("maxbuf", 1<<30, "per-job total buffer byte cap (-1 = unlimited)")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+
+		coordinator = flag.Bool("coordinator", false, "run as a fleet coordinator instead of a worker (no local detection)")
+		join        = flag.String("join", "", "coordinator base URL to register with (worker mode), e.g. http://coord:8320")
+		nodeID      = flag.String("node-id", "", "stable fleet node identity (default: derived from -advertise)")
+		advertise   = flag.String("advertise", "", "base URL the coordinator should reach this worker at (default: http://<addr>)")
+		heartbeat   = flag.Duration("heartbeat", 2*time.Second, "fleet heartbeat interval")
 	)
 	flag.Parse()
 
@@ -52,6 +70,15 @@ func main() {
 				log.Printf("barracudad: pprof listener: %v", err)
 			}
 		}()
+	}
+
+	if *coordinator {
+		if *join != "" {
+			fmt.Fprintln(os.Stderr, "barracudad: -coordinator and -join are mutually exclusive")
+			os.Exit(2)
+		}
+		runCoordinator(*addr, *heartbeat)
+		return
 	}
 
 	srv := server.New(server.SchedulerOptions{
@@ -69,6 +96,49 @@ func main() {
 	log.Printf("barracudad: listening on %s (%d workers, queue %d, cache %d)",
 		*addr, *workers, *queue, *cache)
 
+	var link *fleet.WorkerLink
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = advertiseFromAddr(*addr)
+		}
+		id := *nodeID
+		if id == "" {
+			id = fleet.DefaultNodeID(adv)
+		}
+		link = fleet.StartWorkerLink(strings.TrimRight(*join, "/"), id, adv, srv.Scheduler(), *heartbeat, nil)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "barracudad:", err)
+		os.Exit(1)
+	case s := <-sig:
+		log.Printf("barracudad: %v, shutting down", s)
+		if link != nil {
+			link.Close()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		srv.Close()
+	}
+}
+
+func runCoordinator(addr string, heartbeat time.Duration) {
+	coord := fleet.NewHTTPCoordinator(fleet.Options{
+		SuspectAfter: 5 * heartbeat / 2,
+		DeadAfter:    5 * heartbeat,
+	})
+	httpSrv := &http.Server{Addr: addr, Handler: coord.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("barracudad: coordinator listening on %s (suspect %.1fs, dead %.1fs)",
+		addr, (5 * heartbeat / 2).Seconds(), (5 * heartbeat).Seconds())
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -80,6 +150,16 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(ctx)
-		srv.Close()
+		coord.Close()
 	}
+}
+
+// advertiseFromAddr guesses a reachable base URL from the listen
+// address: ":8321" has no host, so default to localhost for the
+// single-machine case; operators spanning machines pass -advertise.
+func advertiseFromAddr(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://localhost" + addr
+	}
+	return "http://" + addr
 }

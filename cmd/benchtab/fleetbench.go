@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"barracuda/internal/fleet/sim"
+)
+
+// FleetBench is the BENCH_fleet.json schema: one simulated zipf
+// scenario per fleet size, each run under both cache-affine ring
+// routing and the seeded-random baseline. The virtual clock makes every
+// number here a property of the scheduling policy alone — no host
+// timing noise — so the artifact is byte-stable for a given seed.
+type FleetBench struct {
+	Seed    int64             `json:"seed"`
+	Jobs    int               `json:"jobs"`
+	Keys    int               `json:"keys"`
+	Cache   int               `json:"cache_slots"`
+	Traffic string            `json:"traffic"`
+	Points  []FleetBenchPoint `json:"points"`
+}
+
+// FleetBenchPoint is one fleet size's ring-vs-random comparison.
+type FleetBenchPoint struct {
+	Nodes          int     `json:"nodes"`
+	RingJobsPerSec float64 `json:"ring_jobs_per_sec"`
+	RandJobsPerSec float64 `json:"random_jobs_per_sec"`
+	RingHitRate    float64 `json:"ring_hit_rate"`
+	RandHitRate    float64 `json:"random_hit_rate"`
+	HitGain        float64 `json:"hit_gain"` // ring / random hit rate
+	RingPrimary    float64 `json:"ring_primary_frac"`
+	Lost           int     `json:"lost"`
+	ReportsEqual   bool    `json:"reports_equal"` // ring vs random report digest
+	ScheduleDigest string  `json:"schedule_digest"`
+}
+
+// runFleetBench sweeps fleet sizes under identical zipf traffic and
+// fails if warm ring routing does not earn its keep over random
+// placement at N=4, or if any run loses jobs or diverges.
+func runFleetBench(outPath string, minHitGain float64) error {
+	res := FleetBench{
+		Seed: 1, Jobs: 20000, Keys: 256, Cache: 24, Traffic: sim.TrafficZipf,
+	}
+	for _, nodes := range []int{1, 2, 4, 8} {
+		base := sim.Config{
+			Seed: res.Seed, Nodes: nodes, Capacity: 2, Jobs: res.Jobs,
+			Traffic: res.Traffic, Keys: res.Keys, CacheSlots: res.Cache,
+			// Moderate, per-fleet-scaled load: affinity should dominate,
+			// not queue-overflow spill.
+			ArrivalRate: 100 * float64(nodes),
+		}
+		ring, err := sim.Run(base)
+		if err != nil {
+			return err
+		}
+		// Determinism gate: the same scenario must replay byte-identically.
+		again, err := sim.Run(base)
+		if err != nil {
+			return err
+		}
+		if again.ScheduleDigest != ring.ScheduleDigest {
+			return fmt.Errorf("fleet bench: nondeterministic schedule at nodes=%d", nodes)
+		}
+		rndCfg := base
+		rndCfg.RandomRouting = true
+		random, err := sim.Run(rndCfg)
+		if err != nil {
+			return err
+		}
+		res.Points = append(res.Points, FleetBenchPoint{
+			Nodes:          nodes,
+			RingJobsPerSec: ring.JobsPerSec,
+			RandJobsPerSec: random.JobsPerSec,
+			RingHitRate:    ring.HitRate,
+			RandHitRate:    random.HitRate,
+			HitGain:        safeDiv(ring.HitRate, random.HitRate),
+			RingPrimary:    ring.PrimaryFrac,
+			Lost:           ring.Lost + random.Lost,
+			ReportsEqual:   ring.ReportDigest == random.ReportDigest,
+			ScheduleDigest: ring.ScheduleDigest,
+		})
+	}
+
+	data, _ := json.MarshalIndent(res, "", "  ")
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("fleet bench (%d jobs, %s traffic over %d keys, %d cache slots, seed %d):\n",
+		res.Jobs, res.Traffic, res.Keys, res.Cache, res.Seed)
+	for _, p := range res.Points {
+		eq := "reports match"
+		if !p.ReportsEqual {
+			eq = "REPORTS DIVERGED"
+		}
+		fmt.Printf("  nodes=%d  ring %5.1f%% warm vs random %5.1f%% (gain %.2fx)  %6.0f vs %6.0f jobs/s  %s\n",
+			p.Nodes, 100*p.RingHitRate, 100*p.RandHitRate, p.HitGain,
+			p.RingJobsPerSec, p.RandJobsPerSec, eq)
+	}
+	fmt.Printf("→ %s\n", outPath)
+
+	for _, p := range res.Points {
+		if p.Lost != 0 {
+			return fmt.Errorf("fleet bench: %d jobs lost at nodes=%d", p.Lost, p.Nodes)
+		}
+		if !p.ReportsEqual {
+			return fmt.Errorf("fleet bench: report digest differs between routings at nodes=%d", p.Nodes)
+		}
+		if p.Nodes >= 4 && p.RingHitRate <= p.RandHitRate {
+			return fmt.Errorf("fleet bench: ring hit rate %.3f not above random %.3f at nodes=%d",
+				p.RingHitRate, p.RandHitRate, p.Nodes)
+		}
+		if minHitGain > 0 && p.Nodes == 4 && p.HitGain < minHitGain {
+			return fmt.Errorf("fleet bench: hit gain %.3fx below the -min-hit-gain floor %.2fx at nodes=4",
+				p.HitGain, minHitGain)
+		}
+	}
+	return nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -25,6 +25,13 @@
 // per-cell baseline over synthetic coalesced, strided and divergent
 // access mixes, verifying canonical-digest equality on every run, and
 // writes BENCH_detect.json.
+//
+// With -fleet it runs the deterministic cluster simulator at N ∈
+// {1,2,4,8} workers under identical zipf traffic, comparing cache-affine
+// ring routing against the seeded-random baseline (warm hit rate and
+// jobs/sec on the virtual clock), and writes BENCH_fleet.json. The run
+// fails if ring routing does not beat random on hit rate at N=4, if any
+// job is lost, or if replaying a scenario changes its schedule digest.
 package main
 
 import (
@@ -50,7 +57,9 @@ func main() {
 		scalingB = flag.Bool("scaling", false, "benchmark detection throughput vs queue count instead")
 		simB     = flag.Bool("sim", false, "benchmark the warp-vectorized interpreter against the lane-major baseline instead")
 		detectB  = flag.Bool("detect", false, "benchmark the coalesced-span shadow fast path against the per-cell baseline instead")
+		fleetB   = flag.Bool("fleet", false, "benchmark fleet warm routing against random placement in the cluster simulator instead")
 		minSpeed = flag.Float64("min-speedup", 0, "with -sim or -detect: fail unless the speedup reaches this factor")
+		minGain  = flag.Float64("min-hit-gain", 0, "with -fleet: fail unless ring/random hit-rate gain at N=4 reaches this factor")
 		jobs     = flag.Int("jobs", 32, "jobs per phase for -server")
 		workers  = flag.Int("workers", 4, "detection workers for -server")
 		out      = flag.String("o", "", "output artifact path (default BENCH_server.json / BENCH_static.json / BENCH_scaling.json)")
@@ -100,6 +109,17 @@ func main() {
 			path = "BENCH_detect.json"
 		}
 		if err := runDetectBench(path, *minSpeed); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fleetB {
+		path := *out
+		if path == "" {
+			path = "BENCH_fleet.json"
+		}
+		if err := runFleetBench(path, *minGain); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,375 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"barracuda/internal/server"
+)
+
+const racySrc = `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<4>;
+	.reg .u64 %rd<4>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	st.global.u32 [%rd1], %r1;
+	ret;
+}`
+
+// testFleet is a coordinator plus N real barracudad workers wired up
+// over httptest, with fast heartbeats so failover tests finish quickly.
+type testFleet struct {
+	t       *testing.T
+	coord   *HTTPCoordinator
+	coordTS *httptest.Server
+	workers []*testWorker
+}
+
+type testWorker struct {
+	id   string
+	srv  *server.Server
+	ts   *httptest.Server
+	link *WorkerLink
+}
+
+func newTestFleet(t *testing.T, n int) *testFleet {
+	t.Helper()
+	f := &testFleet{t: t}
+	f.coord = NewHTTPCoordinator(Options{
+		SuspectAfter: 400 * time.Millisecond,
+		DeadAfter:    1200 * time.Millisecond,
+	})
+	f.coordTS = httptest.NewServer(f.coord.Handler())
+	t.Cleanup(func() {
+		f.coordTS.Close()
+		f.coord.Close()
+	})
+	for i := 0; i < n; i++ {
+		f.addWorker(fmt.Sprintf("w-%02d", i))
+	}
+	f.waitNodes(n)
+	return f
+}
+
+func (f *testFleet) addWorker(id string) *testWorker {
+	f.t.Helper()
+	srv := server.New(server.SchedulerOptions{Workers: 2, QueueCap: 64, CacheEntries: 8})
+	ts := httptest.NewServer(srv.Handler())
+	w := &testWorker{id: id, srv: srv, ts: ts}
+	w.link = StartWorkerLink(f.coordTS.URL, id, ts.URL, srv.Scheduler(),
+		150*time.Millisecond, func(string, ...any) {}) // quiet logs
+	f.workers = append(f.workers, w)
+	f.t.Cleanup(func() {
+		if w.ts != nil {
+			w.kill()
+		}
+	})
+	return w
+}
+
+// kill simulates a crash: the HTTP listener dies and heartbeats stop,
+// with no graceful leave.
+func (w *testWorker) kill() {
+	close(w.link.quit)
+	<-w.link.done
+	w.ts.Close()
+	w.srv.Close()
+	w.ts = nil
+}
+
+func (f *testFleet) waitNodes(n int) {
+	f.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if len(f.coord.Core().Nodes()) == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			f.t.Fatalf("fleet never reached %d nodes (have %d)", n, len(f.coord.Core().Nodes()))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (f *testFleet) submit(req server.JobRequest) (int, FleetJobInfo, server.ErrorJSON) {
+	f.t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(f.coordTS.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info FleetJobInfo
+	var errj server.ErrorJSON
+	if resp.StatusCode == http.StatusAccepted {
+		json.NewDecoder(resp.Body).Decode(&info)
+	} else {
+		json.NewDecoder(resp.Body).Decode(&errj)
+	}
+	return resp.StatusCode, info, errj
+}
+
+func (f *testFleet) wait(id string) FleetJobInfo {
+	f.t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(f.coordTS.URL + "/jobs/" + id + "?wait_ms=1000")
+		if err != nil {
+			f.t.Fatal(err)
+		}
+		var info FleetJobInfo
+		json.NewDecoder(resp.Body).Decode(&info)
+		resp.Body.Close()
+		if info.Status == server.StatusDone || info.Status == server.StatusFailed {
+			return info
+		}
+		if time.Now().After(deadline) {
+			f.t.Fatalf("job %s still %s after 30s", id, info.Status)
+		}
+	}
+}
+
+func racyJob() server.JobRequest {
+	return server.JobRequest{PTX: racySrc, Kernel: "k", Grid: 1, Block: 32, Buffers: []int{4}}
+}
+
+// End-to-end: submit through the coordinator, run on a real worker,
+// repeat submissions route to the same node and hit its module cache.
+func TestFleetEndToEndWarmRouting(t *testing.T) {
+	f := newTestFleet(t, 3)
+
+	code, info, errj := f.submit(racyJob())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %+v", code, errj)
+	}
+	first := f.wait(info.ID)
+	if first.Status != server.StatusDone {
+		t.Fatalf("job failed: %+v", first)
+	}
+	if first.Worker == nil || first.Worker.Result == nil || first.Worker.Result.RaceCount == 0 {
+		t.Fatalf("no detection result through the fleet: %+v", first.Worker)
+	}
+
+	// Same PTX+config → same cache key → same node, warm this time.
+	for i := 0; i < 3; i++ {
+		_, again, _ := f.submit(racyJob())
+		res := f.wait(again.ID)
+		if res.Node != first.Node {
+			t.Fatalf("repeat %d routed to %s, first ran on %s", i, res.Node, first.Node)
+		}
+		if res.Worker == nil || !res.Worker.CacheHit {
+			t.Fatalf("repeat %d was not a cache hit on %s", i, res.Node)
+		}
+	}
+	if st := f.coord.Core().Stats(); st.WarmHits < 3 {
+		t.Fatalf("WarmHits = %d, want >= 3", st.WarmHits)
+	}
+}
+
+// Failover: kill the worker a job's key routes to; the retry must land
+// on a different node and produce the identical race report.
+func TestFleetFailoverRetriesElsewhere(t *testing.T) {
+	f := newTestFleet(t, 3)
+
+	// Run once to learn the key's primary and capture the ground truth.
+	_, info, _ := f.submit(racyJob())
+	base := f.wait(info.ID)
+	if base.Status != server.StatusDone {
+		t.Fatalf("baseline failed: %+v", base)
+	}
+
+	var victim *testWorker
+	for _, w := range f.workers {
+		if w.id == base.Node {
+			victim = w
+		}
+	}
+	victim.kill()
+
+	// Submit immediately: the coordinator still believes the dead node is
+	// alive, forwards there, gets a connection error, and must re-route.
+	_, info2, _ := f.submit(racyJob())
+	res := f.wait(info2.ID)
+	if res.Status != server.StatusDone {
+		t.Fatalf("job did not survive worker death: %+v", res)
+	}
+	if res.Node == victim.id {
+		t.Fatalf("job reportedly completed on the dead node %s", victim.id)
+	}
+	if res.Attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (forward to dead node, then retry)", res.Attempts)
+	}
+	// The report must not depend on which node ran the job.
+	if a, b := base.Worker.Result, res.Worker.Result; a.RaceCount != b.RaceCount || a.Records != b.Records {
+		t.Fatalf("failover changed the report: races %d→%d, records %d→%d",
+			a.RaceCount, b.RaceCount, a.Records, b.Records)
+	}
+
+	// Eventually the registry declares the victim dead and drops it.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(f.coord.Core().Nodes()) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("dead worker never removed from the registry")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// A worker the coordinator forgot (dead timer fired while it was
+// partitioned) re-joins automatically off the heartbeat 404.
+func TestFleetWorkerRejoinsAfterForgotten(t *testing.T) {
+	f := newTestFleet(t, 1)
+	w := f.workers[0]
+
+	// Forget the node coordinator-side; the worker keeps beating.
+	f.coord.Core().Leave(w.id)
+	f.waitNodes(1) // re-join happens on the next beat cycle
+
+	code, info, _ := f.submit(racyJob())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit after re-join: %d", code)
+	}
+	if res := f.wait(info.ID); res.Status != server.StatusDone {
+		t.Fatalf("job after re-join: %+v", res)
+	}
+}
+
+func TestFleetSubmitValidation(t *testing.T) {
+	f := newTestFleet(t, 1)
+
+	code, _, errj := f.submit(server.JobRequest{}) // neither ptx nor bench
+	if code != http.StatusBadRequest || errj.Code != server.CodeInvalidArgument {
+		t.Fatalf("empty job: %d code %q, want 400 invalid_argument", code, errj.Code)
+	}
+	req := racyJob()
+	req.Class = "premium"
+	code, _, errj = f.submit(req)
+	if code != http.StatusBadRequest || errj.Code != server.CodeInvalidArgument {
+		t.Fatalf("bad class: %d code %q", code, errj.Code)
+	}
+}
+
+func TestFleetNoNodesUnavailable(t *testing.T) {
+	coord := NewHTTPCoordinator(Options{})
+	ts := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() { ts.Close(); coord.Close() })
+
+	body, _ := json.Marshal(racyJob())
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	var errj server.ErrorJSON
+	json.NewDecoder(resp.Body).Decode(&errj)
+	if errj.Code != server.CodeUnavailable {
+		t.Fatalf("code %q, want unavailable", errj.Code)
+	}
+	if !server.RetryableCode(errj.Code) {
+		t.Fatal("no-nodes rejection must be retryable")
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+// A job that is invalid only at runtime (bad PTX passes shape checks)
+// fails permanently without burning retries on other nodes.
+func TestFleetBadJobNotRetriedAcrossFleet(t *testing.T) {
+	f := newTestFleet(t, 3)
+	_, info, _ := f.submit(server.JobRequest{PTX: "this is not ptx"})
+	res := f.wait(info.ID)
+	if res.Status != server.StatusFailed {
+		t.Fatalf("bad PTX job: %+v", res)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("bad job dispatched %d times, want exactly 1 (job fault, not node fault)", res.Attempts)
+	}
+}
+
+func TestFleetControlEndpoints(t *testing.T) {
+	f := newTestFleet(t, 2)
+
+	resp, err := http.Get(f.coordTS.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status string  `json:"status"`
+		Nodes  float64 `json:"nodes"`
+	}
+	json.NewDecoder(resp.Body).Decode(&hz)
+	resp.Body.Close()
+	if hz.Status != "ok" || hz.Nodes != 2 {
+		t.Fatalf("healthz = %+v", hz)
+	}
+
+	resp, err = http.Get(f.coordTS.URL + "/fleet/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m FleetMetricsJSON
+	json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if len(m.Nodes) != 2 {
+		t.Fatalf("metrics nodes = %d, want 2", len(m.Nodes))
+	}
+	for _, n := range m.Nodes {
+		if n.State != "alive" {
+			t.Fatalf("node %s state %q, want alive", n.ID, n.State)
+		}
+		if n.Capacity != 2 {
+			t.Fatalf("node %s capacity %d, want 2 (worker's -workers)", n.ID, n.Capacity)
+		}
+	}
+
+	// Heartbeats carry the worker's queue/cache stats within a beat or two.
+	_, info, _ := f.submit(racyJob())
+	f.wait(info.ID)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var total int64
+		for _, n := range f.coord.Core().Nodes() {
+			total += n.Stats.Completed
+		}
+		if total >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker heartbeats never reported the completed job")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// An unknown node's heartbeat gets 404 + not_found so the worker knows
+// to re-join rather than retry forever.
+func TestFleetHeartbeatUnknownNode(t *testing.T) {
+	coord := NewHTTPCoordinator(Options{})
+	ts := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() { ts.Close(); coord.Close() })
+
+	body, _ := json.Marshal(HeartbeatRequest{ID: "ghost"})
+	resp, err := http.Post(ts.URL+"/fleet/heartbeat", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	var errj server.ErrorJSON
+	json.NewDecoder(resp.Body).Decode(&errj)
+	if errj.Code != server.CodeNotFound {
+		t.Fatalf("code %q, want not_found", errj.Code)
+	}
+}

@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"sort"
+	"time"
+
+	"barracuda/internal/server"
+)
+
+// NodeState is the health state of a registered worker.
+//
+// The heartbeat state machine:
+//
+//	Alive ──(no beat for SuspectAfter)──▶ Suspect ──(no beat for DeadAfter)──▶ Dead
+//	  ▲                                     │
+//	  └───────────(heartbeat)───────────────┘
+//
+// Suspect nodes keep their in-flight jobs (they may just be slow or
+// dropping beats) but receive no new work; Dead nodes are removed from
+// the ring and their in-flight jobs are re-routed with exclusion. A
+// Dead node that comes back must re-Join and is treated as cold.
+type NodeState int
+
+const (
+	StateAlive NodeState = iota
+	StateSuspect
+	StateDead
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// NodeInfo is the registry's view of one worker.
+type NodeInfo struct {
+	ID       string
+	Addr     string
+	Capacity int // concurrent jobs the node can run (its worker count)
+	State    NodeState
+	Joined   time.Time
+	LastBeat time.Time
+	Stats    server.HeartbeatStats // latest self-reported load + cache figures
+}
+
+// Registry tracks worker membership and health. All methods take the
+// current time explicitly so the deterministic simulator can drive the
+// exact same code with a virtual clock. Not safe for concurrent use;
+// the Coordinator serializes access.
+type Registry struct {
+	suspectAfter time.Duration
+	deadAfter    time.Duration
+	nodes        map[string]*NodeInfo
+}
+
+// NewRegistry builds a registry with the given health thresholds
+// (defaults: suspect after 5s, dead after 15s without a heartbeat).
+func NewRegistry(suspectAfter, deadAfter time.Duration) *Registry {
+	if suspectAfter <= 0 {
+		suspectAfter = 5 * time.Second
+	}
+	if deadAfter <= suspectAfter {
+		deadAfter = 3 * suspectAfter
+	}
+	return &Registry{
+		suspectAfter: suspectAfter,
+		deadAfter:    deadAfter,
+		nodes:        make(map[string]*NodeInfo),
+	}
+}
+
+// Join registers (or re-registers) a node as Alive. Re-joining after a
+// crash resets the heartbeat clock; the caller decides what to do with
+// any state it still attributes to the old incarnation.
+func (g *Registry) Join(id, addr string, capacity int, now time.Time) {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	g.nodes[id] = &NodeInfo{
+		ID: id, Addr: addr, Capacity: capacity,
+		State: StateAlive, Joined: now, LastBeat: now,
+	}
+}
+
+// Leave removes a node outright (graceful shutdown).
+func (g *Registry) Leave(id string) {
+	delete(g.nodes, id)
+}
+
+// Heartbeat records a beat, reviving a Suspect node. It reports false
+// for unknown (or already-Dead-and-removed) nodes, which the HTTP layer
+// maps to 404 so the worker knows to re-join.
+func (g *Registry) Heartbeat(id string, stats server.HeartbeatStats, now time.Time) bool {
+	n, ok := g.nodes[id]
+	if !ok {
+		return false
+	}
+	n.LastBeat = now
+	n.Stats = stats
+	n.State = StateAlive
+	return true
+}
+
+// Tick applies the timeout transitions and returns the IDs of nodes
+// that just died (in sorted order, for deterministic replay). Dead
+// nodes are removed from the registry: coming back requires a re-Join.
+func (g *Registry) Tick(now time.Time) (died []string) {
+	for id, n := range g.nodes {
+		silent := now.Sub(n.LastBeat)
+		switch {
+		case silent >= g.deadAfter:
+			died = append(died, id)
+		case silent >= g.suspectAfter:
+			n.State = StateSuspect
+		}
+	}
+	sort.Strings(died)
+	for _, id := range died {
+		delete(g.nodes, id)
+	}
+	return died
+}
+
+// Get returns a copy of one node's info.
+func (g *Registry) Get(id string) (NodeInfo, bool) {
+	n, ok := g.nodes[id]
+	if !ok {
+		return NodeInfo{}, false
+	}
+	return *n, true
+}
+
+// Alive reports whether the node is registered and in StateAlive.
+func (g *Registry) Alive(id string) bool {
+	n, ok := g.nodes[id]
+	return ok && n.State == StateAlive
+}
+
+// List snapshots all nodes sorted by ID.
+func (g *Registry) List() []NodeInfo {
+	out := make([]NodeInfo, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, *n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"barracuda/internal/server"
+)
+
+func TestRegistryStateMachine(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	g := NewRegistry(5*time.Second, 15*time.Second)
+	g.Join("w1", "http://w1", 2, t0)
+
+	if !g.Alive("w1") {
+		t.Fatal("freshly joined node not alive")
+	}
+
+	// Under the suspect threshold: still alive.
+	if died := g.Tick(t0.Add(4 * time.Second)); len(died) != 0 {
+		t.Fatalf("died at 4s: %v", died)
+	}
+	if !g.Alive("w1") {
+		t.Fatal("node suspect before SuspectAfter elapsed")
+	}
+
+	// Past suspect, before dead: suspect (no new work) but registered.
+	if died := g.Tick(t0.Add(6 * time.Second)); len(died) != 0 {
+		t.Fatalf("died at 6s: %v", died)
+	}
+	if g.Alive("w1") {
+		t.Fatal("silent node still alive after SuspectAfter")
+	}
+	if n, ok := g.Get("w1"); !ok || n.State != StateSuspect {
+		t.Fatalf("state = %v, ok = %v, want suspect", n.State, ok)
+	}
+
+	// A heartbeat revives a suspect.
+	if !g.Heartbeat("w1", server.HeartbeatStats{QueueDepth: 3}, t0.Add(7*time.Second)) {
+		t.Fatal("heartbeat for registered node returned unknown")
+	}
+	if !g.Alive("w1") {
+		t.Fatal("heartbeat did not revive suspect node")
+	}
+	if n, _ := g.Get("w1"); n.Stats.QueueDepth != 3 {
+		t.Fatalf("stats not recorded: %+v", n.Stats)
+	}
+
+	// Silence past the dead threshold: removed, heartbeat now unknown.
+	died := g.Tick(t0.Add(7*time.Second + 16*time.Second))
+	if len(died) != 1 || died[0] != "w1" {
+		t.Fatalf("died = %v, want [w1]", died)
+	}
+	if _, ok := g.Get("w1"); ok {
+		t.Fatal("dead node still registered")
+	}
+	if g.Heartbeat("w1", server.HeartbeatStats{}, t0.Add(24*time.Second)) {
+		t.Fatal("heartbeat for dead node should report unknown (worker must re-join)")
+	}
+
+	// Re-join resurrects it cold.
+	g.Join("w1", "http://w1", 2, t0.Add(25*time.Second))
+	if !g.Alive("w1") {
+		t.Fatal("re-joined node not alive")
+	}
+}
+
+func TestRegistryTickDeterministicOrder(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	g := NewRegistry(time.Second, 2*time.Second)
+	for _, id := range []string{"c", "a", "b"} {
+		g.Join(id, "sim://"+id, 1, t0)
+	}
+	died := g.Tick(t0.Add(time.Minute))
+	if len(died) != 3 || died[0] != "a" || died[1] != "b" || died[2] != "c" {
+		t.Fatalf("died = %v, want sorted [a b c]", died)
+	}
+}
+
+func TestRegistryCapacityFloorAndLeave(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	g := NewRegistry(0, 0) // defaults
+	g.Join("w", "addr", 0, t0)
+	if n, _ := g.Get("w"); n.Capacity != 1 {
+		t.Fatalf("capacity %d, want floor of 1", n.Capacity)
+	}
+	g.Leave("w")
+	if _, ok := g.Get("w"); ok {
+		t.Fatal("node registered after Leave")
+	}
+}

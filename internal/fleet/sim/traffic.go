@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"barracuda/internal/server"
+)
+
+// Traffic shapes.
+const (
+	TrafficUniform = "uniform" // keys uniform over Keys, all batch
+	TrafficZipf    = "zipf"    // zipf-skewed keys (hot modules), all batch
+	TrafficMixed   = "mixed"   // zipf keys + InteractiveFrac interactive jobs
+)
+
+// generator produces the synthetic job stream. It owns its PRNG (seeded
+// independently of the service-time and fault PRNGs) so changing, say,
+// the jitter model never perturbs which jobs arrive — schedules stay
+// comparable across sim changes that don't touch traffic.
+type generator struct {
+	cfg  Config
+	rnd  *rand.Rand
+	zipf *rand.Zipf
+	n    int
+}
+
+func newGenerator(cfg Config) (*generator, error) {
+	g := &generator{cfg: cfg, rnd: rand.New(rand.NewSource(cfg.Seed + 1))}
+	switch cfg.Traffic {
+	case TrafficUniform:
+	case TrafficZipf, TrafficMixed:
+		// s>1 required by rand.Zipf; 1.2 gives the classic "few hot
+		// modules, long cold tail" shape of repeated CI submissions.
+		g.zipf = rand.NewZipf(g.rnd, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+	default:
+		return nil, fmt.Errorf("sim: unknown traffic shape %q", cfg.Traffic)
+	}
+	return g, nil
+}
+
+// spec is the sim-side payload of one job.
+type spec struct {
+	payload    uint64 // content seed: the job's deterministic "result"
+	submitUS   int64
+	dispatchUS int64 // first dispatch (starvation metric)
+	warm       bool  // last assignment hit the worker cache
+}
+
+// next mints job i. The returned interarrival gap (µs) separates it
+// from the next arrival.
+func (g *generator) next() (id, key, class string, payload uint64, gapUS int64) {
+	var idx uint64
+	switch g.cfg.Traffic {
+	case TrafficUniform:
+		idx = uint64(g.rnd.Intn(g.cfg.Keys))
+	default:
+		idx = g.zipf.Uint64()
+	}
+	class = server.ClassBatch
+	if g.cfg.Traffic == TrafficMixed && g.rnd.Float64() < g.cfg.InteractiveFrac {
+		class = server.ClassInteractive
+	}
+	id = fmt.Sprintf("j-%07d", g.n)
+	g.n++
+	key = fmt.Sprintf("key-%05d", idx)
+	payload = g.rnd.Uint64()
+	gap := g.rnd.ExpFloat64() / g.cfg.ArrivalRate // seconds
+	gapUS = int64(gap * 1e6)
+	if gapUS < 1 {
+		gapUS = 1
+	}
+	return id, key, class, payload, gapUS
+}

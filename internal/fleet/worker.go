@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"barracuda/internal/server"
+)
+
+// WorkerLink is the worker side of the fleet protocol: it registers an
+// otherwise-unmodified barracudad with a coordinator (-join) and keeps
+// it registered with periodic heartbeats carrying the scheduler's queue
+// depth and cache figures. If the coordinator forgets the node (its
+// restart, or a dead-declaration after missed beats), the next beat's
+// 404 triggers an automatic re-join. Job traffic itself arrives through
+// the daemon's normal /jobs API — the coordinator is just another
+// client with routing smarts.
+type WorkerLink struct {
+	coord    string // coordinator base URL
+	id       string
+	addr     string // this worker's advertised base URL
+	sched    *server.Scheduler
+	interval time.Duration
+	client   *http.Client
+	logf     func(format string, args ...any)
+
+	quit chan struct{}
+	done chan struct{}
+}
+
+// StartWorkerLink registers with the coordinator and starts the
+// heartbeat loop. Registration failures are retried from the loop, so
+// a worker can come up before its coordinator. logf may be nil
+// (defaults to log.Printf).
+func StartWorkerLink(coordURL, id, advertiseAddr string, sched *server.Scheduler, interval time.Duration, logf func(string, ...any)) *WorkerLink {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if logf == nil {
+		logf = log.Printf
+	}
+	l := &WorkerLink{
+		coord:    coordURL,
+		id:       id,
+		addr:     advertiseAddr,
+		sched:    sched,
+		interval: interval,
+		client:   &http.Client{Timeout: 10 * time.Second},
+		logf:     logf,
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go l.loop()
+	return l
+}
+
+// Close stops the loop and sends a best-effort leave so the coordinator
+// re-routes immediately instead of waiting out the dead timer.
+func (l *WorkerLink) Close() {
+	close(l.quit)
+	<-l.done
+	body, _ := json.Marshal(LeaveRequest{ID: l.id})
+	resp, err := l.client.Post(l.coord+"/fleet/leave", "application/json", bytes.NewReader(body))
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+func (l *WorkerLink) loop() {
+	defer close(l.done)
+	joined := l.join()
+	t := time.NewTicker(l.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.quit:
+			return
+		case <-t.C:
+			if !joined {
+				joined = l.join()
+				continue
+			}
+			joined = l.beat()
+		}
+	}
+}
+
+func (l *WorkerLink) join() bool {
+	body, _ := json.Marshal(JoinRequest{
+		ID: l.id, Addr: l.addr, Capacity: l.sched.Options().Workers,
+	})
+	resp, err := l.client.Post(l.coord+"/fleet/join", "application/json", bytes.NewReader(body))
+	if err != nil {
+		l.logf("fleet: join %s: %v (will retry)", l.coord, err)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		l.logf("fleet: join %s: %s (will retry)", l.coord, resp.Status)
+		return false
+	}
+	l.logf("fleet: joined coordinator %s as %s (%s)", l.coord, l.id, l.addr)
+	return true
+}
+
+// beat sends one heartbeat; false demotes the link to re-join mode.
+func (l *WorkerLink) beat() bool {
+	body, _ := json.Marshal(HeartbeatRequest{ID: l.id, Stats: l.sched.HeartbeatStats()})
+	resp, err := l.client.Post(l.coord+"/fleet/heartbeat", "application/json", bytes.NewReader(body))
+	if err != nil {
+		l.logf("fleet: heartbeat: %v", err)
+		return true // transient: keep beating, the dead timer is the judge
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		l.logf("fleet: coordinator forgot %s, re-joining", l.id)
+		return false
+	}
+	if resp.StatusCode/100 != 2 {
+		l.logf("fleet: heartbeat: %s", resp.Status)
+	}
+	return true
+}
+
+// DefaultNodeID derives a stable-enough worker identity from the
+// advertised address when the operator doesn't name one.
+func DefaultNodeID(advertiseAddr string) string {
+	return fmt.Sprintf("worker-%x", ringHash(advertiseAddr)&0xffffff)
+}

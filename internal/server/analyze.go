@@ -21,17 +21,21 @@ type AnalyzeRequest struct {
 }
 
 // Validate checks the payload shape; the server maps errors to 400.
+// Like JobRequest.Validate, every error names the offending JSON field.
 func (r *AnalyzeRequest) Validate() error {
 	switch {
 	case r.PTX == "" && r.Bench == "":
-		return fmt.Errorf("analyze: one of \"ptx\" or \"bench\" is required")
+		return fmt.Errorf("analyze: field \"ptx\"/\"bench\": exactly one must be set, got neither")
 	case r.PTX != "" && r.Bench != "":
-		return fmt.Errorf("analyze: \"ptx\" and \"bench\" are mutually exclusive")
+		return fmt.Errorf("analyze: field \"ptx\"/\"bench\": exactly one must be set, got both")
 	}
 	if r.Bench != "" && bench.ByName(r.Bench) == nil {
-		return fmt.Errorf("analyze: unknown benchmark %q", r.Bench)
+		return fmt.Errorf("analyze: field \"bench\": unknown benchmark %q", r.Bench)
 	}
-	return r.Config.Detector().Validate()
+	if err := r.Config.Detector().Validate(); err != nil {
+		return fmt.Errorf("analyze: field \"config\": %w", err)
+	}
+	return nil
 }
 
 // DiagnosticJSON is one lint finding with its PTX source position.

@@ -74,39 +74,63 @@ type JobRequest struct {
 	MaxInstrs uint64 `json:"max_instrs,omitempty"`
 	// WarpSize overrides the simulated warp width (0 = 32).
 	WarpSize int `json:"warp_size,omitempty"`
+	// Class is the scheduling class: "batch" (default) or
+	// "interactive". The fleet coordinator routes interactive jobs
+	// ahead of batch work; a standalone worker records it only.
+	Class string `json:"class,omitempty"`
 }
 
+// Job priority classes, used by the fleet coordinator. A plain worker
+// accepts and records the class but schedules FIFO; the coordinator
+// gives "interactive" submissions strict priority and a reserved slot
+// so they are never starved behind batch detection jobs.
+const (
+	ClassBatch       = "batch"
+	ClassInteractive = "interactive"
+)
+
 // Validate checks the payload shape; the server maps errors to 400.
+// Every error names the offending JSON field so clients (and the fleet
+// coordinator) can report precisely what to fix.
 func (r *JobRequest) Validate(maxBufferBytes int64) error {
 	switch {
 	case r.PTX == "" && r.Bench == "":
-		return fmt.Errorf("job: one of \"ptx\" or \"bench\" is required")
+		return fmt.Errorf("job: field \"ptx\"/\"bench\": exactly one must be set, got neither")
 	case r.PTX != "" && r.Bench != "":
-		return fmt.Errorf("job: \"ptx\" and \"bench\" are mutually exclusive")
+		return fmt.Errorf("job: field \"ptx\"/\"bench\": exactly one must be set, got both")
 	}
 	if r.Bench != "" && bench.ByName(r.Bench) == nil {
-		return fmt.Errorf("job: unknown benchmark %q", r.Bench)
+		return fmt.Errorf("job: field \"bench\": unknown benchmark %q", r.Bench)
 	}
-	if r.Grid < 0 || r.Block < 0 {
-		return fmt.Errorf("job: grid and block must be >= 0, got %d and %d", r.Grid, r.Block)
+	if r.Grid < 0 {
+		return fmt.Errorf("job: field \"grid\": must be >= 0, got %d", r.Grid)
+	}
+	if r.Block < 0 {
+		return fmt.Errorf("job: field \"block\": must be >= 0, got %d", r.Block)
 	}
 	if r.TimeoutMS < 0 {
-		return fmt.Errorf("job: timeout_ms must be >= 0, got %d", r.TimeoutMS)
+		return fmt.Errorf("job: field \"timeout_ms\": must be >= 0, got %d", r.TimeoutMS)
 	}
 	if r.WarpSize != 0 && (r.WarpSize < 2 || r.WarpSize > 32) {
-		return fmt.Errorf("job: warp_size must be 0 or in [2,32], got %d", r.WarpSize)
+		return fmt.Errorf("job: field \"warp_size\": must be 0 or in [2,32], got %d", r.WarpSize)
+	}
+	if r.Class != "" && r.Class != ClassBatch && r.Class != ClassInteractive {
+		return fmt.Errorf("job: field \"class\": must be %q or %q, got %q", ClassBatch, ClassInteractive, r.Class)
 	}
 	var total int64
 	for i, b := range r.Buffers {
 		if b < 0 {
-			return fmt.Errorf("job: buffers[%d] must be >= 0, got %d", i, b)
+			return fmt.Errorf("job: field \"buffers[%d]\": must be >= 0, got %d", i, b)
 		}
 		total += int64(b)
 	}
 	if maxBufferBytes > 0 && total > maxBufferBytes {
-		return fmt.Errorf("job: total buffer bytes %d exceed the server limit %d", total, maxBufferBytes)
+		return fmt.Errorf("job: field \"buffers\": total %d bytes exceeds the server limit %d", total, maxBufferBytes)
 	}
-	return r.Config.Detector().Validate()
+	if err := r.Config.Detector().Validate(); err != nil {
+		return fmt.Errorf("job: field \"config\": %w", err)
+	}
+	return nil
 }
 
 // Job lifecycle states.
@@ -171,9 +195,30 @@ type JobInfo struct {
 	Result      *JobResult `json:"result,omitempty"`
 }
 
-// ErrorJSON is the error envelope for non-2xx responses.
+// Stable machine-readable error codes carried by ErrorJSON. Clients —
+// in particular the fleet coordinator — branch on the code, not the
+// message: CodeQueueFull and CodeUnavailable are retryable (the same
+// request may succeed elsewhere or later), CodeInvalidArgument and
+// CodeNotFound are permanent.
+const (
+	CodeInvalidArgument = "invalid_argument" // 400: malformed or failing validation
+	CodeNotFound        = "not_found"        // 404: unknown job id
+	CodeQueueFull       = "queue_full"       // 429: bounded queue at capacity
+	CodeUnavailable     = "unavailable"      // 503: shutting down / transient
+)
+
+// RetryableCode reports whether a failed request with this error code
+// may succeed if retried on another node (or later on this one).
+func RetryableCode(code string) bool {
+	return code == CodeQueueFull || code == CodeUnavailable
+}
+
+// ErrorJSON is the error envelope for non-2xx responses. Code is one of
+// the Code* constants; Error is the human-readable detail naming the
+// offending field.
 type ErrorJSON struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 // resultJSON converts a detector result to the wire form.

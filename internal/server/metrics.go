@@ -79,6 +79,7 @@ type MetricsJSON struct {
 	Workers       int           `json:"workers"`
 	QueueDepth    int           `json:"queue_depth"`
 	QueueCapacity int           `json:"queue_capacity"`
+	InFlight      int           `json:"in_flight"`
 	Jobs          JobCounters   `json:"jobs"`
 	Cache         CacheStats    `json:"cache"`
 	DetectLatency HistogramJSON `json:"detect_latency"`

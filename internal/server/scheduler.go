@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"barracuda/internal/bench"
@@ -132,6 +133,8 @@ type Scheduler struct {
 	cache   *ModCache
 	metrics *Metrics
 
+	inflight atomic.Int64 // jobs currently held by a worker
+
 	queue chan *Job
 	quit  chan struct{}
 	wg    sync.WaitGroup
@@ -168,6 +171,39 @@ func (s *Scheduler) Cache() *ModCache { return s.cache }
 
 // QueueDepth is the number of queued-but-unstarted jobs.
 func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+
+// InFlight is the number of jobs currently held by workers.
+func (s *Scheduler) InFlight() int { return int(s.inflight.Load()) }
+
+// HeartbeatStats snapshots the load and cache figures a fleet worker
+// reports to its coordinator: queue pressure steers overflow routing,
+// cache hits/misses make warm-routing effectiveness observable.
+type HeartbeatStats struct {
+	QueueDepth  int   `json:"queue_depth"`
+	QueueCap    int   `json:"queue_cap"`
+	InFlight    int   `json:"in_flight"`
+	Workers     int   `json:"workers"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+}
+
+// HeartbeatStats builds the heartbeat payload.
+func (s *Scheduler) HeartbeatStats() HeartbeatStats {
+	cs := s.cache.Stats()
+	c := s.metrics.Counters()
+	return HeartbeatStats{
+		QueueDepth:  s.QueueDepth(),
+		QueueCap:    s.opts.QueueCap,
+		InFlight:    s.InFlight(),
+		Workers:     s.opts.Workers,
+		CacheHits:   cs.Hits,
+		CacheMisses: cs.Misses,
+		Completed:   c.Completed,
+		Failed:      c.Failed,
+	}
+}
 
 // Options returns the effective (defaulted) options.
 func (s *Scheduler) Options() SchedulerOptions { return s.opts }
@@ -305,6 +341,8 @@ func (s *Scheduler) worker() {
 // moves on while the child winds down against the step budget and
 // releases the lease when the simulator gives up.
 func (s *Scheduler) run(job *Job) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	job.mu.Lock()
 	job.status = StatusRunning
 	job.started = time.Now()

@@ -23,6 +23,11 @@ const maxBodyBytes = 16 << 20
 //	POST /v1/analyze    static analysis only → 200 AnalyzeResponse | 400
 //	GET  /healthz       liveness             → 200 {"status":"ok",...}
 //	GET  /metrics       counters             → 200 MetricsJSON
+//	GET  /v1/metrics    alias of /metrics (the versioned surface the
+//	                    fleet coordinator's heartbeats are built from)
+//
+// Non-2xx responses carry ErrorJSON with a stable machine-readable
+// code so the coordinator can tell retryable from permanent failures.
 type Server struct {
 	sched *Scheduler
 	mux   *http.ServeMux
@@ -42,6 +47,7 @@ func New(opts SchedulerOptions) *Server {
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s
 }
 
@@ -62,8 +68,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, ErrorJSON{Error: msg})
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorJSON{Error: msg, Code: code})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -71,16 +77,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "bad request body: "+err.Error())
 		return
 	}
 	job, err := s.sched.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull, err.Error())
 	case err != nil:
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
 	default:
 		writeJSON(w, http.StatusAccepted, job.Info())
 	}
@@ -91,12 +97,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "bad request body: "+err.Error())
 		return
 	}
 	res, err := s.sched.Analyze(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -114,7 +120,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.sched.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such job")
 		return
 	}
 	if ms, _ := strconv.Atoi(r.URL.Query().Get("wait_ms")); ms > 0 {
@@ -129,8 +135,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"uptime_ms": float64(time.Since(s.start).Microseconds()) / 1000,
+		"status":      "ok",
+		"uptime_ms":   float64(time.Since(s.start).Microseconds()) / 1000,
+		"queue_depth": s.sched.QueueDepth(),
 	})
 }
 
@@ -141,6 +148,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Workers:       s.sched.Options().Workers,
 		QueueDepth:    s.sched.QueueDepth(),
 		QueueCapacity: s.sched.Options().QueueCap,
+		InFlight:      s.sched.InFlight(),
 		Jobs:          m.Counters(),
 		Cache:         s.sched.Cache().Stats(),
 		DetectLatency: m.Latency.Snapshot(),
