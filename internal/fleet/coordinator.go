@@ -68,6 +68,12 @@ type Options struct {
 	// MaxAttempts bounds dispatches per job, counting the first
 	// (default 5). A job that exhausts its attempts fails permanently.
 	MaxAttempts int
+	// MaxJobs bounds the HTTP front-end's retained job history (default
+	// 4096, matching server.SchedulerOptions.MaxJobs): oldest terminal
+	// jobs past the cap are forgotten so a long-running coordinator does
+	// not grow without bound. The scheduling core itself drops jobs as
+	// soon as they finish and never retains history.
+	MaxJobs int
 	// SuspectAfter / DeadAfter are the heartbeat thresholds
 	// (defaults 5s / 15s).
 	SuspectAfter time.Duration
@@ -92,6 +98,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = 5
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 4096
 	}
 	if o.SuspectAfter <= 0 {
 		o.SuspectAfter = 5 * time.Second
@@ -222,8 +231,15 @@ func (c *Coordinator) Submit(job *Job, now time.Time) ([]Assignment, error) {
 
 // Complete marks an assignment finished. cacheHit is the worker's
 // report of whether the module session was warm (drives the WarmHits
-// routing-effectiveness counter).
-func (c *Coordinator) Complete(node, jobID string, cacheHit bool) []Assignment {
+// routing-effectiveness counter). live=false means the (node, jobID)
+// assignment is not an in-flight one the coordinator knows — the report
+// is stale (the node was evicted and the job already requeued) and the
+// driver must not treat it as the job's outcome.
+//
+// A job excludes every node it ever failed on or was evicted from, so
+// it can never be routed to the same node twice: presence in the
+// in-flight table uniquely identifies the job's live attempt.
+func (c *Coordinator) Complete(node, jobID string, cacheHit bool) (asgs []Assignment, live bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if m := c.inflight[node]; m != nil {
@@ -233,33 +249,53 @@ func (c *Coordinator) Complete(node, jobID string, cacheHit bool) []Assignment {
 			if cacheHit {
 				c.stats.WarmHits++
 			}
+			live = true
 		}
 	}
-	return c.dispatchLocked()
+	return c.dispatchLocked(), live
 }
+
+// FailOutcome classifies a Fail report.
+type FailOutcome int
+
+const (
+	// FailStale: the (node, jobID) pair is not a live assignment — the
+	// reported attempt was superseded (its node was declared dead and
+	// the job requeued, possibly already re-dispatched elsewhere). The
+	// driver must ignore the report: the live attempt owns the job.
+	FailStale FailOutcome = iota
+	// FailRequeued: the job went back to the front of its class queue
+	// with the failed node excluded, to retry on a ring successor.
+	FailRequeued
+	// FailTerminal: the job is permanently failed (non-retryable error
+	// or attempts exhausted) and the driver should surface the error.
+	FailTerminal
+)
 
 // Fail marks an assignment failed. Retryable failures (connection
 // errors, 429/503 per server.RetryableCode) exclude the node and
 // re-route to the next ring successor; permanent failures (400s) and
-// exhausted attempts drop the job. requeued=false means the job is
-// terminally failed and the driver should surface the error.
-func (c *Coordinator) Fail(node, jobID string, retryable bool) (asgs []Assignment, requeued bool) {
+// exhausted attempts drop the job. A report for an assignment the
+// coordinator no longer tracks — the node was evicted and the job
+// requeued in the meantime — returns FailStale and changes nothing (see
+// Complete for why presence in-flight identifies the live attempt).
+func (c *Coordinator) Fail(node, jobID string, retryable bool) (asgs []Assignment, outcome FailOutcome) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m := c.inflight[node]
 	job, ok := m[jobID]
 	if !ok {
-		return c.dispatchLocked(), false
+		return c.dispatchLocked(), FailStale
 	}
 	delete(m, jobID)
 	job.excluded[node] = struct{}{}
 	if !retryable || job.attempts >= c.opt.MaxAttempts {
 		c.stats.FailedPerm++
-		return c.dispatchLocked(), false
+		return c.dispatchLocked(), FailTerminal
 	}
 	c.stats.Retries++
 	c.enqueueLocked(job, true)
-	return c.dispatchLocked(), true
+	return c.dispatchLocked(), FailRequeued
 }
 
 // Nodes snapshots the registry.

@@ -57,7 +57,11 @@ func (f *fakeFleet) complete(id string) {
 		f.t.Fatalf("complete %s: not running", id)
 	}
 	delete(f.onjob, id)
-	f.record(f.c.Complete(node, id, false))
+	asgs, live := f.c.Complete(node, id, false)
+	if !live {
+		f.t.Fatalf("complete %s: coordinator says the assignment is stale", id)
+	}
+	f.record(asgs)
 }
 
 func TestSubmitNoNodes(t *testing.T) {
@@ -126,9 +130,9 @@ func TestRetryWithExclusionWalksRing(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		node := f.onjob["j"]
 		delete(f.onjob, "j")
-		asgs, requeued := f.c.Fail(node, "j", true)
-		if !requeued {
-			t.Fatalf("fail %d: not requeued", i+1)
+		asgs, outcome := f.c.Fail(node, "j", true)
+		if outcome != FailRequeued {
+			t.Fatalf("fail %d: outcome %v, want FailRequeued", i+1, outcome)
 		}
 		f.record(asgs)
 		next, ok := f.onjob["j"]
@@ -147,14 +151,14 @@ func TestRetryWithExclusionWalksRing(t *testing.T) {
 	// Fourth dispatch is attempt 4 = MaxAttempts; its failure is permanent.
 	node := f.onjob["j"]
 	delete(f.onjob, "j")
-	asgs, requeued := f.c.Fail(node, "j", true)
+	asgs, outcome := f.c.Fail(node, "j", true)
 	f.record(asgs)
-	if !requeued {
+	if outcome != FailRequeued {
 		t.Fatal("attempt 3 failure should still requeue (MaxAttempts=4)")
 	}
 	node = f.onjob["j"]
-	if _, requeued = f.c.Fail(node, "j", true); requeued {
-		t.Fatal("job requeued past MaxAttempts")
+	if _, outcome = f.c.Fail(node, "j", true); outcome != FailTerminal {
+		t.Fatalf("past MaxAttempts: outcome %v, want FailTerminal", outcome)
 	}
 	if st := f.c.Stats(); st.FailedPerm != 1 {
 		t.Fatalf("FailedPerm = %d, want 1", st.FailedPerm)
@@ -165,8 +169,8 @@ func TestPermanentFailureNotRetried(t *testing.T) {
 	f := newFakeFleet(t, Options{}, 2, 1)
 	f.submit("j", "k", server.ClassBatch)
 	node := f.onjob["j"]
-	if _, requeued := f.c.Fail(node, "j", false); requeued {
-		t.Fatal("non-retryable failure was requeued")
+	if _, outcome := f.c.Fail(node, "j", false); outcome != FailTerminal {
+		t.Fatalf("non-retryable failure: outcome %v, want FailTerminal", outcome)
 	}
 }
 
@@ -221,6 +225,60 @@ func TestTickEvictsDeadNodeAndRequeues(t *testing.T) {
 	}
 	if st := f.c.Stats(); st.Requeued != 1 {
 		t.Fatalf("Requeued = %d, want 1", st.Requeued)
+	}
+}
+
+// A failure report for an assignment the coordinator already evicted
+// and re-routed is stale, not terminal: the HTTP forwarder's poll can
+// outlive DeadAfter, so by the time the old forward errors out the job
+// may be running (or done) on another node. Treating that report as a
+// permanent failure would tell the client the job failed even though
+// the retry completes (the reviewer's zero-job-loss hole).
+func TestStaleFailureReportIgnored(t *testing.T) {
+	f := newFakeFleet(t, Options{SuspectAfter: 2 * time.Second, DeadAfter: 6 * time.Second}, 3, 2)
+	f.submit("j", "k", server.ClassBatch)
+	first := f.onjob["j"]
+
+	// Everyone but the job's node keeps beating; the job's node dies.
+	beat := func(at time.Time) {
+		for i := 0; i < 3; i++ {
+			id := fmt.Sprintf("node-%02d", i)
+			if id == first {
+				continue
+			}
+			_, asgs := f.c.Heartbeat(id, server.HeartbeatStats{}, at)
+			f.record(asgs)
+		}
+	}
+	beat(f.now.Add(7 * time.Second))
+	f.record(f.c.Tick(f.now.Add(7 * time.Second))) // first declared dead, job re-routed
+	second, ok := f.onjob["j"]
+	if !ok || second == first {
+		t.Fatalf("evicted job on %q (was %q), want re-dispatch elsewhere", second, first)
+	}
+
+	// The old forward finally reports its connection error.
+	asgs, outcome := f.c.Fail(first, "j", true)
+	f.record(asgs)
+	if outcome != FailStale {
+		t.Fatalf("stale failure report: outcome %v, want FailStale", outcome)
+	}
+	if f.c.InFlight() != 1 {
+		t.Fatalf("stale report perturbed the live attempt: %d in flight, want 1", f.c.InFlight())
+	}
+	if st := f.c.Stats(); st.FailedPerm != 0 {
+		t.Fatalf("stale report counted as permanent failure (FailedPerm=%d)", st.FailedPerm)
+	}
+
+	// Same for a stale completion: only the live assignment counts.
+	if _, live := f.c.Complete(first, "j", false); live {
+		t.Fatal("stale completion reported as live")
+	}
+	if _, live := f.c.Complete(second, "j", false); !live {
+		t.Fatal("live completion reported as stale")
+	}
+	if st := f.c.Stats(); st.Completed != 1 {
+		t.Fatalf("Completed = %d, want 1", st.Completed)
 	}
 }
 

@@ -80,10 +80,11 @@ type FleetMetricsJSON struct {
 // ones re-route to the next ring successor with the failed node
 // excluded.
 type HTTPCoordinator struct {
-	core   *Coordinator
-	mux    *http.ServeMux
-	client *http.Client
-	start  time.Time
+	core    *Coordinator
+	mux     *http.ServeMux
+	client  *http.Client
+	start   time.Time
+	maxJobs int
 
 	mu     sync.Mutex
 	jobs   map[string]*proxyJob
@@ -95,11 +96,11 @@ type HTTPCoordinator struct {
 }
 
 type proxyJob struct {
-	id      string
-	fj      *Job
-	reqCopy server.JobRequest // the original submission, re-sent on each forward
+	id string
+	fj *Job
 
 	mu      sync.Mutex
+	reqCopy server.JobRequest // the original submission, re-sent on each forward; dropped once terminal
 	status  string
 	node    string
 	errMsg  string
@@ -126,21 +127,31 @@ func (p *proxyJob) finish(status, errMsg, errCode string, worker *server.JobInfo
 		p.errMsg = errMsg
 		p.errCode = errCode
 		p.worker = worker
+		// Terminal jobs are never forwarded again: free the retained
+		// request (it carries the full PTX source).
+		p.reqCopy = server.JobRequest{}
 		close(p.done)
 	}
 	p.mu.Unlock()
+}
+
+func (p *proxyJob) terminal() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.status == server.StatusDone || p.status == server.StatusFailed
 }
 
 // NewHTTPCoordinator builds the front-end and starts its health ticker.
 func NewHTTPCoordinator(opt Options) *HTTPCoordinator {
 	opt = opt.withDefaults()
 	h := &HTTPCoordinator{
-		core:   NewCoordinator(opt),
-		mux:    http.NewServeMux(),
-		client: &http.Client{Timeout: 30 * time.Second},
-		start:  time.Now(),
-		jobs:   make(map[string]*proxyJob),
-		quit:   make(chan struct{}),
+		core:    NewCoordinator(opt),
+		mux:     http.NewServeMux(),
+		client:  &http.Client{Timeout: 30 * time.Second},
+		start:   time.Now(),
+		maxJobs: opt.MaxJobs,
+		jobs:    make(map[string]*proxyJob),
+		quit:    make(chan struct{}),
 	}
 	h.mux.HandleFunc("POST /fleet/join", h.handleJoin)
 	h.mux.HandleFunc("POST /fleet/heartbeat", h.handleHeartbeat)
@@ -238,27 +249,40 @@ func (h *HTTPCoordinator) forward(a Assignment) {
 		}
 		switch info.Status {
 		case server.StatusDone:
-			h.perform(h.core.Complete(a.Node, a.Job.ID, info.CacheHit))
-			pj.finish(server.StatusDone, "", "", &info)
+			asgs, live := h.core.Complete(a.Node, a.Job.ID, info.CacheHit)
+			if live {
+				pj.finish(server.StatusDone, "", "", &info)
+			}
+			h.perform(asgs)
 			return
 		case server.StatusFailed, server.StatusTimeout:
 			// The job itself failed on a healthy worker — a property of
 			// the job, not the node. Free the slot without re-routing.
-			h.perform(h.core.Complete(a.Node, a.Job.ID, info.CacheHit))
-			pj.finish(server.StatusFailed, info.Error, "", &info)
+			asgs, live := h.core.Complete(a.Node, a.Job.ID, info.CacheHit)
+			if live {
+				pj.finish(server.StatusFailed, info.Error, "", &info)
+			}
+			h.perform(asgs)
 			return
 		}
 	}
 }
 
 func (h *HTTPCoordinator) failAssignment(a Assignment, pj *proxyJob, retryable bool, msg, code string) {
-	asgs, requeued := h.core.Fail(a.Node, a.Job.ID, retryable)
-	if !requeued {
+	asgs, outcome := h.core.Fail(a.Node, a.Job.ID, retryable)
+	switch outcome {
+	case FailStale:
+		// This attempt was superseded: the node was declared dead while
+		// the forward was stuck (a poll can outlive DeadAfter) and the
+		// job already requeued. The live attempt owns pj — touching it
+		// here would fail a job that is still running, or even done,
+		// elsewhere.
+	case FailTerminal:
 		if code == "" {
 			code = server.CodeUnavailable
 		}
 		pj.finish(server.StatusFailed, msg, code, nil)
-	} else {
+	case FailRequeued:
 		pj.mu.Lock()
 		pj.status = server.StatusQueued
 		pj.node = ""
@@ -269,6 +293,8 @@ func (h *HTTPCoordinator) failAssignment(a Assignment, pj *proxyJob, retryable b
 
 // fjRequest returns the original JobRequest for forwarding.
 func (p *proxyJob) fjRequest() server.JobRequest {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return p.reqCopy
 }
 
@@ -418,28 +444,56 @@ func (h *HTTPCoordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	pj.fj = fj
 	h.jobs[id] = pj
 	h.order = append(h.order, id)
+	h.trimJobsLocked()
 	h.mu.Unlock()
 
 	asgs, err := h.core.Submit(fj, time.Now())
 	if errors.Is(err, ErrNoNodes) {
-		h.mu.Lock()
-		delete(h.jobs, id)
-		h.order = h.order[:len(h.order)-1]
-		h.mu.Unlock()
+		h.dropJob(id)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, server.CodeUnavailable, err.Error())
 		return
 	}
 	if err != nil {
-		h.mu.Lock()
-		delete(h.jobs, id)
-		h.order = h.order[:len(h.order)-1]
-		h.mu.Unlock()
+		h.dropJob(id)
 		writeError(w, http.StatusBadRequest, server.CodeInvalidArgument, err.Error())
 		return
 	}
 	h.perform(asgs)
 	writeJSON(w, http.StatusAccepted, pj.info())
+}
+
+// dropJob rolls a failed submission back out of the job table. It must
+// remove the specific id — a concurrent submit may have appended to
+// h.order since we released h.mu, so truncating the tail would orphan
+// the other request's job.
+func (h *HTTPCoordinator) dropJob(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.jobs, id)
+	for i := len(h.order) - 1; i >= 0; i-- {
+		if h.order[i] == id {
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// trimJobsLocked forgets the oldest terminal jobs past the retention
+// cap, mirroring server.Scheduler's bounded job history so a
+// long-running coordinator does not accumulate every job (and its PTX
+// payload) forever.
+func (h *HTTPCoordinator) trimJobsLocked() {
+	for len(h.order) > h.maxJobs {
+		id := h.order[0]
+		if pj, ok := h.jobs[id]; ok {
+			if !pj.terminal() {
+				return // oldest still live: keep history until it finishes
+			}
+			delete(h.jobs, id)
+		}
+		h.order = h.order[1:]
+	}
 }
 
 func (h *HTTPCoordinator) handleList(w http.ResponseWriter, r *http.Request) {

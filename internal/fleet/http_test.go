@@ -351,6 +351,128 @@ func TestFleetControlEndpoints(t *testing.T) {
 	}
 }
 
+// Regression for the stale-forward hole: a worker hang can outlive
+// DeadAfter, so the coordinator evicts the node and re-dispatches the
+// job while the old forward is still stuck in its poll. When that
+// forward finally errors, failAssignment must recognize the report as
+// stale and leave the proxy job alone — finishing it as failed would
+// tell the client the job failed even though the retry completes.
+func TestStaleFailAssignmentDoesNotFinishJob(t *testing.T) {
+	// Huge heartbeat thresholds so the background ticker never evicts.
+	h := NewHTTPCoordinator(Options{SuspectAfter: time.Hour, DeadAfter: 2 * time.Hour})
+	t.Cleanup(h.Close)
+	now := time.Now()
+	h.Core().Join("node-a", "http://invalid.test", 1, now)
+	h.Core().Join("node-b", "http://invalid.test", 1, now)
+
+	pj := &proxyJob{id: "fjob-x", status: server.StatusQueued, done: make(chan struct{})}
+	fj := &Job{ID: "fjob-x", Key: "k", Class: server.ClassBatch, Payload: pj}
+	pj.fj = fj
+	asgs, err := h.Core().Submit(fj, now)
+	if err != nil || len(asgs) != 1 {
+		t.Fatalf("submit: asgs=%v err=%v", asgs, err)
+	}
+	stale := asgs[0]
+
+	// The assigned node dies while the (never-started) forward would be
+	// hanging; the job re-routes to the survivor.
+	moved := h.Core().Leave(stale.Node)
+	if len(moved) != 1 || moved[0].Node == stale.Node {
+		t.Fatalf("eviction re-dispatch = %v, want 1 assignment on the other node", moved)
+	}
+
+	// The stuck forward finally reports its poll error.
+	h.failAssignment(stale, pj, true, "poll "+stale.Node+": timeout", server.CodeUnavailable)
+
+	select {
+	case <-pj.done:
+		t.Fatalf("stale failure report finished the job: %+v", pj.info())
+	default:
+	}
+	if pj.terminal() {
+		t.Fatalf("job terminal after stale report: %+v", pj.info())
+	}
+	if h.Core().InFlight() != 1 {
+		t.Fatalf("in flight = %d, want 1 (live attempt untouched)", h.Core().InFlight())
+	}
+}
+
+// Rolling back a failed submission must remove that submission's id,
+// not whatever happens to be last in the listing order (a concurrent
+// submit may have appended since the lock was released).
+func TestSubmitRollbackRemovesCorrectJob(t *testing.T) {
+	h := NewHTTPCoordinator(Options{})
+	t.Cleanup(h.Close)
+	for _, id := range []string{"fjob-1", "fjob-2"} {
+		pj := &proxyJob{id: id, status: server.StatusQueued, done: make(chan struct{})}
+		pj.fj = &Job{ID: id, Payload: pj}
+		h.mu.Lock()
+		h.jobs[id] = pj
+		h.order = append(h.order, id)
+		h.mu.Unlock()
+	}
+	h.dropJob("fjob-1") // fjob-2 appended after fjob-1's submit failed
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.order) != 1 || h.order[0] != "fjob-2" {
+		t.Fatalf("order = %v, want [fjob-2]", h.order)
+	}
+	if _, ok := h.jobs["fjob-2"]; !ok {
+		t.Fatal("rollback dropped the concurrent submission's job")
+	}
+	if _, ok := h.jobs["fjob-1"]; ok {
+		t.Fatal("rolled-back job still in the table")
+	}
+}
+
+// The coordinator's job history is bounded like server.Scheduler's:
+// oldest terminal jobs are forgotten past MaxJobs, live jobs are never
+// dropped, and a terminal job releases its retained request payload.
+func TestJobHistoryBounded(t *testing.T) {
+	h := NewHTTPCoordinator(Options{MaxJobs: 2})
+	t.Cleanup(h.Close)
+	add := func(id string, terminal bool) *proxyJob {
+		pj := &proxyJob{id: id, status: server.StatusQueued, done: make(chan struct{}), reqCopy: racyJob()}
+		pj.fj = &Job{ID: id, Payload: pj}
+		if terminal {
+			pj.finish(server.StatusDone, "", "", nil)
+		}
+		h.mu.Lock()
+		h.jobs[id] = pj
+		h.order = append(h.order, id)
+		h.trimJobsLocked()
+		h.mu.Unlock()
+		return pj
+	}
+
+	done := add("fjob-1", true)
+	if got := done.fjRequest(); got.PTX != "" {
+		t.Fatal("terminal job still retains its PTX payload")
+	}
+	add("fjob-2", true)
+	add("fjob-3", true)
+	h.mu.Lock()
+	if len(h.order) != 2 || h.order[0] != "fjob-2" {
+		h.mu.Unlock()
+		t.Fatalf("order = %v, want oldest terminal job evicted", h.order)
+	}
+	_, gone := h.jobs["fjob-1"]
+	h.mu.Unlock()
+	if gone {
+		t.Fatal("evicted job still in the table")
+	}
+
+	// A live job pins the history even past the cap.
+	add("fjob-4", false)
+	add("fjob-5", true)
+	add("fjob-6", true)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.order) != 3 || h.order[0] != "fjob-4" {
+		t.Fatalf("order = %v, want live fjob-4 retained with everything after it", h.order)
+	}
+}
+
 // An unknown node's heartbeat gets 404 + not_found so the worker knows
 // to re-join rather than retry forever.
 func TestFleetHeartbeatUnknownNode(t *testing.T) {

@@ -562,16 +562,20 @@ func (s *sim) finish(e *event) {
 	// which node ran it or how often it was retried. That is what makes
 	// the aggregate report digest routing-invariant.
 	s.reports[e.job] = jobReport(job.Key, sp.payload)
-	s.perform(s.coord.Complete(e.node, e.job, sp.warm))
+	asgs, _ := s.coord.Complete(e.node, e.job, sp.warm)
+	s.perform(asgs)
 }
 
 func (s *sim) connFail(e *event) {
 	s.digest.addf("F|%d|%s|%s", s.nowUS, e.job, e.node)
-	asgs, requeued := s.coord.Fail(e.node, e.job, true)
-	if !requeued {
+	asgs, outcome := s.coord.Fail(e.node, e.job, true)
+	if outcome == fleet.FailTerminal {
 		s.lostPerm++
 		s.digest.addf("P|%d|%s", s.nowUS, e.job)
 	}
+	// FailStale: the coordinator already evicted this node and requeued
+	// the job before the connection failure surfaced — the live attempt
+	// carries it, nothing was lost.
 	s.perform(asgs)
 }
 
