@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-sim bench-scaling bench-detect bench-fleet fleet-sim stress-multiqueue serve ci fmt-check vet-smoke
+.PHONY: all build vet test race bench bench-sim bench-scaling bench-detect bench-fleet bench-repair fleet-sim stress-multiqueue serve ci fmt-check vet-smoke vet-fix-smoke
 
 all: build vet test
 
@@ -25,6 +25,40 @@ vet-smoke: build
 		echo "seeded barrier-divergence bug was not flagged"; rm -f vet-smoke.out; exit 1; fi
 	@grep -q barrier-divergence vet-smoke.out || { echo "wrong diagnostic:"; cat vet-smoke.out; rm -f vet-smoke.out; exit 1; }
 	@rm -f vet-smoke.out
+
+# Verified repair synthesis over the example corpus: every fixable
+# kernel must end race-free with at least one verified patch, and the
+# synthesizer must propose nothing for the two unrepairable kernels.
+FIXABLE := $(wildcard examples/vet/fixable_*.ptx)
+UNFIXABLE := $(wildcard examples/vet/unfixable_*.ptx)
+vet-fix-smoke: build
+	@$(GO) run ./cmd/barracuda vet -fix $(FIXABLE) > vet-fix.out 2>&1 || true
+	@for f in $(FIXABLE); do \
+		line="$$(grep "^$$f: kernel .*baseline_races=" vet-fix.out)"; \
+		case "$$line" in \
+		*" verified=0 "*|*"baseline_races=0 "*) \
+			echo "$$f: repair failed: $$line"; cat vet-fix.out; rm -f vet-fix.out; exit 1;; \
+		*"final_races=0") ;; \
+		*) echo "$$f: patched module still races: $$line"; cat vet-fix.out; rm -f vet-fix.out; exit 1;; \
+		esac; \
+	done
+	@rm -f vet-fix.out
+	@$(GO) run ./cmd/barracuda vet -fix $(UNFIXABLE) > vet-fix.out 2>&1 || true
+	@for f in $(UNFIXABLE); do \
+		line="$$(grep "^$$f: kernel .*baseline_races=" vet-fix.out)"; \
+		case "$$line" in \
+		*" proposals=0 verified=0 "*) ;; \
+		*) echo "$$f: expected an honest decline: $$line"; cat vet-fix.out; rm -f vet-fix.out; exit 1;; \
+		esac; \
+	done
+	@rm -f vet-fix.out
+	@echo "vet-fix-smoke: $(words $(FIXABLE)) fixable repaired, $(words $(UNFIXABLE)) unrepairable declined"
+
+# Verified-repair throughput artifact (BENCH_repair.json): repairs/sec
+# cold (full synthesis + dynamic verification per distinct module) vs
+# warm (memoized on the module-cache entry), gated on a 2x warm speedup.
+bench-repair:
+	$(GO) run ./cmd/benchtab -repair -jobs 16 -min-speedup 2.0 -o BENCH_repair.json
 
 # Tier-1 verification: the full suite, plus the same suite under the Go
 # race detector (the transport and server are concurrency-heavy).
@@ -88,4 +122,4 @@ stress-multiqueue:
 serve:
 	$(GO) run ./cmd/barracudad -addr :8321
 
-ci: build vet fmt-check test race vet-smoke stress-multiqueue fleet-sim
+ci: build vet fmt-check test race vet-smoke vet-fix-smoke stress-multiqueue fleet-sim

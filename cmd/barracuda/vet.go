@@ -20,12 +20,18 @@ import (
 func vetMain(argv []string) int {
 	fs := flag.NewFlagSet("vet", flag.ExitOnError)
 	var (
-		jsonOut = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		jsonOut = fs.Bool("json", false, "emit diagnostics (and -fix repair reports) as JSON")
 		strict  = fs.Bool("strict", false, "treat warnings as errors for the exit status")
 		stats   = fs.Bool("stats", false, "also print per-kernel instrumentation-pruning statistics")
+		fix     = fs.Bool("fix", false, "synthesize patches for race candidates and verify each by dynamic re-detection")
+		write   = fs.Bool("write", false, "with -fix: write each verified fix to <file>.<kernel>.fixed.ptx")
+		grid    = fs.Int("grid", 2, "with -fix: verification launch grid (blocks)")
+		block   = fs.Int("block", 64, "with -fix: verification launch block (threads)")
+		bufB    = fs.Int("bufbytes", 4096, "with -fix: bytes per zeroed global buffer (one per kernel param)")
+		maxCand = fs.Int("max-candidates", 8, "with -fix: race candidates to evaluate per kernel")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: barracuda vet [-json] [-strict] [-stats] file.ptx...")
+		fmt.Fprintln(os.Stderr, "usage: barracuda vet [-json] [-strict] [-stats] [-fix [-write] [-grid N] [-block N] [-bufbytes N] [-max-candidates N]] file.ptx...")
 		fs.PrintDefaults()
 	}
 	fs.Parse(argv)
@@ -44,6 +50,7 @@ func vetMain(argv []string) int {
 		Message  string `json:"message"`
 	}
 	var all []fileDiag
+	var allRepairs []fileRepair
 	exit := 0
 	for _, path := range fs.Args() {
 		src, err := os.ReadFile(path)
@@ -73,6 +80,22 @@ func vetMain(argv []string) int {
 		if *stats {
 			printVetStats(path, m)
 		}
+		if *fix {
+			repairs, err := runVetFix(path, m, vetFixOptions{
+				grid: *grid, block: *block, bufBytes: *bufB, maxCandidates: *maxCand,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "barracuda vet: fix: %v\n", err)
+				return 2
+			}
+			allRepairs = append(allRepairs, repairs...)
+			if *write {
+				if err := writePatchedModule(path, repairs); err != nil {
+					fmt.Fprintf(os.Stderr, "barracuda vet: fix: %v\n", err)
+					return 2
+				}
+			}
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -80,12 +103,24 @@ func vetMain(argv []string) int {
 		if all == nil {
 			all = []fileDiag{}
 		}
-		enc.Encode(all)
+		// Plain vet keeps the documented flat-array schema; -fix wraps
+		// diagnostics and repair reports in one object.
+		if *fix {
+			if allRepairs == nil {
+				allRepairs = []fileRepair{}
+			}
+			enc.Encode(map[string]any{"diagnostics": all, "repairs": allRepairs})
+		} else {
+			enc.Encode(all)
+		}
 		return exit
 	}
 	for _, d := range all {
 		fmt.Printf("%s:%d:%d: %s: [%s] %s (kernel %s)\n",
 			d.File, d.Line, d.Col, d.Severity, d.Code, d.Message, d.Kernel)
+	}
+	for _, r := range allRepairs {
+		printVetFix(r)
 	}
 	return exit
 }

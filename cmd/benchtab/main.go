@@ -32,6 +32,12 @@
 // jobs/sec on the virtual clock), and writes BENCH_fleet.json. The run
 // fails if ring routing does not beat random on hit rate at N=4, if any
 // job is lost, or if replaying a scenario changes its schedule digest.
+//
+// With -repair it benchmarks verified repair synthesis through the
+// scheduler's /v1/repair path — repairs/sec with every request a
+// distinct module (full synthesis plus dynamic verification) vs the
+// same request replayed from the per-entry memo — gated on the warm
+// speedup factor, and writes BENCH_repair.json.
 package main
 
 import (
@@ -58,9 +64,10 @@ func main() {
 		simB     = flag.Bool("sim", false, "benchmark the warp-vectorized interpreter against the lane-major baseline instead")
 		detectB  = flag.Bool("detect", false, "benchmark the coalesced-span shadow fast path against the per-cell baseline instead")
 		fleetB   = flag.Bool("fleet", false, "benchmark fleet warm routing against random placement in the cluster simulator instead")
-		minSpeed = flag.Float64("min-speedup", 0, "with -sim or -detect: fail unless the speedup reaches this factor")
+		repairB  = flag.Bool("repair", false, "benchmark verified repair synthesis (cold vs memoized warm) instead")
+		minSpeed = flag.Float64("min-speedup", 0, "with -sim, -detect or -repair: fail unless the speedup reaches this factor")
 		minGain  = flag.Float64("min-hit-gain", 0, "with -fleet: fail unless ring/random hit-rate gain at N=4 reaches this factor")
-		jobs     = flag.Int("jobs", 32, "jobs per phase for -server")
+		jobs     = flag.Int("jobs", 32, "jobs per phase for -server and -repair")
 		workers  = flag.Int("workers", 4, "detection workers for -server")
 		out      = flag.String("o", "", "output artifact path (default BENCH_server.json / BENCH_static.json / BENCH_scaling.json)")
 	)
@@ -120,6 +127,18 @@ func main() {
 			path = "BENCH_fleet.json"
 		}
 		if err := runFleetBench(path, *minGain); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *repairB {
+		runtime.GOMAXPROCS(runtime.NumCPU())
+		path := *out
+		if path == "" {
+			path = "BENCH_repair.json"
+		}
+		if err := runRepairBench(*jobs, *minSpeed, path); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}

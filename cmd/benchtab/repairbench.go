@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"barracuda/internal/server"
+)
+
+// repairKernel is the workload for the repair benchmark: the canonical
+// lost-update counter, whose repair loop runs a baseline launch, patch
+// verification launches, and a composition launch — the full cost the
+// module-cache memo removes on a warm repeat.
+const repairKernel = `.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<6>;
+	.reg .u64 %rd<4>;
+	ld.param.u64 %rd1, [out];
+	ld.global.u32 %r2, [%rd1];
+	add.u32 %r3, %r2, 1;
+	st.global.u32 [%rd1], %r3;
+	ret;
+}`
+
+// RepairBench is the BENCH_repair.json schema.
+type RepairBench struct {
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	Repairs           int     `json:"repairs_per_phase"`
+	ColdRepairsPerSec float64 `json:"cold_repairs_per_sec"` // distinct modules: full synthesis + verification
+	WarmRepairsPerSec float64 `json:"warm_repairs_per_sec"` // same request: memo lookup on the cache entry
+	WarmSpeedup       float64 `json:"warm_speedup"`
+	PatchRunsPerCold  int     `json:"patch_runs_per_cold"` // dynamic launches one cold repair performs
+	VerifiedPerCold   int     `json:"verified_per_cold"`
+	MinSpeedup        float64 `json:"min_speedup"` // gate: warm must reach this factor over cold
+}
+
+// runRepairBench drives the verified-repair loop through the scheduler's
+// /v1/repair path, cold (every request a distinct module) vs warm (the
+// same request replayed from the per-entry memo), and writes the
+// artifact. The run fails when a repair does not verify or the warm
+// speedup misses the gate.
+func runRepairBench(repairs int, minSpeedup float64, outPath string) error {
+	srv := server.New(server.SchedulerOptions{
+		Workers: runtime.GOMAXPROCS(0),
+		// Cold must never hit: keep every distinct module resident so
+		// eviction noise cannot leak into the warm phase either.
+		CacheEntries: repairs + 1,
+	})
+	defer srv.Close()
+	sched := srv.Scheduler()
+
+	repairOne := func(src string) (*server.RepairResponse, error) {
+		res, err := sched.Repair(server.RepairRequest{PTX: src})
+		if err != nil {
+			return nil, err
+		}
+		rep := res.Report
+		if rep.Verified == 0 || rep.FinalRaces != 0 {
+			return nil, fmt.Errorf("repair did not verify: verified=%d final=%d", rep.Verified, rep.FinalRaces)
+		}
+		return res, nil
+	}
+
+	// Cold: every repair is a distinct module — parse, instrument,
+	// baseline, patch verification, composition, from scratch.
+	start := time.Now()
+	patchRuns, verified := 0, 0
+	for i := 0; i < repairs; i++ {
+		res, err := repairOne(fmt.Sprintf("// cold variant %d\n%s", i, repairKernel))
+		if err != nil {
+			return fmt.Errorf("cold repair %d: %w", i, err)
+		}
+		if res.CacheHit {
+			return fmt.Errorf("cold repair %d hit the cache", i)
+		}
+		patchRuns, verified = res.Report.PatchRuns, res.Report.Verified
+	}
+	cold := time.Since(start)
+
+	// Warm: prime once, then every repeat is a pure memo lookup.
+	if _, err := repairOne(repairKernel); err != nil {
+		return fmt.Errorf("warm prime: %w", err)
+	}
+	start = time.Now()
+	for i := 0; i < repairs; i++ {
+		res, err := repairOne(repairKernel)
+		if err != nil {
+			return fmt.Errorf("warm repair %d: %w", i, err)
+		}
+		if !res.CacheHit {
+			return fmt.Errorf("warm repair %d missed the memo", i)
+		}
+	}
+	warm := time.Since(start)
+
+	res := RepairBench{
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Repairs:           repairs,
+		ColdRepairsPerSec: float64(repairs) / cold.Seconds(),
+		WarmRepairsPerSec: float64(repairs) / warm.Seconds(),
+		PatchRunsPerCold:  patchRuns,
+		VerifiedPerCold:   verified,
+		MinSpeedup:        minSpeedup,
+	}
+	if res.ColdRepairsPerSec > 0 {
+		res.WarmSpeedup = res.WarmRepairsPerSec / res.ColdRepairsPerSec
+	}
+	data, _ := json.MarshalIndent(res, "", "  ")
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("repair bench: cold %.1f repairs/s (%d launches each), warm %.1f repairs/s (%.2fx) → %s\n",
+		res.ColdRepairsPerSec, res.PatchRunsPerCold, res.WarmRepairsPerSec, res.WarmSpeedup, outPath)
+	if minSpeedup > 0 && res.WarmSpeedup < minSpeedup {
+		return fmt.Errorf("warm speedup %.2fx below the %.2fx gate", res.WarmSpeedup, minSpeedup)
+	}
+	return nil
+}

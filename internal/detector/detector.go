@@ -216,6 +216,9 @@ func consumeQueue(det *core.Detector, q *logging.Queue, wg *sync.WaitGroup) {
 	}
 }
 
+// Config returns the session's effective (defaulted) configuration.
+func (s *Session) Config() Config { return s.cfg }
+
 // ErrClosed is returned by Detect/RunNative after Close.
 var ErrClosed = fmt.Errorf("detector: session closed")
 

@@ -430,6 +430,11 @@ func (h *HTTPCoordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, server.CodeInvalidArgument, err.Error())
 		return
 	}
+	// Repair jobs run many verification launches: always batch-class,
+	// so one cannot occupy the interactive fast path.
+	if req.Kind == server.KindRepair {
+		req.Class = server.ClassBatch
+	}
 	src := req.PTX
 	if req.Bench != "" {
 		src = bench.ByName(req.Bench).PTX()

@@ -1,0 +1,229 @@
+package kernel
+
+import (
+	"testing"
+
+	"barracuda/internal/ptx"
+)
+
+// Degenerate and irreducible CFG shapes that the barrier-interval and
+// repair analyses lean on: self-loops, unreachable back-edges, blocks
+// reduced to a single terminator, and reconvergence queries on all of
+// them. None of these may crash or return out-of-range answers.
+
+// TestSelfLoop: `L: @%p bra L` — a one-block loop whose only in-region
+// successor is itself. The exit path must still post-dominate it.
+func TestSelfLoop(t *testing.T) {
+	c := build(t, `.visible .entry k() {
+	.reg .u32 %r<4>;
+	.reg .pred %p<2>;
+	mov.u32 %r1, %tid.x;
+L:
+	add.u32 %r1, %r1, 1;
+	setp.lt.u32 %p1, %r1, 64;
+	@%p1 bra L;
+	ret;
+}`)
+	var loop int = -1
+	for bi, b := range c.Blocks {
+		for _, s := range b.Succs {
+			if s == bi {
+				loop = bi
+			}
+		}
+	}
+	if loop < 0 {
+		t.Fatal("no self-loop block found")
+	}
+	if !c.Dominates(loop, loop) {
+		t.Error("a block must dominate itself")
+	}
+	// The loop's reconvergence point is the fall-through ret block.
+	branch := c.Blocks[loop].End - 1
+	r := c.ReconvergencePC(branch)
+	if r <= branch || r > len(c.Instrs) {
+		t.Errorf("ReconvergencePC(%d) = %d, want the post-loop position", branch, r)
+	}
+	if len(c.UnreachableBlocks()) != 0 {
+		t.Errorf("unreachable = %v, want none", c.UnreachableBlocks())
+	}
+}
+
+// TestPureSelfLoop: `L: bra L;` never reaches the exit. The virtual
+// exit is unreachable in the reverse graph from the loop, so its IPDom
+// must degrade gracefully (reconvergence clamps to the end) and the
+// trailing ret must be reported unreachable.
+func TestPureSelfLoop(t *testing.T) {
+	c := build(t, `.visible .entry k() {
+	.reg .u32 %r<4>;
+	mov.u32 %r1, 0;
+L:
+	bra.uni L;
+	ret;
+}`)
+	dead := c.UnreachableBlocks()
+	if len(dead) != 1 {
+		t.Fatalf("unreachable = %v, want the trailing ret block", dead)
+	}
+	// Reconvergence of the loop branch must not panic and must stay in
+	// range even though no path reaches the exit.
+	for i, in := range c.Instrs {
+		if in.Op == ptx.OpBra {
+			if r := c.ReconvergencePC(i); r < 0 || r > len(c.Instrs) {
+				t.Errorf("ReconvergencePC(%d) = %d out of range", i, r)
+			}
+		}
+	}
+}
+
+// TestUnreachableBackEdge: a back-edge that only dead code takes. The
+// loop header is reachable, the latch is not; dominators must ignore
+// the dead predecessor and the latch must have Dom == -1.
+func TestUnreachableBackEdge(t *testing.T) {
+	c := build(t, `.visible .entry k() {
+	.reg .u32 %r<8>;
+	.reg .pred %p<2>;
+	mov.u32 %r1, 0;
+HEAD:
+	add.u32 %r1, %r1, 1;
+	bra.uni DONE;
+	setp.lt.u32 %p1, %r1, 4;
+	@%p1 bra HEAD;
+DONE:
+	ret;
+}`)
+	dead := c.UnreachableBlocks()
+	if len(dead) != 1 {
+		t.Fatalf("unreachable = %v, want exactly the dead latch", dead)
+	}
+	latch := dead[0]
+	if c.Dom[latch] != -1 {
+		t.Errorf("Dom[latch] = %d, want -1", c.Dom[latch])
+	}
+	// HEAD is reached only via fall-through plus the dead back edge; its
+	// immediate dominator must be the entry block, unpolluted by the
+	// unreachable predecessor.
+	// The latch has two successors: the back-edge target HEAD (an earlier
+	// block) and its fall-through DONE. Pick the back edge.
+	head := -1
+	for bi, b := range c.Blocks {
+		if bi >= latch {
+			continue
+		}
+		for _, p := range b.Preds {
+			if p == latch {
+				head = bi
+			}
+		}
+	}
+	if head < 0 {
+		t.Fatal("latch has no successor back into the loop")
+	}
+	if c.Dom[head] != 0 {
+		t.Errorf("Dom[HEAD] = %d, want 0", c.Dom[head])
+	}
+	if c.Dominates(latch, head) {
+		t.Error("a dead latch must not dominate the reachable header")
+	}
+}
+
+// TestSingleInstructionKernel: the minimal kernel (one ret) must build,
+// dominate itself, and answer reconvergence at the end of the stream.
+func TestSingleInstructionKernel(t *testing.T) {
+	c := build(t, `.visible .entry k() {
+	ret;
+}`)
+	if len(c.Blocks) != 1 || len(c.Instrs) != 1 {
+		t.Fatalf("blocks=%d instrs=%d, want 1/1", len(c.Blocks), len(c.Instrs))
+	}
+	if !c.Dominates(0, 0) {
+		t.Error("entry must dominate itself")
+	}
+	if c.Dom[0] != 0 {
+		t.Errorf("Dom[entry] = %d, want itself", c.Dom[0])
+	}
+	if got := c.UnreachableBlocks(); len(got) != 0 {
+		t.Errorf("unreachable = %v, want none", got)
+	}
+}
+
+// TestIrreducibleReconvergence: reconvergence queries inside an
+// irreducible region (two blocks branching into each other from
+// separate entry edges) must stay in range on every branch.
+func TestIrreducibleReconvergence(t *testing.T) {
+	c := build(t, `.visible .entry k() {
+	.reg .u32 %r<8>;
+	.reg .pred %p<4>;
+	mov.u32 %r1, %tid.x;
+	setp.eq.u32 %p1, %r1, 0;
+	@%p1 bra B;
+A:
+	add.u32 %r2, %r1, 1;
+	setp.lt.u32 %p2, %r2, 4;
+	@%p2 bra B;
+	bra.uni OUT;
+B:
+	add.u32 %r3, %r1, 2;
+	setp.lt.u32 %p3, %r3, 8;
+	@%p3 bra A;
+OUT:
+	ret;
+}`)
+	for i, in := range c.Instrs {
+		if in.Op != ptx.OpBra {
+			continue
+		}
+		r := c.ReconvergencePC(i)
+		if r < 0 || r > len(c.Instrs) {
+			t.Errorf("ReconvergencePC(%d) = %d out of range", i, r)
+		}
+	}
+	// Both region blocks converge at OUT: their convergence points set
+	// must include OUT's first instruction.
+	conv := c.ConvergencePoints()
+	out := -1
+	for bi := range c.Blocks {
+		last := c.Instrs[c.Blocks[bi].End-1]
+		if last.Op == ptx.OpRet {
+			out = c.Blocks[bi].Start
+		}
+	}
+	if out < 0 {
+		t.Fatal("no ret block")
+	}
+	if !conv[out] {
+		t.Errorf("convergence points %v do not include the ret block start %d", conv, out)
+	}
+}
+
+// TestIntervalsOnDegenerateShapes is an integration guard: building the
+// CFG and walking dominators on every degenerate shape above must keep
+// index invariants that downstream analyses assume.
+func TestDegenerateInvariants(t *testing.T) {
+	srcs := []string{
+		".visible .entry k() {\n\tret;\n}",
+		".visible .entry k() {\n\t.reg .u32 %r<4>;\n\tmov.u32 %r1, 0;\nL:\n\tbra.uni L;\n\tret;\n}",
+		".visible .entry k() {\n\t.reg .u32 %r<4>;\n\t.reg .pred %p<2>;\nL:\n\tmov.u32 %r1, 0;\n\tsetp.eq.u32 %p1, %r1, 0;\n\t@%p1 bra L;\n\tret;\n}",
+	}
+	for _, src := range srcs {
+		c := build(t, src)
+		if len(c.BlockOf) != len(c.Instrs) {
+			t.Fatalf("BlockOf size mismatch for %q", src)
+		}
+		for i := range c.Instrs {
+			bi := c.BlockOf[i]
+			if bi < 0 || bi >= len(c.Blocks) {
+				t.Fatalf("BlockOf[%d] = %d out of range for %q", i, bi, src)
+			}
+			if i < c.Blocks[bi].Start || i >= c.Blocks[bi].End {
+				t.Fatalf("instr %d outside its block [%d,%d) for %q",
+					i, c.Blocks[bi].Start, c.Blocks[bi].End, src)
+			}
+		}
+		for bi := range c.Blocks {
+			if d := c.Dom[bi]; d != -1 && (d < 0 || d >= len(c.Blocks)) {
+				t.Fatalf("Dom[%d] = %d out of range for %q", bi, d, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package ptx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UnifiedDiff renders a unified diff (3 lines of context) between two
+// texts, labelled aName and bName. It returns "" when the texts are
+// equal. The implementation is a plain dynamic-programming LCS; PTX
+// modules are small, so the quadratic table is irrelevant.
+func UnifiedDiff(aName, bName, a, b string) string {
+	if a == b {
+		return ""
+	}
+	al := splitLines(a)
+	bl := splitLines(b)
+	ops := diffOps(al, bl)
+
+	const ctx = 3
+	var out strings.Builder
+	fmt.Fprintf(&out, "--- %s\n+++ %s\n", aName, bName)
+
+	// Group ops into hunks: runs of changes separated by > 2*ctx equals.
+	for i := 0; i < len(ops); {
+		// Skip leading equals.
+		for i < len(ops) && ops[i].kind == diffEq {
+			i++
+		}
+		if i == len(ops) {
+			break
+		}
+		start := i
+		// Extend the hunk while gaps of equal lines stay short.
+		end := i
+		for j := i; j < len(ops); j++ {
+			if ops[j].kind != diffEq {
+				end = j + 1
+				continue
+			}
+			// Count the equal run; stop the hunk if it exceeds 2*ctx.
+			run := 0
+			for j+run < len(ops) && ops[j+run].kind == diffEq {
+				run++
+			}
+			if run > 2*ctx {
+				break
+			}
+			j += run - 1
+		}
+		hs := start - ctx
+		if hs < 0 {
+			hs = 0
+		}
+		he := end + ctx
+		if he > len(ops) {
+			he = len(ops)
+		}
+		writeHunk(&out, ops[hs:he])
+		i = he
+	}
+	return out.String()
+}
+
+type diffKind uint8
+
+const (
+	diffEq diffKind = iota
+	diffDel
+	diffAdd
+)
+
+type diffOp struct {
+	kind  diffKind
+	text  string
+	aLine int // 1-based line in a (eq/del)
+	bLine int // 1-based line in b (eq/add)
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+func diffOps(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	// lcs[i][j] = LCS length of a[i:], b[j:].
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{diffEq, a[i], i + 1, j + 1})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{diffDel, a[i], i + 1, 0})
+			i++
+		default:
+			ops = append(ops, diffOp{diffAdd, b[j], 0, j + 1})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{diffDel, a[i], i + 1, 0})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{diffAdd, b[j], 0, j + 1})
+	}
+	return ops
+}
+
+func writeHunk(out *strings.Builder, ops []diffOp) {
+	aStart, bStart := 0, 0
+	aCount, bCount := 0, 0
+	for _, op := range ops {
+		switch op.kind {
+		case diffEq:
+			if aCount == 0 {
+				aStart = op.aLine
+			}
+			if bCount == 0 {
+				bStart = op.bLine
+			}
+			aCount++
+			bCount++
+		case diffDel:
+			if aCount == 0 {
+				aStart = op.aLine
+			}
+			aCount++
+		case diffAdd:
+			if bCount == 0 {
+				bStart = op.bLine
+			}
+			bCount++
+		}
+	}
+	if aCount == 0 {
+		aStart = 0
+	}
+	if bCount == 0 {
+		bStart = 0
+	}
+	fmt.Fprintf(out, "@@ -%d,%d +%d,%d @@\n", aStart, aCount, bStart, bCount)
+	for _, op := range ops {
+		switch op.kind {
+		case diffEq:
+			out.WriteString(" " + op.text + "\n")
+		case diffDel:
+			out.WriteString("-" + op.text + "\n")
+		case diffAdd:
+			out.WriteString("+" + op.text + "\n")
+		}
+	}
+}

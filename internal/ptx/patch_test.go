@@ -1,0 +1,158 @@
+package ptx
+
+import (
+	"strings"
+	"testing"
+)
+
+const patchSrc = `.version 4.3
+.target sm_35
+.address_size 64
+
+.visible .entry k(.param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<4>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	setp.eq.u32 %p1, %r1, 0;
+	@%p1 bra SKIP;
+	st.global.u32 [%rd1], %r1;
+SKIP:
+	ld.global.u32 %r2, [%rd1];
+	ret;
+}
+`
+
+func parsePatchSrc(t *testing.T) *Module {
+	t.Helper()
+	m, err := Parse(patchSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m
+}
+
+func TestCloneModuleIsDeep(t *testing.T) {
+	m := parsePatchSrc(t)
+	c := CloneModule(m)
+	if Print(c) != Print(m) {
+		t.Fatal("clone does not print identically")
+	}
+	// Mutate the clone; the original must be untouched.
+	orig := Print(m)
+	c.Kernels[0].Body[0].Instr.Op = OpRet
+	c.Kernels[0].Body[3].Instr.Guard.Neg = true
+	c.Kernels[0].Body[3].Instr.Args = append(c.Kernels[0].Body[3].Instr.Args, ImmOp(7))
+	if Print(m) != orig {
+		t.Fatal("mutating the clone changed the original")
+	}
+}
+
+func TestApplyEditsInsertBeforeAfterLabel(t *testing.T) {
+	m := parsePatchSrc(t)
+	// Instruction 5 is the ld.global after the SKIP label. Insert-before
+	// must land after the label (same block as the ld); insert-after on
+	// instruction 4 (the st, last of its block) must land before the label.
+	got, err := ApplyEdits(m, []Edit{
+		{Kernel: "k", At: 5, Ins: []*Instr{NewBarSync(0)}},
+		{Kernel: "k", At: 4, After: true, Ins: []*Instr{NewMembar("gl", 0)}},
+	})
+	if err != nil {
+		t.Fatalf("ApplyEdits: %v", err)
+	}
+	text := Print(got)
+	want := "st.global.u32 [%rd1], %r1;\n\tmembar.gl;\nSKIP:\n\tbar.sync 0;\n\tld.global.u32"
+	if !strings.Contains(text, want) {
+		t.Fatalf("unexpected patched text:\n%s", text)
+	}
+	// Original untouched.
+	if strings.Contains(Print(m), "membar") {
+		t.Fatal("ApplyEdits mutated its input module")
+	}
+}
+
+func TestApplyEditsRemoveAndReplace(t *testing.T) {
+	m := parsePatchSrc(t)
+	red := &Instr{Op: OpRed, Space: SpaceGlobal, Atom: AtomAdd, Type: U32,
+		Args: []Operand{MemReg("%rd1", 0), ImmOp(1)}}
+	got, err := ApplyEdits(m, []Edit{{Kernel: "k", At: 4, Remove: 1, Ins: []*Instr{red}}})
+	if err != nil {
+		t.Fatalf("ApplyEdits: %v", err)
+	}
+	text := Print(got)
+	if strings.Contains(text, "st.global") {
+		t.Fatalf("removed instruction still present:\n%s", text)
+	}
+	if !strings.Contains(text, "red.global.add.u32 [%rd1], 1;") {
+		t.Fatalf("replacement missing:\n%s", text)
+	}
+}
+
+func TestApplyEditsAppendAtEnd(t *testing.T) {
+	m := parsePatchSrc(t)
+	n := len(m.Kernels[0].Instrs())
+	got, err := ApplyEdits(m, []Edit{{Kernel: "k", At: n, Ins: []*Instr{NewBarSync(0)}}})
+	if err != nil {
+		t.Fatalf("ApplyEdits: %v", err)
+	}
+	if !strings.Contains(Print(got), "ret;\n\tbar.sync 0;\n}") {
+		t.Fatalf("append-at-end misplaced:\n%s", Print(got))
+	}
+}
+
+func TestApplyEditsErrors(t *testing.T) {
+	m := parsePatchSrc(t)
+	cases := []Edit{
+		{Kernel: "nope", At: 0},
+		{Kernel: "k", At: 99},
+		{Kernel: "k", At: 7, After: true}, // After on one-past-end
+		{Kernel: "k", At: 5, Remove: 9},
+		{Kernel: "k", At: 4, Remove: 2}, // removal range crosses SKIP label
+	}
+	for i, e := range cases {
+		if _, err := ApplyEdits(m, []Edit{e}); err == nil {
+			t.Errorf("case %d: expected error for edit %+v", i, e)
+		}
+	}
+}
+
+func TestApplyEditsSamePositionOrder(t *testing.T) {
+	m := parsePatchSrc(t)
+	got, err := ApplyEdits(m, []Edit{
+		{Kernel: "k", At: 5, Ins: []*Instr{NewMembar("cta", 0)}},
+		{Kernel: "k", At: 5, Ins: []*Instr{NewMembar("gl", 0)}},
+	})
+	if err != nil {
+		t.Fatalf("ApplyEdits: %v", err)
+	}
+	text := Print(got)
+	if !strings.Contains(text, "membar.cta;\n\tmembar.gl;") {
+		t.Fatalf("same-position edits out of order:\n%s", text)
+	}
+}
+
+func TestUnifiedDiff(t *testing.T) {
+	m := parsePatchSrc(t)
+	patched, err := ApplyEdits(m, []Edit{{Kernel: "k", At: 5, Ins: []*Instr{NewBarSync(0)}}})
+	if err != nil {
+		t.Fatalf("ApplyEdits: %v", err)
+	}
+	d := UnifiedDiff("a/k.ptx", "b/k.ptx", Print(m), Print(patched))
+	for _, want := range []string{"--- a/k.ptx", "+++ b/k.ptx", "+\tbar.sync 0;", "@@ "} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("diff missing %q:\n%s", want, d)
+		}
+	}
+	if strings.Contains(d, "-\t") {
+		t.Fatalf("pure insertion should delete nothing:\n%s", d)
+	}
+	if UnifiedDiff("a", "b", Print(m), Print(m)) != "" {
+		t.Fatal("diff of identical texts should be empty")
+	}
+	// A patched module must still parse (round-trip sanity).
+	if _, err := Parse(Print(patched)); err != nil {
+		t.Fatalf("patched module does not reparse: %v", err)
+	}
+}

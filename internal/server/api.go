@@ -78,7 +78,19 @@ type JobRequest struct {
 	// "interactive". The fleet coordinator routes interactive jobs
 	// ahead of batch work; a standalone worker records it only.
 	Class string `json:"class,omitempty"`
+	// Kind selects the work: "detect" (default) runs one detection
+	// launch; "repair" runs the verified repair-synthesis loop and
+	// returns a RepairReport in the result. Repair jobs are batch-class
+	// by nature (they run many launches) and the fleet coordinator
+	// forces them onto the batch queue.
+	Kind string `json:"kind,omitempty"`
 }
+
+// Job kinds.
+const (
+	KindDetect = "detect"
+	KindRepair = "repair"
+)
 
 // Job priority classes, used by the fleet coordinator. A plain worker
 // accepts and records the class but schedules FIFO; the coordinator
@@ -116,6 +128,9 @@ func (r *JobRequest) Validate(maxBufferBytes int64) error {
 	}
 	if r.Class != "" && r.Class != ClassBatch && r.Class != ClassInteractive {
 		return fmt.Errorf("job: field \"class\": must be %q or %q, got %q", ClassBatch, ClassInteractive, r.Class)
+	}
+	if r.Kind != "" && r.Kind != KindDetect && r.Kind != KindRepair {
+		return fmt.Errorf("job: field \"kind\": must be %q or %q, got %q", KindDetect, KindRepair, r.Kind)
 	}
 	var total int64
 	for i, b := range r.Buffers {
@@ -170,17 +185,20 @@ type DivergenceJSON struct {
 	Mask  string `json:"mask"`
 }
 
-// JobResult is the outcome of a completed detection run.
+// JobResult is the outcome of a completed detection run. For repair
+// jobs (kind "repair"), Repair carries the full report and RaceCount is
+// the baseline race count the repair loop started from.
 type JobResult struct {
-	Kernel            string           `json:"kernel"`
-	RaceCount         int              `json:"race_count"`
-	Races             []RaceJSON       `json:"races,omitempty"`
-	Divergences       []DivergenceJSON `json:"divergences,omitempty"`
-	SameValueFiltered uint64           `json:"same_value_filtered,omitempty"`
-	WarpInstrs        uint64           `json:"warp_instrs"`
-	Records           uint64           `json:"records"`
-	DetectMS          float64          `json:"detect_ms"`
-	Formats           map[string]int   `json:"ptvc_formats,omitempty"`
+	Kernel            string                 `json:"kernel"`
+	RaceCount         int                    `json:"race_count"`
+	Races             []RaceJSON             `json:"races,omitempty"`
+	Divergences       []DivergenceJSON       `json:"divergences,omitempty"`
+	SameValueFiltered uint64                 `json:"same_value_filtered,omitempty"`
+	WarpInstrs        uint64                 `json:"warp_instrs"`
+	Records           uint64                 `json:"records"`
+	DetectMS          float64                `json:"detect_ms"`
+	Formats           map[string]int         `json:"ptvc_formats,omitempty"`
+	Repair            *detector.RepairReport `json:"repair,omitempty"`
 }
 
 // JobInfo is the job envelope returned by the API.

@@ -57,6 +57,10 @@ type cacheEntry struct {
 	// analysis memoizes the /v1/analyze result for this module: lint
 	// diagnostics and pruning statistics depend only on the source.
 	analysis *AnalyzeResponse
+
+	// repairs memoizes /v1/repair reports per parameterization (the
+	// verification outcome also depends on launch shape and budgets).
+	repairs map[string]*detector.RepairReport
 }
 
 // NewModCache creates a cache bounded to max sessions (minimum 1).

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"fmt"
+
+	"barracuda/internal/bench"
+	"barracuda/internal/detector"
+)
+
+// RepairRequest asks for verified repair synthesis (POST /v1/repair):
+// static race candidates, synthesized patches, and a full dynamic
+// re-detection verdict per patch. Exactly one of PTX or Bench selects
+// the module. The launch shape controls the verification runs; like
+// /v1/analyze, the result is memoized on the module-cache entry, so a
+// warm repeat is a pure lookup.
+type RepairRequest struct {
+	PTX     string     `json:"ptx,omitempty"`
+	Bench   string     `json:"bench,omitempty"`
+	Kernel  string     `json:"kernel,omitempty"` // default: the module's first kernel
+	Grid    int        `json:"grid,omitempty"`
+	Block   int        `json:"block,omitempty"`
+	Buffers []int      `json:"buffers,omitempty"`
+	Config  ConfigJSON `json:"config"`
+	// MaxInstrs bounds each verification launch (0 = server default);
+	// always enforced so a deadlocking patch cannot pin the handler.
+	MaxInstrs uint64 `json:"max_instrs,omitempty"`
+	// MaxCandidates / MaxPatches bound the search (0 = defaults).
+	MaxCandidates int `json:"max_candidates,omitempty"`
+	MaxPatches    int `json:"max_patches,omitempty"`
+}
+
+// Validate checks the payload shape; the server maps errors to 400.
+func (r *RepairRequest) Validate(maxBufferBytes int64) error {
+	switch {
+	case r.PTX == "" && r.Bench == "":
+		return fmt.Errorf("repair: field \"ptx\"/\"bench\": exactly one must be set, got neither")
+	case r.PTX != "" && r.Bench != "":
+		return fmt.Errorf("repair: field \"ptx\"/\"bench\": exactly one must be set, got both")
+	}
+	if r.Bench != "" && bench.ByName(r.Bench) == nil {
+		return fmt.Errorf("repair: field \"bench\": unknown benchmark %q", r.Bench)
+	}
+	if r.Grid < 0 {
+		return fmt.Errorf("repair: field \"grid\": must be >= 0, got %d", r.Grid)
+	}
+	if r.Block < 0 {
+		return fmt.Errorf("repair: field \"block\": must be >= 0, got %d", r.Block)
+	}
+	if r.MaxCandidates < 0 {
+		return fmt.Errorf("repair: field \"max_candidates\": must be >= 0, got %d", r.MaxCandidates)
+	}
+	if r.MaxPatches < 0 {
+		return fmt.Errorf("repair: field \"max_patches\": must be >= 0, got %d", r.MaxPatches)
+	}
+	var total int64
+	for i, b := range r.Buffers {
+		if b < 0 {
+			return fmt.Errorf("repair: field \"buffers[%d]\": must be >= 0, got %d", i, b)
+		}
+		total += int64(b)
+	}
+	if maxBufferBytes > 0 && total > maxBufferBytes {
+		return fmt.Errorf("repair: field \"buffers\": total %d bytes exceeds the server limit %d", total, maxBufferBytes)
+	}
+	if err := r.Config.Detector().Validate(); err != nil {
+		return fmt.Errorf("repair: field \"config\": %w", err)
+	}
+	return nil
+}
+
+// RepairResponse wraps the repair report with cache provenance.
+type RepairResponse struct {
+	CacheHit bool                   `json:"cache_hit"`
+	Report   *detector.RepairReport `json:"report"`
+}
+
+// repairSig is the memo key for one repair parameterization on a cache
+// entry (the entry itself already pins source and detector config).
+func repairSig(kernel string, opt detector.RepairOptions) string {
+	return fmt.Sprintf("%s|%d|%d|%v|%d|%d|%d|%d",
+		kernel, opt.Grid, opt.Block, opt.Buffers, opt.MaxInstrs,
+		opt.WarpSize, opt.MaxCandidates, opt.MaxPatchesPerCandidate)
+}
+
+// repairOptions maps request knobs onto detector.RepairOptions, always
+// enforcing a step budget.
+func (s *Scheduler) repairOptions(grid, block int, buffers []int, maxInstrs uint64, maxCands, maxPatches, warpSize int) detector.RepairOptions {
+	if maxInstrs == 0 {
+		maxInstrs = s.opts.DefaultMaxInstrs
+	}
+	return detector.RepairOptions{
+		Grid:                   grid,
+		Block:                  block,
+		Buffers:                buffers,
+		MaxInstrs:              maxInstrs,
+		WarpSize:               warpSize,
+		MaxCandidates:          maxCands,
+		MaxPatchesPerCandidate: maxPatches,
+	}
+}
+
+// repairOnLease runs (or recalls) a repair on a leased cache entry. The
+// lease holds the entry mutex, so memo reads and writes are race-free
+// and two concurrent identical requests compute once.
+func repairOnLease(lease *Lease, kernel string, opt detector.RepairOptions) (*detector.RepairReport, bool, error) {
+	e := lease.e
+	mod := lease.Session().SrcMod
+	if kernel == "" {
+		if len(mod.Kernels) == 0 {
+			return nil, false, fmt.Errorf("repair: module has no kernels")
+		}
+		kernel = mod.Kernels[0].Name
+	}
+	sig := repairSig(kernel, opt)
+	if rep, ok := e.repairs[sig]; ok {
+		return rep, true, nil
+	}
+	rep, err := detector.Repair(mod, kernel, lease.Session().Config(), opt)
+	if err != nil {
+		return nil, false, err
+	}
+	if e.repairs == nil {
+		e.repairs = make(map[string]*detector.RepairReport)
+	}
+	e.repairs[sig] = rep
+	return rep, false, nil
+}
+
+// Repair resolves the module, leases its warm session and runs the
+// verified repair loop, memoizing the report on the cache entry. The
+// verification launches open their own throwaway sessions (each patched
+// module must be instrumented and loaded from scratch); the lease
+// serializes repairs on the module and carries the memo.
+func (s *Scheduler) Repair(req RepairRequest) (*RepairResponse, error) {
+	if err := req.Validate(s.opts.MaxBufferBytes); err != nil {
+		return nil, err
+	}
+	src := req.PTX
+	if req.Bench != "" {
+		src = bench.ByName(req.Bench).PTX()
+	}
+	lease, _, err := s.cache.Acquire(src, req.Config.Detector())
+	if err != nil {
+		return nil, err
+	}
+	defer lease.Release()
+
+	opt := s.repairOptions(req.Grid, req.Block, req.Buffers, req.MaxInstrs,
+		req.MaxCandidates, req.MaxPatches, 0)
+	rep, hit, err := repairOnLease(lease, req.Kernel, opt)
+	if err != nil {
+		return nil, fmt.Errorf("repair: %w", err)
+	}
+	return &RepairResponse{CacheHit: hit, Report: rep}, nil
+}

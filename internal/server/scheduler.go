@@ -361,6 +361,7 @@ func (s *Scheduler) run(job *Job) {
 	type outcome struct {
 		kernel string
 		res    *detector.Result
+		repair *detector.RepairReport
 		err    error
 	}
 	ch := make(chan outcome, 1)
@@ -376,6 +377,13 @@ func (s *Scheduler) run(job *Job) {
 			}
 			kernel = names[0]
 		}
+		if job.req.Kind == KindRepair {
+			opt := s.repairOptions(job.grid, job.block, job.buffers, job.budget,
+				0, 0, job.req.WarpSize)
+			rep, _, err := repairOnLease(lease, kernel, opt)
+			ch <- outcome{kernel: kernel, repair: rep, err: err}
+			return
+		}
 		args, err := lease.Buffers(job.buffers)
 		if err != nil {
 			ch <- outcome{err: err}
@@ -390,6 +398,13 @@ func (s *Scheduler) run(job *Job) {
 	select {
 	case o := <-ch:
 		switch {
+		case o.err == nil && o.repair != nil:
+			s.metrics.Completed.Add(1)
+			job.finish(StatusDone, "", &JobResult{
+				Kernel:    o.kernel,
+				RaceCount: o.repair.BaselineRaces,
+				Repair:    o.repair,
+			})
 		case o.err == nil:
 			s.metrics.Completed.Add(1)
 			s.metrics.Latency.Observe(o.res.Duration)

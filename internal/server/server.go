@@ -21,6 +21,7 @@ const maxBodyBytes = 16 << 20
 //	GET  /jobs/{id}     fetch one job        → 200 JobInfo | 404
 //	                    ?wait_ms=N long-polls until terminal or N ms
 //	POST /v1/analyze    static analysis only → 200 AnalyzeResponse | 400
+//	POST /v1/repair     verified repair loop → 200 RepairResponse | 400
 //	GET  /healthz       liveness             → 200 {"status":"ok",...}
 //	GET  /metrics       counters             → 200 MetricsJSON
 //	GET  /v1/metrics    alias of /metrics (the versioned surface the
@@ -45,6 +46,7 @@ func New(opts SchedulerOptions) *Server {
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/repair", s.handleRepair)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -101,6 +103,22 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := s.sched.Analyze(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	var req RepairRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "bad request body: "+err.Error())
+		return
+	}
+	res, err := s.sched.Repair(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
 		return

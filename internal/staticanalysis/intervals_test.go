@@ -1,0 +1,306 @@
+package staticanalysis
+
+import (
+	"testing"
+
+	"barracuda/internal/kernel"
+	"barracuda/internal/ptx"
+)
+
+func analyzeSrc(t *testing.T, src string) *Analysis {
+	t.Helper()
+	m, err := ptx.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c, err := kernel.Build(m.Kernels[0])
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return Analyze(c)
+}
+
+// findInstr returns the flat index of the first instruction with the
+// given op in the analyzed kernel, or -1.
+func findInstr(a *Analysis, op ptx.Op, nth int) int {
+	for i, in := range a.CFG.Instrs {
+		if in.Op == op {
+			if nth == 0 {
+				return i
+			}
+			nth--
+		}
+	}
+	return -1
+}
+
+func TestIntervalsStraightLine(t *testing.T) {
+	a := analyzeSrc(t, header+`.visible .entry k(.param .u64 p) {
+	.reg .u32 %r<4>;
+	.reg .u64 %rd<4>;
+	.shared .align 4 .b8 s[256];
+	mov.u32 %r1, %tid.x;
+	st.shared.u32 [%r1], %r1;
+	bar.sync 0;
+	ld.shared.u32 %r2, [%r1];
+	ret;
+}`)
+	iv := ComputeIntervals(a.CFG)
+	if iv.Phases() != 2 {
+		t.Fatalf("phases = %d, want 2", iv.Phases())
+	}
+	st := findInstr(a, ptx.OpSt, 0)
+	ld := findInstr(a, ptx.OpLd, 0)
+	if iv.SameInterval(st, ld) {
+		t.Error("bar.sync between store and load should separate their intervals")
+	}
+	if !iv.SameInterval(st, st) || !iv.SameInterval(ld, ld) {
+		t.Error("an instruction must share an interval with itself")
+	}
+}
+
+// TestIntervalsBranches: a store in the then-branch and a load in the
+// else-branch have no CFG path between them, but both are reachable
+// barrier-free from the entry — they must land in the same interval.
+func TestIntervalsBranches(t *testing.T) {
+	a := analyzeSrc(t, header+`.visible .entry k() {
+	.reg .u32 %r<4>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 s[256];
+	mov.u32 %r1, %tid.x;
+	setp.eq.u32 %p1, %r1, 0;
+	@%p1 bra ELSE;
+	st.shared.u32 [s], %r1;
+	bra DONE;
+ELSE:
+	ld.shared.u32 %r2, [s];
+DONE:
+	ret;
+}`)
+	iv := ComputeIntervals(a.CFG)
+	st := findInstr(a, ptx.OpSt, 0)
+	ld := findInstr(a, ptx.OpLd, 0)
+	if !iv.SameInterval(st, ld) {
+		t.Error("branch arms share the entry phase: same interval expected")
+	}
+}
+
+// TestIntervalsLoop: a barrier inside a loop starts a new phase whose
+// barrier-free region wraps around the back edge, so accesses before
+// and after the bar within the loop body still share an interval.
+func TestIntervalsLoop(t *testing.T) {
+	a := analyzeSrc(t, header+`.visible .entry k() {
+	.reg .u32 %r<4>;
+	.reg .pred %p<2>;
+	.shared .align 4 .b8 s[256];
+	mov.u32 %r1, 0;
+LOOP:
+	ld.shared.u32 %r2, [s];
+	bar.sync 0;
+	st.shared.u32 [s], %r2;
+	add.u32 %r1, %r1, 1;
+	setp.lt.u32 %p1, %r1, 8;
+	@%p1 bra LOOP;
+	ret;
+}`)
+	iv := ComputeIntervals(a.CFG)
+	st := findInstr(a, ptx.OpSt, 0)
+	ld := findInstr(a, ptx.OpLd, 0)
+	if !iv.SameInterval(st, ld) {
+		t.Error("the post-bar phase wraps the back edge to reach the load")
+	}
+}
+
+func TestRaceCandidatesMissingBarrier(t *testing.T) {
+	// Classic neighbor exchange without a barrier: write s[4*tid],
+	// read s[4*tid+4]. The pair escapes slots, so it must survive as a
+	// candidate; the same-slot self accesses must be pruned.
+	a := analyzeSrc(t, header+`.visible .entry k() {
+	.reg .u32 %r<6>;
+	.reg .u64 %rd<4>;
+	.shared .align 4 .b8 s[256];
+	mov.u32 %r1, %tid.x;
+	shl.b32 %r2, %r1, 2;
+	mov.u64 %rd1, s;
+	cvt.u64.u32 %rd2, %r2;
+	add.u64 %rd3, %rd1, %rd2;
+	st.shared.u32 [%rd3], %r1;
+	ld.shared.u32 %r3, [%rd3+4];
+	ret;
+}`)
+	cands := RaceCandidates(a)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %+v, want exactly one (the cross-slot pair)", cands)
+	}
+	cd := cands[0]
+	st := findInstr(a, ptx.OpSt, 0)
+	ld := findInstr(a, ptx.OpLd, 0)
+	if cd.A != st || cd.B != ld {
+		t.Errorf("pair = (%d,%d), want (%d,%d)", cd.A, cd.B, st, ld)
+	}
+	if !cd.WriteA || cd.WriteB {
+		t.Errorf("roles wrong: %+v", cd)
+	}
+}
+
+func TestRaceCandidatesBarrierSeparates(t *testing.T) {
+	// Same kernel with bar.sync between write and read: shared-space
+	// candidates must vanish entirely.
+	a := analyzeSrc(t, header+`.visible .entry k() {
+	.reg .u32 %r<6>;
+	.reg .u64 %rd<4>;
+	.shared .align 4 .b8 s[256];
+	mov.u32 %r1, %tid.x;
+	shl.b32 %r2, %r1, 2;
+	mov.u64 %rd1, s;
+	cvt.u64.u32 %rd2, %r2;
+	add.u64 %rd3, %rd1, %rd2;
+	st.shared.u32 [%rd3], %r1;
+	bar.sync 0;
+	ld.shared.u32 %r3, [%rd3+4];
+	ret;
+}`)
+	if cands := RaceCandidates(a); len(cands) != 0 {
+		t.Fatalf("candidates = %+v, want none after the barrier", cands)
+	}
+}
+
+func TestRaceCandidatesGlobalIgnoresBarrier(t *testing.T) {
+	// bar.sync is per-block: a global uniform write before the barrier
+	// and a read after it still race across blocks. The candidate must
+	// survive, down-ranked, with SameAddr proven.
+	a := analyzeSrc(t, header+`.visible .entry k(.param .u64 out) {
+	.reg .u32 %r<6>;
+	.reg .u64 %rd<4>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	st.global.u32 [%rd1], %r1;
+	bar.sync 0;
+	ld.global.u32 %r2, [%rd1];
+	ret;
+}`)
+	cands := RaceCandidates(a)
+	var cross *Candidate
+	for i := range cands {
+		if cands[i].A != cands[i].B {
+			cross = &cands[i]
+		}
+	}
+	if cross == nil {
+		t.Fatalf("candidates = %+v, want a cross-site global pair", cands)
+	}
+	if cross.SameIntv {
+		t.Error("pair is barrier-separated; SameIntv should be false")
+	}
+	if !cross.SameAddr {
+		t.Error("uniform addresses should be proven overlapping")
+	}
+}
+
+func TestRaceCandidatesSelfWrite(t *testing.T) {
+	// All threads store to one uniform global address: a self write-write
+	// race, highest-ranked, with SameAddr proven.
+	a := analyzeSrc(t, header+`.visible .entry k(.param .u64 out) {
+	.reg .u32 %r<4>;
+	.reg .u64 %rd<4>;
+	ld.param.u64 %rd1, [out];
+	mov.u32 %r1, %tid.x;
+	st.global.u32 [%rd1], %r1;
+	ret;
+}`)
+	cands := RaceCandidates(a)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %+v, want the single self-race", cands)
+	}
+	cd := cands[0]
+	if cd.A != cd.B || !cd.SameAddr || !cd.WriteA {
+		t.Errorf("unexpected self candidate: %+v", cd)
+	}
+}
+
+func TestRaceCandidatesPrunesDisjointParams(t *testing.T) {
+	// Strided in-slot accesses through two distinct pointer params:
+	// nothing may alias, no candidates.
+	a := analyzeSrc(t, header+`.visible .entry k(.param .u64 xs, .param .u64 ys) {
+	.reg .u32 %r<6>;
+	.reg .u64 %rd<8>;
+	ld.param.u64 %rd1, [xs];
+	ld.param.u64 %rd2, [ys];
+	mov.u32 %r1, %tid.x;
+	mov.u32 %r2, %ntid.x;
+	mad.lo.u32 %r3, %ctaid.x, %r2, %r1;
+	mul.wide.u32 %rd3, %r3, 4;
+	add.u64 %rd4, %rd1, %rd3;
+	add.u64 %rd5, %rd2, %rd3;
+	ld.global.u32 %r4, [%rd4];
+	st.global.u32 [%rd5], %r4;
+	ret;
+}`)
+	if cands := RaceCandidates(a); len(cands) != 0 {
+		t.Fatalf("candidates = %+v, want none for disjoint strided params", cands)
+	}
+}
+
+func TestRaceCandidatesAtomicPairsExcluded(t *testing.T) {
+	// Two atomics on the same address are HB-ordered: no candidate. An
+	// atomic against a plain write is one.
+	a := analyzeSrc(t, header+`.visible .entry k(.param .u64 out) {
+	.reg .u32 %r<6>;
+	.reg .u64 %rd<4>;
+	ld.param.u64 %rd1, [out];
+	atom.global.add.u32 %r1, [%rd1], 1;
+	red.global.add.u32 [%rd1], 1;
+	ret;
+}`)
+	if cands := RaceCandidates(a); len(cands) != 0 {
+		t.Fatalf("candidates = %+v, want none for atomic-atomic", cands)
+	}
+	a = analyzeSrc(t, header+`.visible .entry k(.param .u64 out) {
+	.reg .u32 %r<6>;
+	.reg .u64 %rd<4>;
+	ld.param.u64 %rd1, [out];
+	atom.global.add.u32 %r1, [%rd1], 1;
+	st.global.u32 [%rd1], 0;
+	ret;
+}`)
+	cands := RaceCandidates(a)
+	if len(cands) == 0 {
+		t.Fatal("atomic vs plain write must be a candidate")
+	}
+	found := false
+	for _, cd := range cands {
+		if cd.A != cd.B && (cd.AtomicA || cd.AtomicB) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("candidates = %+v, want an atomic-plain pair", cands)
+	}
+}
+
+func TestCandidateRankingPrefersDefiniteWrites(t *testing.T) {
+	// A definite same-address write-write must outrank a may-alias
+	// read-write on unknown addresses.
+	a := analyzeSrc(t, header+`.visible .entry k(.param .u64 out, .param .u64 idx) {
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	ld.param.u64 %rd1, [out];
+	st.global.u32 [%rd1], 1;
+	ld.global.u64 %rd2, [%rd1+8];
+	ld.global.u32 %r2, [%rd2];
+	ret;
+}`)
+	cands := RaceCandidates(a)
+	if len(cands) < 2 {
+		t.Fatalf("candidates = %+v, want at least 2", cands)
+	}
+	top := cands[0]
+	if !top.SameAddr || !top.WriteA || !top.WriteB {
+		t.Errorf("top candidate should be the definite write-write self race, got %+v", top)
+	}
+	for _, cd := range cands[1:] {
+		if cd.Score > top.Score {
+			t.Errorf("ranking violated: %+v above %+v", cd, top)
+		}
+	}
+}

@@ -254,7 +254,7 @@ func lintUnsyncedShared(a *Analysis) []Diagnostic {
 		if k != trace.OpRead || c.Instrs[i].Space != ptx.SpaceShared {
 			continue
 		}
-		if a.Prune.Reason[i] == PrunePrivate {
+		if a.Prune.Reason[i] == PrunePrivate || sharedThreadPrivate(a, i) {
 			continue // each thread reads only its own slot
 		}
 		synced := false
@@ -272,4 +272,40 @@ func lintUnsyncedShared(a *Analysis) []Diagnostic {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
 	return out
+}
+
+// sharedThreadPrivate reports whether shared read i provably stays in
+// its own thread's slot AND every shared write anchored to the same
+// symbol does too. Unlike the pruner's verdict, this is per-site: a
+// shared access with an unknown address elsewhere blocks the pruner's
+// whole shared space (it must stay conservative about *removing
+// logging*), but it does not make a strided-in-slot read any less
+// private — only an unknown *write* could reach into this thread's
+// slot, and that case returns false below.
+func sharedThreadPrivate(a *Analysis, i int) bool {
+	s, ok := siteDecomp(a, i)
+	if !ok || s.form != formStrided {
+		return false
+	}
+	if s.delta < 0 || s.delta+int64(s.bytes) > s.stride {
+		return false
+	}
+	sym := s.syms[0]
+	for j, k := range a.Class {
+		if !k.Writes() || a.CFG.Instrs[j].Space != ptx.SpaceShared {
+			continue
+		}
+		w, ok := siteDecomp(a, j)
+		if !ok {
+			return false // unknown shared write: could hit any slot
+		}
+		if w.syms[0] != sym {
+			continue // distinct shared arrays do not alias
+		}
+		if w.form != formStrided || w.stride != s.stride ||
+			w.delta < 0 || w.delta+int64(w.bytes) > w.stride {
+			return false
+		}
+	}
+	return true
 }

@@ -221,3 +221,83 @@ func TestLintSyncedSharedClean(t *testing.T) {
 		t.Errorf("synced shared read flagged: %v", diags)
 	}
 }
+
+// TestLintUnsyncedSharedPerSitePrivacy: a strided-in-slot shared read is
+// thread-private even when an *unknown-address shared read* elsewhere
+// blocks the pruner's whole shared space. The old behavior flagged both
+// reads; only the unknown one is a real finding.
+func TestLintUnsyncedSharedPerSitePrivacy(t *testing.T) {
+	src := header + `.visible .entry k(.param .u64 p) {
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.shared .align 4 .b8 s[256];
+	mov.u32 %r1, %tid.x;
+	shl.b32 %r2, %r1, 2;
+	mov.u64 %rd1, s;
+	cvt.u64.u32 %rd2, %r2;
+	add.u64 %rd3, %rd1, %rd2;
+	st.shared.u32 [%rd3], %r1;
+	ld.shared.u32 %r3, [%rd3];
+	ld.param.u64 %rd4, [p];
+	ld.global.u64 %rd5, [%rd4];
+	ld.shared.u32 %r4, [%rd5];
+	ret;
+}`
+	m, err := ptx.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	// Precondition: the unknown-address read blocks the pruner, so the
+	// private read is NOT PrunePrivate — the old suppression path would
+	// not fire and the fix must come from the per-site check.
+	a := analyzeSrc(t, src)
+	for i, in := range a.CFG.Instrs {
+		if in.Op == ptx.OpLd && in.Space == ptx.SpaceShared {
+			if a.Prune.Reason[i] == PrunePrivate {
+				t.Fatalf("instr %d: pruner unexpectedly proved privacy; the regression test is vacuous", i)
+			}
+		}
+	}
+	diags, err := LintModule(m)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	unsynced := byCode(diags, CodeUnsyncedShared)
+	if len(unsynced) != 1 {
+		t.Fatalf("unsynced-shared = %v, want exactly one (the unknown-address read)", unsynced)
+	}
+	// Line 17 is the ld.shared at the unknown register address.
+	if unsynced[0].Line != 17 {
+		t.Errorf("flagged line %d, want 17 (the unknown-address read)", unsynced[0].Line)
+	}
+}
+
+// TestLintUnsyncedSharedUnknownWriteDefeatsPrivacy: with an
+// unknown-address shared *write* in the kernel, no read is provably
+// private — every unsynced read must still be flagged.
+func TestLintUnsyncedSharedUnknownWriteDefeatsPrivacy(t *testing.T) {
+	src := header + `.visible .entry k(.param .u64 p) {
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.shared .align 4 .b8 s[256];
+	mov.u32 %r1, %tid.x;
+	shl.b32 %r2, %r1, 2;
+	mov.u64 %rd1, s;
+	cvt.u64.u32 %rd2, %r2;
+	add.u64 %rd3, %rd1, %rd2;
+	st.shared.u32 [%rd3], %r1;
+	ld.shared.u32 %r3, [%rd3];
+	ld.param.u64 %rd4, [p];
+	ld.global.u64 %rd5, [%rd4];
+	st.shared.u32 [%rd5], %r1;
+	ret;
+}`
+	diags := lintSrc(t, src)
+	unsynced := byCode(diags, CodeUnsyncedShared)
+	if len(unsynced) != 1 {
+		t.Fatalf("unsynced-shared = %v, want the in-slot read flagged (unknown write aliases it)", unsynced)
+	}
+	if unsynced[0].Line != 14 {
+		t.Errorf("flagged line %d, want 14", unsynced[0].Line)
+	}
+}

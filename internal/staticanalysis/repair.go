@@ -1,0 +1,461 @@
+package staticanalysis
+
+import (
+	"fmt"
+
+	"barracuda/internal/kernel"
+	"barracuda/internal/ptx"
+	"barracuda/internal/trace"
+)
+
+// Patch synthesis: for one race candidate, propose concrete PTX edits
+// that could eliminate it. Three templates, in decreasing precision:
+//
+//   - atomicize: a ld/arith/st read-modify-write on one address becomes
+//     a single red.{space}.{op} instruction;
+//   - barrier: insert bar.sync at a divergence-safe point that
+//     dominates the later access (only meaningful for shared memory,
+//     or global memory within one block);
+//   - fence: complete a flag handshake or lock protocol by inserting
+//     the membar that acquire/release inference needs next to the
+//     synchronizing access.
+//
+// Every proposal is *speculative*: the synthesizer aims for plausible,
+// not provably sufficient. The verification loop (package detector)
+// re-runs full dynamic detection on each patched module and is the only
+// judge of whether a patch is accepted. A proposal that would deadlock,
+// diverge at the new barrier, or leave the race in place is rejected
+// there, which keeps this layer free to be aggressive.
+
+// PatchKind labels a repair template.
+type PatchKind string
+
+// Repair templates.
+const (
+	PatchBarrier   PatchKind = "insert-barrier"
+	PatchFence     PatchKind = "insert-fence"
+	PatchAtomicize PatchKind = "atomicize"
+)
+
+// ProposedPatch is one synthesized repair for a candidate race.
+type ProposedPatch struct {
+	Kind   PatchKind
+	Kernel string
+	Note   string
+	Edits  []ptx.Edit
+}
+
+// ProposePatches synthesizes up to max patches for the candidate,
+// ordered most-precise first.
+func ProposePatches(a *Analysis, cand Candidate, max int) []ProposedPatch {
+	var out []ProposedPatch
+	if p, ok := proposeAtomicize(a, cand); ok {
+		out = append(out, p)
+	}
+	if p, ok := proposeBarrier(a, cand); ok {
+		out = append(out, p)
+	}
+	out = append(out, proposeFences(a, cand)...)
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// --- barrier insertion ----------------------------------------------------
+
+// proposeBarrier inserts a bar.sync immediately before the later access
+// of the pair, hoisted out of any divergent influence region so the new
+// barrier cannot itself cause barrier divergence. The hoist climbs the
+// dominator tree; when the landing block ends in a conditional branch
+// the barrier goes in front of it.
+func proposeBarrier(a *Analysis, cand Candidate) (ProposedPatch, bool) {
+	if cand.A == cand.B {
+		return ProposedPatch{}, false // a barrier cannot order a site against itself
+	}
+	if cand.Space != ptx.SpaceShared {
+		// bar.sync is per-block: with more than one block in flight a
+		// global-space pair still races across blocks, so a barrier can
+		// never be certified for it. Shared memory is per-block by
+		// construction, where the barrier argument is sound.
+		return ProposedPatch{}, false
+	}
+	c := a.CFG
+	div := divergentBlocks(a)
+	pos := cand.B
+	bi := c.BlockOf[pos]
+	for div[bi] {
+		d := c.Dom[bi]
+		if d < 0 || d == bi {
+			return ProposedPatch{}, false // entry (or unreachable): nowhere safe
+		}
+		bi = d
+		blk := c.Blocks[bi]
+		pos = blk.End
+		if blk.End > blk.Start && c.Instrs[blk.End-1].Op == ptx.OpBra {
+			pos = blk.End - 1
+		}
+	}
+	line := 0
+	if pos < len(c.Instrs) {
+		line = c.Instrs[pos].Line
+	}
+	return ProposedPatch{
+		Kind:   PatchBarrier,
+		Kernel: cand.Kernel,
+		Note: fmt.Sprintf("insert bar.sync before line %d, separating the accesses at lines %d and %d",
+			line, cand.LineA, cand.LineB),
+		Edits: []ptx.Edit{{Kernel: cand.Kernel, At: pos, Ins: []*ptx.Instr{ptx.NewBarSync(line)}}},
+	}, true
+}
+
+// divergentBlocks marks every block inside the influence region of a
+// tid-dependent conditional branch (same region the barrier-divergence
+// lint walks): a barrier inserted there would not be reached by all
+// threads of the block.
+func divergentBlocks(a *Analysis) []bool {
+	c := a.CFG
+	div := make([]bool, len(c.Blocks))
+	for i, in := range c.Instrs {
+		if in.Op != ptx.OpBra || in.Guard == nil || !a.Affine.GuardTainted(i) {
+			continue
+		}
+		markInfluence(c, c.BlockOf[i], div)
+	}
+	return div
+}
+
+// --- fence insertion ------------------------------------------------------
+
+// proposeFences synthesizes membar insertions that complete the two
+// synchronization idioms the acquire/release inference recognizes:
+//
+//   - a flag handshake: a spin-wait load needs a trailing fence
+//     (acquire), and the matching flag store needs a leading fence
+//     (release);
+//   - a cas/exch lock: the acquiring atomic needs a trailing fence and
+//     the releasing store-of-zero a leading fence.
+//
+// Both sides of an idiom are patched together — half a handshake does
+// not create the happens-before edge and would fail verification.
+func proposeFences(a *Analysis, cand Candidate) []ProposedPatch {
+	var out []ProposedPatch
+	level := "cta"
+	if cand.Space == ptx.SpaceGlobal {
+		level = "gl"
+	}
+	if p, ok := proposeHandshakeFences(a, cand, level); ok {
+		out = append(out, p)
+	}
+	if p, ok := proposeLockFences(a, cand, level); ok {
+		out = append(out, p)
+	}
+	return out
+}
+
+// proposeHandshakeFences finds spin-wait loads (a load feeding a setp
+// that guards a backward branch) and plain stores to the same flag
+// location, then inserts the missing fences on both sides.
+func proposeHandshakeFences(a *Analysis, cand Candidate, level string) (ProposedPatch, bool) {
+	c := a.CFG
+	spins := spinLoads(a)
+	if len(spins) == 0 {
+		return ProposedPatch{}, false
+	}
+	var edits []ptx.Edit
+	var notes []string
+	patched := map[int]bool{}
+	for _, sp := range spins {
+		flagSyms := addrSyms(a, sp)
+		if len(flagSyms) == 0 {
+			continue
+		}
+		// Acquire side: fence directly after the spin load, unless one is
+		// already adjacent (the load would classify as an acquire).
+		if !a.Class[sp].IsAcquire() && !patched[sp] {
+			patched[sp] = true
+			edits = append(edits, ptx.Edit{
+				Kernel: cand.Kernel, At: sp, After: true,
+				Ins: []*ptx.Instr{ptx.NewMembar(level, c.Instrs[sp].Line)},
+			})
+			notes = append(notes, fmt.Sprintf("membar.%s after the spin-wait load at line %d", level, c.Instrs[sp].Line))
+		}
+		// Release side: fence before every plain store to the flag.
+		for i, k := range a.Class {
+			if k != trace.OpWrite || c.Instrs[i].Op != ptx.OpSt || patched[i] {
+				continue
+			}
+			if !symsIntersect(addrSyms(a, i), flagSyms) {
+				continue
+			}
+			patched[i] = true
+			edits = append(edits, ptx.Edit{
+				Kernel: cand.Kernel, At: i,
+				Ins: []*ptx.Instr{ptx.NewMembar(level, c.Instrs[i].Line)},
+			})
+			notes = append(notes, fmt.Sprintf("membar.%s before the flag store at line %d", level, c.Instrs[i].Line))
+		}
+	}
+	if len(edits) == 0 {
+		return ProposedPatch{}, false
+	}
+	return ProposedPatch{
+		Kind:   PatchFence,
+		Kernel: cand.Kernel,
+		Note:   "complete the flag handshake: " + joinNotes(notes),
+		Edits:  edits,
+	}, true
+}
+
+// proposeLockFences completes a cas/exch lock protocol: membar after
+// the acquiring atomic, membar before the store-of-zero release. The
+// site discovery mirrors the missing-fence lint exactly.
+func proposeLockFences(a *Analysis, cand Candidate, level string) (ProposedPatch, bool) {
+	c := a.CFG
+	var edits []ptx.Edit
+	var notes []string
+	lockBase := map[string]bool{}
+	for i, in := range c.Instrs {
+		if in.Op == ptx.OpAtom && (in.Atom == ptx.AtomCas || in.Atom == ptx.AtomExch) {
+			if adr, ok := in.AddrOperand(); ok && adr.BaseReg != "" {
+				lockBase[adr.BaseReg] = true
+			}
+			// Acquire side: the atomic must classify as an acquire.
+			if a.Class[i] == trace.OpAtom && in.Atom == ptx.AtomCas {
+				edits = append(edits, ptx.Edit{
+					Kernel: cand.Kernel, At: i, After: true,
+					Ins: []*ptx.Instr{ptx.NewMembar(level, in.Line)},
+				})
+				notes = append(notes, fmt.Sprintf("membar.%s after the lock acquire at line %d", level, in.Line))
+			}
+		}
+	}
+	for i, in := range c.Instrs {
+		if in.Op != ptx.OpSt || a.Class[i] != trace.OpWrite || in.Guard != nil {
+			continue
+		}
+		adr, ok := in.AddrOperand()
+		if !ok || adr.BaseReg == "" || !lockBase[adr.BaseReg] {
+			continue
+		}
+		if len(in.Args) > 1 && in.Args[1].Kind == ptx.OpndImm && in.Args[1].Imm == 0 {
+			edits = append(edits, ptx.Edit{
+				Kernel: cand.Kernel, At: i,
+				Ins: []*ptx.Instr{ptx.NewMembar(level, in.Line)},
+			})
+			notes = append(notes, fmt.Sprintf("membar.%s before the lock release at line %d", level, in.Line))
+		}
+	}
+	if len(edits) == 0 {
+		return ProposedPatch{}, false
+	}
+	return ProposedPatch{
+		Kind:   PatchFence,
+		Kernel: cand.Kernel,
+		Note:   "complete the lock protocol: " + joinNotes(notes),
+		Edits:  edits,
+	}, true
+}
+
+// spinLoads returns the instruction indices of plain loads that feed a
+// setp guarding a backward branch — the wait side of a flag handshake.
+func spinLoads(a *Analysis) []int {
+	c := a.CFG
+	var out []int
+	seen := map[int]bool{}
+	var defs *FlowResult[DefSet]
+	for i, in := range c.Instrs {
+		if in.Op != ptx.OpBra || in.Guard == nil {
+			continue
+		}
+		t, ok := c.LabelAt[in.Args[0].Sym]
+		if !ok || t > i {
+			continue
+		}
+		if defs == nil {
+			defs = ReachingDefs(c)
+		}
+		for _, sp := range DefsAt(c, defs, i, in.Guard.Reg) {
+			if c.Instrs[sp].Op != ptx.OpSetp {
+				continue
+			}
+			for _, arg := range c.Instrs[sp].Args {
+				if arg.Kind != ptx.OpndReg {
+					continue
+				}
+				for _, d := range DefsAt(c, defs, sp, arg.Reg) {
+					din := c.Instrs[d]
+					if din.Op == ptx.OpLd && din.MemoryAccess() && d >= t && d < i && !seen[d] {
+						seen[d] = true
+						out = append(out, d)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// addrSyms returns the param/symbol names anchoring site i's address,
+// nil when the address is not affine-decomposable.
+func addrSyms(a *Analysis, i int) []string {
+	s, ok := siteDecomp(a, i)
+	if !ok {
+		return nil
+	}
+	return s.syms
+}
+
+func joinNotes(notes []string) string {
+	out := ""
+	for i, n := range notes {
+		if i > 0 {
+			out += "; "
+		}
+		out += n
+	}
+	return out
+}
+
+// --- atomicize ------------------------------------------------------------
+
+var redOps = map[ptx.Op]ptx.AtomOp{
+	ptx.OpAdd: ptx.AtomAdd,
+	ptx.OpMin: ptx.AtomMin,
+	ptx.OpMax: ptx.AtomMax,
+	ptx.OpAnd: ptx.AtomAnd,
+	ptx.OpOr:  ptx.AtomOr,
+	ptx.OpXor: ptx.AtomXor,
+}
+
+// proposeAtomicize matches the exact lost-update shape
+//
+//	ld.space.T  %v, [addr]
+//	op.T        %w, %v, X      (or op.T %w, X, %v for commutative ops)
+//	st.space.T  [addr], %w
+//
+// as three consecutive unguarded instructions in one block whose
+// intermediate registers are used nowhere else, and replaces the triple
+// with `red.space.op.T [addr], X`. sub with an immediate becomes
+// red.add of the negated immediate.
+func proposeAtomicize(a *Analysis, cand Candidate) (ProposedPatch, bool) {
+	c := a.CFG
+	for _, idx := range []int{cand.B, cand.A} {
+		in := c.Instrs[idx]
+		if in.Op != ptx.OpSt {
+			continue
+		}
+		if p, ok := atomicizeAt(a, cand, idx); ok {
+			return p, ok
+		}
+	}
+	return ProposedPatch{}, false
+}
+
+func atomicizeAt(a *Analysis, cand Candidate, st int) (ProposedPatch, bool) {
+	c := a.CFG
+	if st < 2 {
+		return ProposedPatch{}, false
+	}
+	ld, op := st-2, st-1
+	if c.BlockOf[ld] != c.BlockOf[st] {
+		return ProposedPatch{}, false
+	}
+	ldIn, opIn, stIn := c.Instrs[ld], c.Instrs[op], c.Instrs[st]
+	if ldIn.Op != ptx.OpLd || ldIn.Guard != nil || opIn.Guard != nil || stIn.Guard != nil {
+		return ProposedPatch{}, false
+	}
+	if ldIn.Vec > 1 || stIn.Vec > 1 || ldIn.Space != stIn.Space {
+		return ProposedPatch{}, false
+	}
+	if ldIn.Type.Float() || ldIn.Type.Size() != 4 && ldIn.Type.Size() != 8 {
+		return ProposedPatch{}, false
+	}
+	la, oka := ldIn.AddrOperand()
+	sa, oks := stIn.AddrOperand()
+	if !oka || !oks || la != sa {
+		return ProposedPatch{}, false
+	}
+	atom, known := redOps[opIn.Op]
+	isSub := opIn.Op == ptx.OpSub
+	if !known && !isSub {
+		return ProposedPatch{}, false
+	}
+	if !ldIn.HasDst || !opIn.HasDst || len(opIn.Args) != 2 || len(stIn.Args) != 2 {
+		return ProposedPatch{}, false
+	}
+	loaded, result := ldIn.Dst.Reg, opIn.Dst.Reg
+	if stIn.Args[1].Kind != ptx.OpndReg || stIn.Args[1].Reg != result {
+		return ProposedPatch{}, false
+	}
+	// Identify the non-loaded operand X of the arithmetic op.
+	var x ptx.Operand
+	switch {
+	case opIn.Args[0].Kind == ptx.OpndReg && opIn.Args[0].Reg == loaded:
+		x = opIn.Args[1]
+	case !isSub && opIn.Args[1].Kind == ptx.OpndReg && opIn.Args[1].Reg == loaded:
+		x = opIn.Args[0] // commutative ops only
+	default:
+		return ProposedPatch{}, false
+	}
+	if isSub {
+		if x.Kind != ptx.OpndImm {
+			return ProposedPatch{}, false
+		}
+		x = ptx.ImmOp(-x.Imm)
+		atom = ptx.AtomAdd
+	}
+	// min/max need a signedness-carrying type; b32/b64 only support
+	// bitwise and exchange-style ops in red.
+	switch atom {
+	case ptx.AtomMin, ptx.AtomMax:
+		if ldIn.Type != ptx.U32 && ldIn.Type != ptx.S32 && ldIn.Type != ptx.U64 && ldIn.Type != ptx.S64 {
+			return ProposedPatch{}, false
+		}
+	}
+	// The intermediate registers must be dead outside the triple.
+	if regUsedOutside(c, loaded, ld, st) || regUsedOutside(c, result, ld, st) {
+		return ProposedPatch{}, false
+	}
+	red := &ptx.Instr{
+		Op:    ptx.OpRed,
+		Space: stIn.Space,
+		Atom:  atom,
+		Type:  stIn.Type,
+		Args:  []ptx.Operand{sa, x},
+		Line:  stIn.Line,
+		Col:   stIn.Col,
+	}
+	return ProposedPatch{
+		Kind:   PatchAtomicize,
+		Kernel: cand.Kernel,
+		Note: fmt.Sprintf("replace the ld/%s/st at lines %d-%d with %s",
+			opIn.Op, ldIn.Line, stIn.Line, ptx.FormatInstr(red)),
+		Edits: []ptx.Edit{{Kernel: cand.Kernel, At: ld, Remove: 3, Ins: []*ptx.Instr{red}}},
+	}, true
+}
+
+// regUsedOutside reports whether reg is read, written, or used as a
+// guard by any instruction outside the inclusive range [lo, hi].
+func regUsedOutside(c *kernel.CFG, reg string, lo, hi int) bool {
+	for i, in := range c.Instrs {
+		if i >= lo && i <= hi {
+			continue
+		}
+		if in.Guard != nil && in.Guard.Reg == reg {
+			return true
+		}
+		if in.HasDst && in.Dst.Kind == ptx.OpndReg && in.Dst.Reg == reg {
+			return true
+		}
+		for _, arg := range in.Args {
+			if arg.Kind == ptx.OpndReg && arg.Reg == reg {
+				return true
+			}
+			if arg.Kind == ptx.OpndMem && arg.BaseReg == reg {
+				return true
+			}
+		}
+	}
+	return false
+}
