@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-sim bench-scaling bench-detect bench-fleet bench-repair fleet-sim stress-multiqueue serve ci fmt-check vet-smoke vet-fix-smoke
+.PHONY: all build vet test race bench bench-sim bench-scaling bench-detect bench-shadow bench-fleet bench-repair fleet-sim stress-multiqueue serve ci fmt-check vet-smoke vet-fix-smoke stress-ownership
 
 all: build vet test
 
@@ -97,6 +97,19 @@ bench-sim:
 bench-detect:
 	$(GO) test -bench=BenchmarkWarpAccess -benchmem -run=^$$ ./internal/core/
 	$(GO) run ./cmd/benchtab -detect -min-speedup 2.0 -o BENCH_detect.json
+
+# Adaptive-shadow A/B: the exclusive-ownership tier vs the span baseline
+# over private/block-owned/contended mixes, plus the bounded page sweep
+# (BENCH_shadow.json), gated on canonical-digest equality, the cap
+# holding, and the 1.3x private-mix speedup floor.
+bench-shadow:
+	$(GO) run ./cmd/benchtab -shadow -min-speedup 1.3 -o BENCH_shadow.json
+
+# The adaptive-shadow correctness stress: ownership and bounded-shadow
+# equivalence over the 66-program bug suite under the Go race detector
+# (concurrent claim/inflate traffic at 4 queues).
+stress-ownership:
+	GOMAXPROCS=4 $(GO) test -race -run 'TestOwnershipEquivalence|TestBoundedShadowEquivalence' ./internal/bugsuite/
 
 # Fleet warm-routing A/B in the deterministic cluster simulator:
 # BENCH_fleet.json (warm hit rate + jobs/sec, ring vs random, at

@@ -7,7 +7,13 @@
 //	barracuda -ptx kernel.ptx -kernel k -grid 4 -block 64 -bufs 1024,64
 //	barracuda -fatbin app.fatbin -kernel k -grid 2 -block 32 -bufs 256
 //	barracuda -bench hashtable
+//	barracuda -bench dxtc -ownership -shadow-cap 67108864
 //	barracuda vet [-json] [-strict] [-stats] file.ptx...
+//
+// -ownership enables the adaptive exclusive-ownership shadow tier;
+// -shadow-cap bounds resident shadow memory (LRU eviction, honest
+// degraded-precision reporting). Both preserve byte-identical race
+// reports while no live state is evicted.
 package main
 
 import (
@@ -43,6 +49,8 @@ func main() {
 		warpsize  = flag.Int("warpsize", 0, "simulated warp width (0 = the architecture's 32); smaller widths expose latent warp-size bugs")
 		profileF  = flag.Bool("profile", false, "run the memory-access profiler instead of the race detector")
 		staticp   = flag.Bool("staticprune", false, "enable the inter-block static instrumentation pruner")
+		ownership = flag.Bool("ownership", false, "enable the exclusive-ownership shadow fast path (requires span mode)")
+		shadowCap = flag.Int64("shadow-cap", 0, "bound resident shadow memory to this many bytes via LRU eviction (0 = unbounded; evicting live state is reported as degraded precision)")
 		verbose   = flag.Bool("v", false, "print per-race dynamic counts and PTVC format stats")
 	)
 	flag.Parse()
@@ -50,7 +58,8 @@ func main() {
 		ptxPath: *ptxPath, fatbinPath: *fatbinArg, benchName: *benchName,
 		kernel: *kernel, grid: *grid, block: *block, bufs: *bufs,
 		queues: *queues, gran: *gran, fullvc: *fullvc, budget: *budget,
-		warpsize: *warpsize, profile: *profileF, staticPrune: *staticp, verbose: *verbose,
+		warpsize: *warpsize, profile: *profileF, staticPrune: *staticp,
+		ownership: *ownership, shadowCap: *shadowCap, verbose: *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "barracuda:", err)
 		os.Exit(1)
@@ -61,11 +70,16 @@ type runOpts struct {
 	ptxPath, fatbinPath, benchName, kernel, bufs string
 	grid, block, queues, gran, warpsize          int
 	fullvc, profile, staticPrune, verbose        bool
+	ownership                                    bool
+	shadowCap                                    int64
 	budget                                       uint64
 }
 
 func run(o runOpts) error {
-	cfg := detector.Config{Queues: o.queues, Granularity: o.gran, FullVC: o.fullvc, StaticPrune: o.staticPrune}
+	cfg := detector.Config{
+		Queues: o.queues, Granularity: o.gran, FullVC: o.fullvc, StaticPrune: o.staticPrune,
+		Ownership: o.ownership, ShadowCapBytes: o.shadowCap,
+	}
 
 	var (
 		s   *detector.Session
@@ -173,6 +187,10 @@ func printResult(kernel string, res *detector.Result, verbose bool) error {
 	}
 	if rep.SameValueGag > 0 {
 		fmt.Printf("%d same-value intra-warp write(s) filtered\n", rep.SameValueGag)
+	}
+	if rep.PrecisionDegraded {
+		fmt.Printf("PRECISION DEGRADED: the shadow byte cap discarded live state (%d live eviction(s)); races may have been missed\n",
+			rep.Shadow.LiveEvictions)
 	}
 	if verbose {
 		for _, f := range []ptvc.Format{ptvc.Converged, ptvc.Diverged, ptvc.NestedDiverged, ptvc.SparseVC} {

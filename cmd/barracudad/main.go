@@ -12,6 +12,14 @@
 //	curl -s 'localhost:8321/jobs/job-1?wait_ms=5000'
 //	curl -s localhost:8321/metrics
 //
+// Per-job detector knobs ride in the request's "config" object and are
+// hashed into the module cache key, including the adaptive-shadow pair:
+// "ownership" (exclusive-ownership fast path) and "shadow_cap_bytes"
+// (LRU-bounded resident shadow; jobs whose cap discarded live state
+// come back with "precision_degraded": true and per-job shadow stats in
+// the result's "shadow" object). Aggregated shadow pressure is exposed
+// on /metrics and in fleet heartbeats.
+//
 // Fleet modes:
 //
 //	barracudad -coordinator -addr :8320

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 
 	"barracuda/internal/bench"
 )
@@ -14,8 +13,7 @@ import (
 // measured A/B against the per-cell baseline over synthetic coalesced,
 // strided and divergent access mixes.
 type DetectBench struct {
-	NumCPU     int `json:"num_cpu"`
-	GOMAXPROCS int `json:"gomaxprocs"`
+	BenchEnv
 
 	// CoalescedSpeedup is the headline number the fast path exists for:
 	// per-cell drain time over span drain time on the fully-coalesced mix.
@@ -49,8 +47,7 @@ func runDetectBench(outPath string, minSpeedup float64) error {
 		return err
 	}
 	out := DetectBench{
-		NumCPU:           runtime.NumCPU(),
-		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		BenchEnv:         benchEnv(),
 		CoalescedSpeedup: r.CoalescedSpeedup,
 		DigestsEqual:     r.DigestsEqual,
 	}

@@ -1,0 +1,22 @@
+package main
+
+import "runtime"
+
+// BenchEnv is the host and detector-knob context embedded (flattened)
+// in every BENCH_*.json artifact, so perf trajectories across PRs
+// compare like with like: the same experiment on a different core count
+// or with different adaptive-shadow knobs is a different measurement.
+type BenchEnv struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+
+	// Detector knobs in effect for the artifact's headline runs. Zero
+	// values are the defaults (ownership tier off, shadow unbounded).
+	Ownership      bool  `json:"ownership"`
+	ShadowCapBytes int64 `json:"shadow_cap_bytes"`
+}
+
+// benchEnv snapshots the host environment with default knob settings.
+func benchEnv() BenchEnv {
+	return BenchEnv{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+}

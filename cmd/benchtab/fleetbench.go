@@ -14,6 +14,7 @@ import (
 // number here a property of the scheduling policy alone — no host
 // timing noise — so the artifact is byte-stable for a given seed.
 type FleetBench struct {
+	BenchEnv
 	Seed    int64             `json:"seed"`
 	Jobs    int               `json:"jobs"`
 	Keys    int               `json:"keys"`
@@ -41,7 +42,8 @@ type FleetBenchPoint struct {
 // placement at N=4, or if any run loses jobs or diverges.
 func runFleetBench(outPath string, minHitGain float64) error {
 	res := FleetBench{
-		Seed: 1, Jobs: 20000, Keys: 256, Cache: 24, Traffic: sim.TrafficZipf,
+		BenchEnv: benchEnv(),
+		Seed:     1, Jobs: 20000, Keys: 256, Cache: 24, Traffic: sim.TrafficZipf,
 	}
 	for _, nodes := range []int{1, 2, 4, 8} {
 		base := sim.Config{

@@ -26,6 +26,13 @@
 // access mixes, verifying canonical-digest equality on every run, and
 // writes BENCH_detect.json.
 //
+// With -shadow it A/B-benchmarks the adaptive ownership tier (exclusive
+// regions answered with one region-level clock comparison instead of
+// per-epoch checks) against the span baseline over private, block-owned
+// and contended mixes, and drains a page sweep under a shadow byte cap
+// a quarter of its unbounded footprint, verifying the cap holds. Writes
+// BENCH_shadow.json.
+//
 // With -fleet it runs the deterministic cluster simulator at N ∈
 // {1,2,4,8} workers under identical zipf traffic, comparing cache-affine
 // ring routing against the seeded-random baseline (warm hit rate and
@@ -63,9 +70,10 @@ func main() {
 		scalingB = flag.Bool("scaling", false, "benchmark detection throughput vs queue count instead")
 		simB     = flag.Bool("sim", false, "benchmark the warp-vectorized interpreter against the lane-major baseline instead")
 		detectB  = flag.Bool("detect", false, "benchmark the coalesced-span shadow fast path against the per-cell baseline instead")
+		shadowB  = flag.Bool("shadow", false, "benchmark the adaptive ownership tier and the memory-bounded shadow instead")
 		fleetB   = flag.Bool("fleet", false, "benchmark fleet warm routing against random placement in the cluster simulator instead")
 		repairB  = flag.Bool("repair", false, "benchmark verified repair synthesis (cold vs memoized warm) instead")
-		minSpeed = flag.Float64("min-speedup", 0, "with -sim, -detect or -repair: fail unless the speedup reaches this factor")
+		minSpeed = flag.Float64("min-speedup", 0, "with -sim, -detect, -shadow or -repair: fail unless the speedup reaches this factor")
 		minGain  = flag.Float64("min-hit-gain", 0, "with -fleet: fail unless ring/random hit-rate gain at N=4 reaches this factor")
 		jobs     = flag.Int("jobs", 32, "jobs per phase for -server and -repair")
 		workers  = flag.Int("workers", 4, "detection workers for -server")
@@ -116,6 +124,18 @@ func main() {
 			path = "BENCH_detect.json"
 		}
 		if err := runDetectBench(path, *minSpeed); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shadowB {
+		runtime.GOMAXPROCS(runtime.NumCPU())
+		path := *out
+		if path == "" {
+			path = "BENCH_shadow.json"
+		}
+		if err := runShadowBench(path, *minSpeed); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}

@@ -27,7 +27,7 @@ const repairKernel = `.visible .entry k(.param .u64 out)
 
 // RepairBench is the BENCH_repair.json schema.
 type RepairBench struct {
-	GOMAXPROCS        int     `json:"gomaxprocs"`
+	BenchEnv
 	Repairs           int     `json:"repairs_per_phase"`
 	ColdRepairsPerSec float64 `json:"cold_repairs_per_sec"` // distinct modules: full synthesis + verification
 	WarmRepairsPerSec float64 `json:"warm_repairs_per_sec"` // same request: memo lookup on the cache entry
@@ -97,7 +97,7 @@ func runRepairBench(repairs int, minSpeedup float64, outPath string) error {
 	warm := time.Since(start)
 
 	res := RepairBench{
-		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		BenchEnv:          benchEnv(),
 		Repairs:           repairs,
 		ColdRepairsPerSec: float64(repairs) / cold.Seconds(),
 		WarmRepairsPerSec: float64(repairs) / warm.Seconds(),

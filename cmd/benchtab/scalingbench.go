@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 
 	"barracuda/internal/bench"
 )
@@ -15,8 +14,7 @@ import (
 // interesting signal is that throughput does not *degrade* and that
 // races_equal holds everywhere.
 type ScalingBench struct {
-	NumCPU     int                 `json:"num_cpu"`
-	GOMAXPROCS int                 `json:"gomaxprocs"`
+	BenchEnv
 	Benchmarks int                 `json:"benchmarks"`
 	Points     []ScalingBenchPoint `json:"points"`
 }
@@ -40,8 +38,7 @@ func runScalingBench(outPath string) error {
 		return err
 	}
 	res := ScalingBench{
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchEnv:   benchEnv(),
 		Benchmarks: len(bench.All()),
 	}
 	for _, p := range points {

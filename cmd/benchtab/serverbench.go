@@ -7,7 +7,6 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"runtime"
 	"sync"
 	"time"
 
@@ -29,7 +28,7 @@ const benchKernel = `.visible .entry k(.param .u64 out)
 
 // ServerBench is the BENCH_server.json schema.
 type ServerBench struct {
-	GOMAXPROCS     int     `json:"gomaxprocs"`
+	BenchEnv
 	Workers        int     `json:"workers"`
 	Jobs           int     `json:"jobs_per_phase"`
 	ColdJobsPerSec float64 `json:"cold_jobs_per_sec"` // every job a distinct module (all cache misses)
@@ -150,7 +149,7 @@ func runServerBench(jobs, workers int, outPath string) error {
 	}
 
 	res := ServerBench{
-		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		BenchEnv:       benchEnv(),
 		Workers:        workers,
 		Jobs:           jobs,
 		ColdJobsPerSec: float64(jobs) / cold.Seconds(),

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"barracuda/internal/bench"
+)
+
+// ShadowBenchOut is the BENCH_shadow.json schema: the adaptive
+// ownership tier (exclusive regions answered with one region-level
+// comparison) measured A/B against the span baseline over private,
+// block-owned and contended access mixes, plus the memory-bounded
+// page-sweep showing the byte cap holding where the unbounded shadow
+// grows 4x past it.
+type ShadowBenchOut struct {
+	BenchEnv
+
+	// PrivateSpeedup is the headline number the ownership tier exists
+	// for: baseline drain time over fast-path drain time on the
+	// single-owner private mix.
+	PrivateSpeedup float64 `json:"private_speedup"`
+	DigestsEqual   bool    `json:"digests_equal"`
+
+	Points  []bench.ShadowPoint      `json:"points"`
+	Bounded bench.ShadowBoundedPoint `json:"bounded"`
+}
+
+// runShadowBench runs the adaptive-shadow A/B experiment, writes the
+// artifact, and (when minSpeedup > 0) enforces the perf and equivalence
+// gate on the private mix.
+func runShadowBench(outPath string, minSpeedup float64) error {
+	r, err := bench.ShadowBench(bench.ShadowOptions{})
+	if err != nil {
+		return err
+	}
+	env := benchEnv()
+	env.Ownership = true
+	env.ShadowCapBytes = r.Bounded.CapBytes
+	out := ShadowBenchOut{
+		BenchEnv:       env,
+		PrivateSpeedup: r.PrivateSpeedup,
+		DigestsEqual:   r.DigestsEqual,
+		Points:         r.Points,
+		Bounded:        r.Bounded,
+	}
+	fmt.Println("adaptive-shadow A/B: span baseline vs exclusive-ownership fast path")
+	fmt.Printf("%-12s %9s %14s %14s %8s %10s %11s\n",
+		"mix", "records", "base rec/s", "own rec/s", "speedup", "owned frac", "inflations")
+	for _, p := range r.Points {
+		fmt.Printf("%-12s %9d %14.0f %14.0f %7.2fx %9.1f%% %11d\n",
+			p.Mix, p.Records, p.BaseRecordsPerSec, p.OwnRecordsPerSec,
+			p.Speedup, p.OwnedFastFrac*100, p.Inflations)
+	}
+	b := r.Bounded
+	fmt.Printf("bounded sweep: unbounded peak %.1f MiB, cap %.1f MiB, bounded peak %.1f MiB, evictions %d (live %d), cap_held=%v\n",
+		float64(b.UnboundedPeakBytes)/(1<<20), float64(b.CapBytes)/(1<<20),
+		float64(b.BoundedPeakBytes)/(1<<20), b.Evictions, b.LiveEvictions, b.CapHeld)
+	data, _ := json.MarshalIndent(out, "", "  ")
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: private speedup %.2fx, digests_equal=%v\n",
+		outPath, out.PrivateSpeedup, out.DigestsEqual)
+	if !out.DigestsEqual {
+		return fmt.Errorf("adaptive shadow disagrees with baseline: canonical digests differ")
+	}
+	if !b.CapHeld {
+		return fmt.Errorf("bounded sweep exceeded its byte cap: peak %d > cap %d", b.BoundedPeakBytes, b.CapBytes)
+	}
+	if minSpeedup > 0 && out.PrivateSpeedup < minSpeedup {
+		return fmt.Errorf("private-mix speedup %.3fx below required %.3fx", out.PrivateSpeedup, minSpeedup)
+	}
+	return nil
+}

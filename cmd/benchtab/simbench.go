@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 
 	"barracuda/internal/bench"
 )
@@ -14,8 +13,7 @@ import (
 // pooled launch state) measured A/B against the legacy lane-major
 // interpreter over the 26-benchmark suite.
 type SimBench struct {
-	NumCPU     int `json:"num_cpu"`
-	GOMAXPROCS int `json:"gomaxprocs"`
+	BenchEnv
 	Benchmarks int `json:"benchmarks"`
 
 	WarpInstrs uint64 `json:"warp_instrs"`
@@ -56,8 +54,7 @@ func runSimBench(outPath string, minSpeedup float64) error {
 		return err
 	}
 	out := SimBench{
-		NumCPU:               runtime.NumCPU(),
-		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		BenchEnv:             benchEnv(),
 		Benchmarks:           len(r.Points),
 		WarpInstrs:           r.WarpInstrs,
 		Records:              r.Records,

@@ -28,6 +28,7 @@ type StaticBenchRow struct {
 
 // StaticBench is the BENCH_static.json schema.
 type StaticBench struct {
+	BenchEnv
 	Rows     []StaticBenchRow `json:"rows"`
 	Improved int              `json:"improved"`
 	Total    int              `json:"total"`
@@ -67,7 +68,7 @@ func staticRun(b *bench.Benchmark, cfg detector.Config) (*detector.Session, *det
 // instrumented fractions, detection throughput, and report equivalence —
 // and writes the artifact.
 func runStaticBench(outPath string) error {
-	out := StaticBench{Rows: []StaticBenchRow{}}
+	out := StaticBench{BenchEnv: benchEnv(), Rows: []StaticBenchRow{}}
 	for _, b := range bench.All() {
 		_, base, err := staticRun(b, detector.Config{})
 		if err != nil {

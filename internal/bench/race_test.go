@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race, so wall-clock-heavy deterministic tests can stay within the
+// package's default timeout under the ~10x race-detector slowdown.
+const raceDetectorEnabled = true

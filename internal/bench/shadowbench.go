@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"time"
+
+	"barracuda/internal/core"
+	"barracuda/internal/logging"
+	"barracuda/internal/shadow"
+	"barracuda/internal/trace"
+)
+
+// ShadowPoint is one access mix's A/B measurement of the adaptive
+// ownership tier: the span baseline (Ownership off) against the
+// exclusive-ownership fast path (Ownership on). Times are
+// best-of-repeats for draining the mix's full record stream through one
+// detector worker.
+type ShadowPoint struct {
+	Mix     string `json:"mix"`
+	Records int    `json:"records"`
+
+	BaseNS float64 `json:"base_ns"` // span baseline drain time, ns
+	OwnNS  float64 `json:"own_ns"`  // ownership fast-path drain time, ns
+
+	BaseRecordsPerSec float64 `json:"base_records_per_sec"`
+	OwnRecordsPerSec  float64 `json:"own_records_per_sec"`
+
+	Speedup      float64 `json:"speedup"` // BaseNS / OwnNS
+	DigestsEqual bool    `json:"digests_equal"`
+
+	// Ownership-tier telemetry from the fast-path run: what fraction of
+	// records the tier fully absorbed, and how the mix moved through the
+	// lattice.
+	OwnedFastFrac float64 `json:"owned_fast_frac"`
+	Claims        uint64  `json:"claims"`
+	Promotions    uint64  `json:"promotions"`
+	Inflations    uint64  `json:"inflations"`
+}
+
+// ShadowBoundedPoint is the memory-bounded half of the experiment: one
+// page-sweeping stream drained with and without a shadow byte cap.
+type ShadowBoundedPoint struct {
+	Records  int   `json:"records"`
+	CapBytes int64 `json:"cap_bytes"`
+
+	UnboundedPeakBytes int64 `json:"unbounded_peak_bytes"`
+	BoundedPeakBytes   int64 `json:"bounded_peak_bytes"`
+
+	Evictions         uint64 `json:"evictions"`
+	LiveEvictions     uint64 `json:"live_evictions"`
+	PrecisionDegraded bool   `json:"precision_degraded"`
+
+	// CapHeld: bounded peak never exceeded the cap by more than one
+	// transient region allocation.
+	CapHeld bool `json:"cap_held"`
+}
+
+// ShadowResult aggregates the adaptive-shadow experiment, the
+// BENCH_shadow.json payload.
+type ShadowResult struct {
+	Points []ShadowPoint `json:"points"`
+
+	// PrivateSpeedup is the speedup on the single-owner private mix —
+	// the headline number the ownership tier exists for, and the one
+	// `benchtab -shadow -min-speedup` gates on.
+	PrivateSpeedup float64 `json:"private_speedup"`
+	DigestsEqual   bool    `json:"digests_equal"`
+
+	Bounded ShadowBoundedPoint `json:"bounded"`
+}
+
+// ShadowOptions tunes the adaptive-shadow experiment.
+type ShadowOptions struct {
+	// Repeats is how many times each mix is drained per path; the
+	// fastest drain is kept (default 5).
+	Repeats int
+	// Iters scales the stream length (sweeps per warp, default 200).
+	Iters int
+}
+
+// shadowStream generates one ownership mix's record stream over the
+// detectGeo launch. kind selects who shares shadow regions:
+//
+//	private    — each warp sweeps its OWN 64 KiB page, alternating
+//	  coalesced and strided (stride 2x the access size) instructions.
+//	  Every region stays exclusively warp-owned, so the ownership tier
+//	  replaces the whole epoch machinery — per-cell loops for the
+//	  strided half — with one region-level comparison per record. The
+//	  target of the `-min-speedup` gate.
+//	blockowned — the warps of each block take turns sweeping the
+//	  block's page, one warp per barrier interval. Regions promote
+//	  warp→block, and the barriers keep the clock bounds provable.
+//	contended  — every warp sweeps the same pages with no ordering:
+//	  regions inflate to shared immediately, bounding the tier's
+//	  overhead on traffic it cannot help.
+func shadowStream(kind string, iters int) []logging.Record {
+	geo := detectGeo()
+	wpb := geo.WarpsPerBlock()
+	warps := geo.Blocks * wpb
+	instrsPerSweep := 8
+	recs := make([]logging.Record, 0, warps*iters*instrsPerSweep)
+
+	mem := func(w, instr int, base uint64, strided bool) logging.Record {
+		var r logging.Record
+		r.Warp = uint32(w)
+		r.Block = uint32(w / wpb)
+		r.Space = logging.SpaceGlobal
+		r.Size = 4
+		r.PC = uint32(instr + 1)
+		if instr%2 == 0 {
+			r.Op = trace.OpRead
+		} else {
+			r.Op = trace.OpWrite
+		}
+		r.Mask = ^uint32(0)
+		stride := uint64(4)
+		if strided {
+			stride = 8
+		}
+		for lane := 0; lane < 32; lane++ {
+			r.Addrs[lane] = base + uint64(lane)*stride
+			r.Vals[lane] = uint64(lane)
+		}
+		r.Classify()
+		return r
+	}
+
+	switch kind {
+	case "private":
+		for it := 0; it < iters; it++ {
+			for w := 0; w < warps; w++ {
+				window := uint64(w) * shadow.PageBytes
+				for i := 0; i < instrsPerSweep; i++ {
+					base := window + uint64(i)*256
+					recs = append(recs, mem(w, i, base, i%2 == 1))
+				}
+			}
+		}
+	case "blockowned":
+		for it := 0; it < iters; it++ {
+			for b := 0; b < geo.Blocks; b++ {
+				w := b*wpb + it%wpb // this interval's sweeping warp
+				window := uint64(b) * shadow.PageBytes
+				for i := 0; i < instrsPerSweep; i++ {
+					base := window + uint64(i)*256
+					recs = append(recs, mem(w, i, base, i%2 == 1))
+				}
+			}
+			// Block-wide barrier: orders this interval's sweeps before
+			// the next warp's, so the ownership tier can prove the
+			// rotated clock bounds.
+			for b := 0; b < geo.Blocks; b++ {
+				var r logging.Record
+				r.Op = trace.OpBarRel
+				r.Block = uint32(b)
+				r.Mask = 1<<uint(wpb) - 1
+				recs = append(recs, r)
+			}
+		}
+	case "contended":
+		for it := 0; it < iters; it++ {
+			for w := 0; w < warps; w++ {
+				for i := 0; i < instrsPerSweep; i++ {
+					base := uint64(i) * shadow.PageBytes / uint64(instrsPerSweep)
+					recs = append(recs, mem(w, i, base, i%2 == 1))
+				}
+			}
+		}
+	}
+	return recs
+}
+
+// shadowDrain runs one stream through a fresh single-worker detector
+// and returns the drain time, the canonical digest and the shadow
+// stats.
+func shadowDrain(recs []logging.Record, opts core.Options) (time.Duration, string, shadow.MemStats) {
+	det := core.New(detectGeo(), 0, opts)
+	w := det.NewWorker()
+	start := time.Now()
+	for i := range recs {
+		w.Handle(&recs[i])
+	}
+	d := time.Since(start)
+	rep := det.Report()
+	return d, rep.CanonicalDigest(), rep.Shadow
+}
+
+// shadowSweepStream generates the bounded-memory stream: every warp
+// walks a long run of pages exactly once (coalesced writes), so the
+// unbounded shadow's footprint grows linearly with the sweep while the
+// bounded shadow must evict cold pages as it goes.
+func shadowSweepStream(pages int) []logging.Record {
+	geo := detectGeo()
+	wpb := geo.WarpsPerBlock()
+	warps := geo.Blocks * wpb
+	recsPerPage := int(uint64(shadow.PageBytes) / 128)
+	recs := make([]logging.Record, 0, pages*recsPerPage)
+	for p := 0; p < pages; p++ {
+		w := p % warps
+		window := uint64(p) * shadow.PageBytes
+		for i := 0; i < recsPerPage; i++ {
+			var r logging.Record
+			r.Warp = uint32(w)
+			r.Block = uint32(w / wpb)
+			r.Space = logging.SpaceGlobal
+			r.Size = 4
+			r.PC = uint32(i + 1)
+			r.Op = trace.OpWrite
+			r.Mask = ^uint32(0)
+			base := window + uint64(i)*128
+			for lane := 0; lane < 32; lane++ {
+				r.Addrs[lane] = base + uint64(lane)*4
+				r.Vals[lane] = uint64(lane)
+			}
+			r.Classify()
+			recs = append(recs, r)
+		}
+	}
+	return recs
+}
+
+// ShadowBench runs the adaptive-shadow A/B experiment: each ownership
+// mix's stream is drained through the span baseline and the ownership
+// fast path, best-of-repeats, with canonical-digest equality checked
+// every run; then the page sweep is drained with and without a byte cap
+// a quarter of its unbounded footprint.
+func ShadowBench(opts ShadowOptions) (*ShadowResult, error) {
+	repeats := opts.Repeats
+	if repeats <= 0 {
+		repeats = 5
+	}
+	iters := opts.Iters
+	if iters <= 0 {
+		iters = 200
+	}
+	res := &ShadowResult{DigestsEqual: true}
+	for _, mix := range []string{"private", "blockowned", "contended"} {
+		recs := shadowStream(mix, iters)
+		pt := ShadowPoint{Mix: mix, Records: len(recs), DigestsEqual: true}
+		var baseBest, ownBest time.Duration
+		var ownStats shadow.MemStats
+		for rep := 0; rep < repeats; rep++ {
+			bd, bdig, _ := shadowDrain(recs, core.Options{})
+			od, odig, ost := shadowDrain(recs, core.Options{Ownership: true})
+			if rep == 0 || bd < baseBest {
+				baseBest = bd
+			}
+			if rep == 0 || od < ownBest {
+				ownBest = od
+			}
+			if bdig != odig {
+				pt.DigestsEqual = false
+			}
+			ownStats = ost
+		}
+		pt.BaseNS = float64(baseBest.Nanoseconds())
+		pt.OwnNS = float64(ownBest.Nanoseconds())
+		if pt.BaseNS > 0 {
+			pt.BaseRecordsPerSec = float64(pt.Records) / pt.BaseNS * 1e9
+		}
+		if pt.OwnNS > 0 {
+			pt.OwnRecordsPerSec = float64(pt.Records) / pt.OwnNS * 1e9
+			pt.Speedup = pt.BaseNS / pt.OwnNS
+		}
+		if pt.Records > 0 {
+			pt.OwnedFastFrac = float64(ownStats.OwnedFast) / float64(pt.Records)
+		}
+		pt.Claims = ownStats.Claims
+		pt.Promotions = ownStats.Promotions
+		pt.Inflations = ownStats.Inflations
+		if mix == "private" {
+			res.PrivateSpeedup = pt.Speedup
+		}
+		res.DigestsEqual = res.DigestsEqual && pt.DigestsEqual
+		res.Points = append(res.Points, pt)
+	}
+
+	// Bounded half: sweep enough pages that the unbounded footprint is
+	// 4x the cap (granularity 4 keeps the absolute sizes modest).
+	const sweepPages = 64
+	sweep := shadowSweepStream(sweepPages)
+	_, _, free := shadowDrain(sweep, core.Options{Granularity: 4})
+	capBytes := free.PeakResidentBytes / 4
+	_, _, bound := shadowDrain(sweep, core.Options{Granularity: 4, ShadowCapBytes: capBytes})
+	regionBytes := free.PeakResidentBytes / sweepPages
+	res.Bounded = ShadowBoundedPoint{
+		Records:            len(sweep),
+		CapBytes:           capBytes,
+		UnboundedPeakBytes: free.PeakResidentBytes,
+		BoundedPeakBytes:   bound.PeakResidentBytes,
+		Evictions:          bound.Evictions,
+		LiveEvictions:      bound.LiveEvictions,
+		PrecisionDegraded:  bound.PrecisionDegraded,
+		CapHeld:            bound.PeakResidentBytes <= capBytes+regionBytes,
+	}
+	return res, nil
+}

@@ -1,0 +1,55 @@
+package bench
+
+import "testing"
+
+// TestShadowBenchSmoke: the adaptive-shadow A/B experiment runs, every
+// mix's reports are identical between the ownership fast path and the
+// span baseline, the private mix actually engages the tier, and the
+// bounded sweep holds its cap.
+func TestShadowBenchSmoke(t *testing.T) {
+	res, err := ShadowBench(ShadowOptions{Repeats: 2, Iters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("expected 3 mixes, got %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if !p.DigestsEqual {
+			t.Errorf("mix %s: reports diverged between ownership and baseline paths", p.Mix)
+		}
+		if p.Records == 0 || p.BaseNS == 0 || p.OwnNS == 0 {
+			t.Errorf("mix %s: empty measurement: %+v", p.Mix, p)
+		}
+		switch p.Mix {
+		case "private":
+			if p.OwnedFastFrac < 0.9 {
+				t.Errorf("private mix: ownership tier absorbed only %.0f%% of records", p.OwnedFastFrac*100)
+			}
+			if p.Inflations != 0 {
+				t.Errorf("private mix inflated %d exclusively-owned regions", p.Inflations)
+			}
+		case "blockowned":
+			if p.Promotions == 0 {
+				t.Error("blockowned mix never promoted a warp-owned region to block ownership")
+			}
+		case "contended":
+			if p.Inflations == 0 {
+				t.Error("contended mix never inflated: the mix is not contending")
+			}
+		}
+	}
+	b := res.Bounded
+	if !b.CapHeld {
+		t.Errorf("bounded sweep exceeded its cap: peak %d, cap %d", b.BoundedPeakBytes, b.CapBytes)
+	}
+	if b.UnboundedPeakBytes < 4*b.CapBytes {
+		t.Errorf("bounded sweep is too gentle: unbounded peak %d < 4x cap %d", b.UnboundedPeakBytes, b.CapBytes)
+	}
+	if b.Evictions == 0 {
+		t.Error("bounded sweep never evicted")
+	}
+	if b.PrecisionDegraded != (b.LiveEvictions > 0) {
+		t.Errorf("PrecisionDegraded = %t but LiveEvictions = %d", b.PrecisionDegraded, b.LiveEvictions)
+	}
+}

@@ -114,6 +114,16 @@ type Report struct {
 	Divergences  []BarrierDivergence
 	RecordsSeen  uint64
 	SameValueGag uint64 // intra-warp same-value writes filtered
+
+	// Shadow snapshots the shadow-memory occupancy and the adaptive-
+	// tier counters (ownership claims/inflations, evictions,
+	// compactions) at report time. Diagnostic only: the canonical
+	// digest does not cover it.
+	Shadow shadow.MemStats
+	// PrecisionDegraded is true when an LRU eviction discarded live
+	// shadow metadata: from that point on, races involving the
+	// discarded epochs can go unreported (never falsely reported).
+	PrecisionDegraded bool
 }
 
 // RaceCount returns the number of distinct static races.
@@ -149,6 +159,16 @@ type Options struct {
 	// warp access down the per-cell shadow loop — the A/B baseline for
 	// the span optimization (pattern of gpusim's LaneMajor knob).
 	PerCellShadow bool
+	// Ownership enables the exclusive-ownership fast tier (owned.go):
+	// regions touched by a single warp or block skip the epoch checks
+	// entirely. Requires span mode (no effect under FullVC or
+	// PerCellShadow, which the detector-level Config rejects).
+	Ownership bool
+	// ShadowCapBytes bounds the resident shadow (global pages + shared
+	// slabs) to this many bytes via LRU eviction, and enables epoch-
+	// based compaction of shared slabs at fully-converged block
+	// barriers. 0 means unbounded. Requires span mode.
+	ShadowCapBytes int64
 }
 
 // raceKey dedupes dynamic races into static ones.
@@ -188,6 +208,11 @@ type Detector struct {
 	// (per-thread clocks are not uniform across a warp) and under the
 	// PerCellShadow baseline knob.
 	spans bool
+
+	// owned enables the exclusive-ownership fast tier and compact the
+	// barrier-time shared-slab compaction; both require span mode.
+	owned   bool
+	compact bool
 
 	warps []*warpMirror // indexed by global warp id; block-affine access
 
@@ -287,6 +312,14 @@ func New(geo ptvc.Geometry, sharedBytes int64, opts Options) *Detector {
 	} else if !opts.PerCellShadow {
 		d.spans = true
 		d.mem.EnableSpans(geo)
+		if opts.Ownership {
+			d.owned = true
+			d.mem.EnableOwnership()
+		}
+		if opts.ShadowCapBytes > 0 {
+			d.compact = true
+			d.mem.SetCapBytes(opts.ShadowCapBytes)
+		}
 	}
 	return d
 }
@@ -388,7 +421,7 @@ func ordered(g *ptvc.Group, tid vc.TID, e vc.Epoch) bool {
 func (d *Detector) handleMemory(r *logging.Record, w *Worker) {
 	g := w.warp(int(r.Warp)).top()
 	w.hist[g.Format()].Add(1)
-	if !d.trySpan(r, g, w) {
+	if !d.tryOwned(r, g, w) && !d.trySpan(r, g, w) {
 		var span *shadow.SpanCache
 		if w.caching {
 			span = &w.span
@@ -614,6 +647,9 @@ func (d *Detector) handleBarRelease(r *logging.Record, _ *Worker) {
 	for _, g := range groups {
 		g.Barrier(m)
 	}
+	if d.compact {
+		d.maybeCompactShared(r, base, wpb)
+	}
 }
 
 // handleIf mirrors the SIMT-stack push of a divergent branch (IF rule).
@@ -710,6 +746,8 @@ func (d *Detector) Report() *Report {
 		out.RecordsSeen += w.records.Load()
 		out.SameValueGag += w.sameValue.Load()
 	}
+	out.Shadow = d.mem.Stats()
+	out.PrecisionDegraded = out.Shadow.PrecisionDegraded
 	d.repMu.Lock()
 	defer d.repMu.Unlock()
 	for _, rc := range d.races {

@@ -84,6 +84,14 @@ func (d *Detector) spanRun(r *logging.Record, g *ptvc.Group, w *Worker, reg *sha
 	reg.Lock()
 	defer reg.Unlock()
 
+	// Keep the ownership facts alive for traffic that bypassed the
+	// ownership fast path (diverged groups, clock bounds not provably
+	// below the barrier): every store below carries clock g.L under
+	// warp r.Warp, which is exactly what trackOwner folds in.
+	if d.owned {
+		d.trackOwner(reg, r, g)
+	}
+
 	nRanks := (hi - lo) * d.mem.Granularity() / int(r.Size)
 	runMask := spanRunMask(r.Mask, byteOff/int(r.Size), nRanks)
 

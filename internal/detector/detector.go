@@ -51,6 +51,20 @@ type Config struct {
 	// warp access takes the per-cell loop. The A/B baseline for the span
 	// optimization; race reports are identical either way.
 	PerCellShadow bool
+	// Ownership enables the exclusive-ownership shadow tier: regions
+	// touched by a single warp (or, across barriers, a single block)
+	// skip the epoch checks entirely until a second owner appears. Race
+	// reports are identical either way. Requires the span fast path, so
+	// it is mutually exclusive with FullVC and PerCellShadow.
+	Ownership bool
+	// ShadowCapBytes bounds resident shadow memory (global pages plus
+	// shared slabs) to this many bytes: shared slabs are compacted at
+	// fully-converged block barriers (losslessly), and past the cap the
+	// least-recently-used region is evicted, with Result reporting
+	// PrecisionDegraded when an eviction discarded live metadata. 0
+	// means unbounded. Requires the span fast path, so it is mutually
+	// exclusive with FullVC and PerCellShadow.
+	ShadowCapBytes int64
 }
 
 // Validate rejects nonsensical configurations. Zero values select
@@ -72,6 +86,21 @@ func (c Config) Validate() error {
 	}
 	if c.NoPrune && c.StaticPrune {
 		return fmt.Errorf("detector: NoPrune and StaticPrune are mutually exclusive: the static pruner subsumes the intra-block optimization NoPrune disables")
+	}
+	if c.ShadowCapBytes < 0 {
+		return fmt.Errorf("detector: ShadowCapBytes must be >= 0 (0 leaves the shadow unbounded), got %d", c.ShadowCapBytes)
+	}
+	if c.Ownership && c.FullVC {
+		return fmt.Errorf("detector: Ownership and FullVC are mutually exclusive: the ownership tier relies on the compressed-PTVC convergence invariant the full-VC ablation abandons")
+	}
+	if c.Ownership && c.PerCellShadow {
+		return fmt.Errorf("detector: Ownership and PerCellShadow are mutually exclusive: the ownership tier lives on the region-locked span paths PerCellShadow disables")
+	}
+	if c.ShadowCapBytes > 0 && c.FullVC {
+		return fmt.Errorf("detector: ShadowCapBytes and FullVC are mutually exclusive: bounded shadow relies on the span-mode region bookkeeping the full-VC ablation bypasses")
+	}
+	if c.ShadowCapBytes > 0 && c.PerCellShadow {
+		return fmt.Errorf("detector: ShadowCapBytes and PerCellShadow are mutually exclusive: bounded shadow relies on the region bookkeeping the per-cell baseline bypasses")
 	}
 	return nil
 }
@@ -267,6 +296,8 @@ func (s *Session) Detect(kernelName string, launch gpusim.LaunchConfig) (*Result
 		NoSameValueFilter: s.cfg.NoSameValueFilter,
 		FullVC:            s.cfg.FullVC,
 		PerCellShadow:     s.cfg.PerCellShadow,
+		Ownership:         s.cfg.Ownership,
+		ShadowCapBytes:    s.cfg.ShadowCapBytes,
 	})
 	set := logging.NewSet(s.cfg.Queues, s.cfg.QueueCap)
 

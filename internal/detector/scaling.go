@@ -93,6 +93,8 @@ func Replay(cap *Capture, cfg Config) (*ReplayResult, error) {
 		NoSameValueFilter: cfg.NoSameValueFilter,
 		FullVC:            cfg.FullVC,
 		PerCellShadow:     cfg.PerCellShadow,
+		Ownership:         cfg.Ownership,
+		ShadowCapBytes:    cfg.ShadowCapBytes,
 	})
 	set := logging.NewSet(cfg.Queues, cfg.QueueCap)
 

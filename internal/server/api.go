@@ -18,19 +18,22 @@ import (
 	"barracuda/internal/core"
 	"barracuda/internal/detector"
 	"barracuda/internal/gpusim"
+	"barracuda/internal/shadow"
 )
 
 // ConfigJSON is the wire form of detector.Config.
 type ConfigJSON struct {
-	Queues            int  `json:"queues,omitempty"`
-	QueueCap          int  `json:"queue_cap,omitempty"`
-	Granularity       int  `json:"granularity,omitempty"`
-	MaxRaces          int  `json:"max_races,omitempty"`
-	FullVC            bool `json:"full_vc,omitempty"`
-	NoPrune           bool `json:"no_prune,omitempty"`
-	StaticPrune       bool `json:"static_prune,omitempty"`
-	NoSameValueFilter bool `json:"no_same_value_filter,omitempty"`
-	PerCellShadow     bool `json:"per_cell_shadow,omitempty"`
+	Queues            int   `json:"queues,omitempty"`
+	QueueCap          int   `json:"queue_cap,omitempty"`
+	Granularity       int   `json:"granularity,omitempty"`
+	MaxRaces          int   `json:"max_races,omitempty"`
+	FullVC            bool  `json:"full_vc,omitempty"`
+	NoPrune           bool  `json:"no_prune,omitempty"`
+	StaticPrune       bool  `json:"static_prune,omitempty"`
+	NoSameValueFilter bool  `json:"no_same_value_filter,omitempty"`
+	PerCellShadow     bool  `json:"per_cell_shadow,omitempty"`
+	Ownership         bool  `json:"ownership,omitempty"`
+	ShadowCapBytes    int64 `json:"shadow_cap_bytes,omitempty"`
 }
 
 // Detector converts to the internal config.
@@ -45,6 +48,8 @@ func (c ConfigJSON) Detector() detector.Config {
 		StaticPrune:       c.StaticPrune,
 		NoSameValueFilter: c.NoSameValueFilter,
 		PerCellShadow:     c.PerCellShadow,
+		Ownership:         c.Ownership,
+		ShadowCapBytes:    c.ShadowCapBytes,
 	}
 }
 
@@ -199,6 +204,12 @@ type JobResult struct {
 	DetectMS          float64                `json:"detect_ms"`
 	Formats           map[string]int         `json:"ptvc_formats,omitempty"`
 	Repair            *detector.RepairReport `json:"repair,omitempty"`
+	// Shadow reports the shadow-memory occupancy and adaptive-tier
+	// counters of the run; PrecisionDegraded is true when a bounded
+	// shadow evicted live metadata (races may be under- but never
+	// over-reported from that point).
+	Shadow            *shadow.MemStats `json:"shadow,omitempty"`
+	PrecisionDegraded bool             `json:"precision_degraded,omitempty"`
 }
 
 // JobInfo is the job envelope returned by the API.
@@ -248,7 +259,10 @@ func resultJSON(kernel string, res *detector.Result) *JobResult {
 		WarpInstrs:        res.SimStats.WarpInstrs,
 		Records:           res.SimStats.Records,
 		DetectMS:          float64(res.Duration.Microseconds()) / 1000,
+		PrecisionDegraded: res.Report.PrecisionDegraded,
 	}
+	sh := res.Report.Shadow
+	out.Shadow = &sh
 	for _, r := range res.Report.Races {
 		out.Races = append(out.Races, RaceJSON{
 			Kind:    r.Kind.String(),

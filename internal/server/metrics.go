@@ -3,6 +3,8 @@ package server
 import (
 	"sync/atomic"
 	"time"
+
+	"barracuda/internal/shadow"
 )
 
 // latencyBucketsMS are the upper bounds (milliseconds) of the per-job
@@ -71,18 +73,75 @@ type Metrics struct {
 	TimedOut  atomic.Int64
 	Rejected  atomic.Int64 // queue-full 429s
 	Latency   Histogram    // successful detect wall time
+
+	// Shadow-memory pressure, accumulated from every successful
+	// detect's per-job shadow stats. PeakResidentBytes is a high-water
+	// mark across jobs; the rest are running sums.
+	ShadowOwnedFast     atomic.Int64 // records handled by the ownership fast path
+	ShadowInflations    atomic.Int64 // exclusive regions inflated to shared
+	ShadowCompactions   atomic.Int64 // shared slabs reclaimed at barriers
+	ShadowEvictions     atomic.Int64 // regions evicted under the byte cap
+	ShadowLiveEvictions atomic.Int64 // evictions that discarded live state
+	ShadowDegradedJobs  atomic.Int64 // jobs that finished PrecisionDegraded
+	ShadowPeakResident  atomic.Int64 // max per-job peak resident bytes
+}
+
+// ObserveShadow folds one completed job's shadow stats into the
+// daemon-wide registry.
+func (m *Metrics) ObserveShadow(st shadow.MemStats) {
+	m.ShadowOwnedFast.Add(int64(st.OwnedFast))
+	m.ShadowInflations.Add(int64(st.Inflations))
+	m.ShadowCompactions.Add(int64(st.Compactions))
+	m.ShadowEvictions.Add(int64(st.Evictions))
+	m.ShadowLiveEvictions.Add(int64(st.LiveEvictions))
+	if st.PrecisionDegraded {
+		m.ShadowDegradedJobs.Add(1)
+	}
+	for {
+		cur := m.ShadowPeakResident.Load()
+		if st.PeakResidentBytes <= cur ||
+			m.ShadowPeakResident.CompareAndSwap(cur, st.PeakResidentBytes) {
+			return
+		}
+	}
+}
+
+// ShadowCounters groups the aggregated shadow-memory figures for the
+// wire.
+type ShadowCounters struct {
+	OwnedFastRecords int64 `json:"owned_fast_records"`
+	Inflations       int64 `json:"ownership_inflations"`
+	Compactions      int64 `json:"compactions"`
+	Evictions        int64 `json:"evictions"`
+	LiveEvictions    int64 `json:"live_evictions"`
+	DegradedJobs     int64 `json:"degraded_jobs"`
+	PeakResident     int64 `json:"peak_resident_bytes"`
+}
+
+// Shadow snapshots the shadow-memory counters.
+func (m *Metrics) Shadow() ShadowCounters {
+	return ShadowCounters{
+		OwnedFastRecords: m.ShadowOwnedFast.Load(),
+		Inflations:       m.ShadowInflations.Load(),
+		Compactions:      m.ShadowCompactions.Load(),
+		Evictions:        m.ShadowEvictions.Load(),
+		LiveEvictions:    m.ShadowLiveEvictions.Load(),
+		DegradedJobs:     m.ShadowDegradedJobs.Load(),
+		PeakResident:     m.ShadowPeakResident.Load(),
+	}
 }
 
 // MetricsJSON is the /metrics response body.
 type MetricsJSON struct {
-	UptimeMS      float64       `json:"uptime_ms"`
-	Workers       int           `json:"workers"`
-	QueueDepth    int           `json:"queue_depth"`
-	QueueCapacity int           `json:"queue_capacity"`
-	InFlight      int           `json:"in_flight"`
-	Jobs          JobCounters   `json:"jobs"`
-	Cache         CacheStats    `json:"cache"`
-	DetectLatency HistogramJSON `json:"detect_latency"`
+	UptimeMS      float64        `json:"uptime_ms"`
+	Workers       int            `json:"workers"`
+	QueueDepth    int            `json:"queue_depth"`
+	QueueCapacity int            `json:"queue_capacity"`
+	InFlight      int            `json:"in_flight"`
+	Jobs          JobCounters    `json:"jobs"`
+	Cache         CacheStats     `json:"cache"`
+	Shadow        ShadowCounters `json:"shadow"`
+	DetectLatency HistogramJSON  `json:"detect_latency"`
 }
 
 // JobCounters groups the job outcome counters.

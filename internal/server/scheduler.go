@@ -187,21 +187,33 @@ type HeartbeatStats struct {
 	CacheMisses int64 `json:"cache_misses"`
 	Completed   int64 `json:"completed"`
 	Failed      int64 `json:"failed"`
+
+	// Shadow-memory pressure: lets the coordinator see which nodes run
+	// detection under a byte cap hard enough to evict live state (and
+	// so degrade precision), and how much shadow the node's jobs peak
+	// at, before routing more memory-hungry kernels its way.
+	ShadowPeakResident int64 `json:"shadow_peak_resident_bytes,omitempty"`
+	ShadowEvictions    int64 `json:"shadow_evictions,omitempty"`
+	ShadowDegradedJobs int64 `json:"shadow_degraded_jobs,omitempty"`
 }
 
 // HeartbeatStats builds the heartbeat payload.
 func (s *Scheduler) HeartbeatStats() HeartbeatStats {
 	cs := s.cache.Stats()
 	c := s.metrics.Counters()
+	sh := s.metrics.Shadow()
 	return HeartbeatStats{
-		QueueDepth:  s.QueueDepth(),
-		QueueCap:    s.opts.QueueCap,
-		InFlight:    s.InFlight(),
-		Workers:     s.opts.Workers,
-		CacheHits:   cs.Hits,
-		CacheMisses: cs.Misses,
-		Completed:   c.Completed,
-		Failed:      c.Failed,
+		QueueDepth:         s.QueueDepth(),
+		QueueCap:           s.opts.QueueCap,
+		InFlight:           s.InFlight(),
+		Workers:            s.opts.Workers,
+		CacheHits:          cs.Hits,
+		CacheMisses:        cs.Misses,
+		Completed:          c.Completed,
+		Failed:             c.Failed,
+		ShadowPeakResident: sh.PeakResident,
+		ShadowEvictions:    sh.Evictions,
+		ShadowDegradedJobs: sh.DegradedJobs,
 	}
 }
 
@@ -408,6 +420,7 @@ func (s *Scheduler) run(job *Job) {
 		case o.err == nil:
 			s.metrics.Completed.Add(1)
 			s.metrics.Latency.Observe(o.res.Duration)
+			s.metrics.ObserveShadow(o.res.Report.Shadow)
 			job.finish(StatusDone, "", resultJSON(o.kernel, o.res))
 		case errors.Is(o.err, gpusim.ErrStepBudget):
 			s.metrics.TimedOut.Add(1)

@@ -169,6 +169,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		InFlight:      s.sched.InFlight(),
 		Jobs:          m.Counters(),
 		Cache:         s.sched.Cache().Stats(),
+		Shadow:        m.Shadow(),
 		DetectLatency: m.Latency.Snapshot(),
 	})
 }

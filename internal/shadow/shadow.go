@@ -100,6 +100,11 @@ func (c *Cell) InflateReads() {
 // pageBits is the per-page coverage: 64 KiB of device memory per page.
 const pageBits = 16
 
+// PageBytes is the device-memory coverage of one global shadow page —
+// exported so region-granular callers (the core's ownership fast path)
+// can detect page-crossing accesses without resolving both ends.
+const PageBytes = 1 << pageBits
+
 // pageStripes is the fixed stripe count of the global page table. Power
 // of two so stripe selection is a mask; 64 stripes keep the per-stripe
 // copy-on-write maps tiny and allocation contention negligible.
@@ -137,6 +142,29 @@ type Memory struct {
 	// thread ids when a summary is materialized into cells.
 	spans bool
 	geo   ptvc.Geometry
+
+	// Adaptive ownership tier (owner.go). owned gates the per-region
+	// tracking hooks; the counters are fleet-visible diagnostics.
+	owned         bool
+	ownClaims     atomic.Uint64
+	ownPromotions atomic.Uint64
+	ownInflations atomic.Uint64
+	ownFast       atomic.Uint64
+
+	// Bounded shadow (owner.go). capBytes == 0 means unbounded; gen is
+	// bumped on every eviction/compaction so worker SpanCaches drop
+	// stale region pointers.
+	capBytes       int64
+	resident       atomic.Int64
+	peakResident   atomic.Int64
+	useClock       atomic.Uint64
+	gen            atomic.Uint64
+	evictMu        sync.Mutex
+	evictions      atomic.Uint64
+	liveEvictions  atomic.Uint64
+	compactions    atomic.Uint64
+	compactedBytes atomic.Int64
+	degraded       atomic.Bool
 
 	syncMu sync.Mutex
 	syncs  map[Key]*SyncLoc
@@ -193,6 +221,24 @@ type SpanCache struct {
 
 	sharedBlock int32
 	shared      *Region // nil until the first shared hit
+
+	// gen is the shadow generation the cached pointers were resolved
+	// under; a mismatch (bounded mode only) means a region may have been
+	// evicted or compacted since, so both pointers are dropped.
+	gen uint64
+}
+
+// validateCache drops a worker cache whose generation is stale (bounded
+// mode only: generations only move when regions can disappear).
+func (m *Memory) validateCache(sc *SpanCache) {
+	if sc == nil || m.capBytes <= 0 {
+		return
+	}
+	if g := m.gen.Load(); sc.gen != g {
+		sc.gen = g
+		sc.page = nil
+		sc.shared = nil
+	}
 }
 
 // globalPage returns (allocating if needed) the page covering pageID.
@@ -203,6 +249,11 @@ func (m *Memory) globalPage(pageID uint64) *Region {
 			return p
 		}
 	}
+	// Bounded mode: make room BEFORE taking the stripe lock, so the
+	// evictor (which republishes victim stripes under their own locks)
+	// never runs inside one — the lock order is evictMu → stripe.mu.
+	ncells := (1 << pageBits) / m.granularity
+	m.makeRoom(int64(ncells) * cellBytes)
 	// Double-checked allocation: re-load under the stripe lock, then
 	// publish a copied map so readers never see a map being written.
 	s.mu.Lock()
@@ -213,7 +264,8 @@ func (m *Memory) globalPage(pageID uint64) *Region {
 			return p
 		}
 	}
-	p := &Region{cells: make([]Cell, (1<<pageBits)/m.granularity)}
+	p := &Region{cells: make([]Cell, ncells)}
+	m.addResident(p.RegionBytes())
 	next := make(pageMap, 1)
 	if old != nil {
 		next = make(pageMap, len(*old)+1)
@@ -234,6 +286,8 @@ func (m *Memory) sharedSlab(block int32) *Region {
 			return r
 		}
 	}
+	n := m.shSize/int64(m.granularity) + 1
+	m.makeRoom(n * cellBytes)
 	m.sharedMu.Lock()
 	defer m.sharedMu.Unlock()
 	old := m.sharedPtr.Load()
@@ -242,8 +296,8 @@ func (m *Memory) sharedSlab(block int32) *Region {
 			return r
 		}
 	}
-	n := m.shSize/int64(m.granularity) + 1
 	r := &Region{cells: make([]Cell, n)}
+	m.addResident(r.RegionBytes())
 	next := make(blockMap, 1)
 	if old != nil {
 		next = make(blockMap, len(*old)+1)
@@ -266,7 +320,10 @@ func (m *Memory) CellFor(space logging.SpaceID, block int32, addr uint64) *Cell 
 	if m.spans {
 		reg.Lock()
 		reg.demoteOverlapping(m, idx, idx+1)
-		reg.touched = true
+		reg.markLive()
+		// The accessing warp is unknown on this path, so the only safe
+		// ownership transition is straight to shared.
+		reg.inflateOwner(m)
 		reg.Unlock()
 	}
 	return &reg.cells[idx]
@@ -278,22 +335,14 @@ func (m *Memory) CellFor(space logging.SpaceID, block int32, addr uint64) *Cell 
 // shared accesses are the simulator's problem).
 func (m *Memory) regionCached(sc *SpanCache, space logging.SpaceID, block int32, addr uint64) (*Region, int) {
 	if space == logging.SpaceShared {
-		var reg *Region
-		if sc != nil && sc.shared != nil && sc.sharedBlock == block {
-			reg = sc.shared
-		} else {
-			reg = m.sharedSlab(block)
-			if sc != nil {
-				sc.sharedBlock = block
-				sc.shared = reg
-			}
-		}
+		reg := m.sharedRegion(sc, block)
 		idx := addr / uint64(m.granularity)
 		if idx >= uint64(len(reg.cells)) {
 			idx = uint64(len(reg.cells)) - 1
 		}
 		return reg, int(idx)
 	}
+	m.validateCache(sc)
 	pageID := addr >> pageBits
 	var reg *Region
 	if sc != nil && sc.page != nil && sc.pageID == pageID {
@@ -305,7 +354,20 @@ func (m *Memory) regionCached(sc *SpanCache, space logging.SpaceID, block int32,
 			sc.page = reg
 		}
 	}
+	if m.capBytes > 0 {
+		m.stamp(reg)
+	}
 	return reg, int((addr & (1<<pageBits - 1)) / uint64(m.granularity))
+}
+
+// RegionFor resolves the region and in-region cell index covering one
+// address through the worker cache — the region-granular lookup the
+// core's ownership fast path builds on. Shared-memory indices clamp to
+// the slab exactly like the per-cell path; callers that must reject
+// out-of-slab addresses compare the returned index against addr /
+// granularity.
+func (m *Memory) RegionFor(sc *SpanCache, space logging.SpaceID, block int32, addr uint64) (*Region, int) {
+	return m.regionCached(sc, space, block, addr)
 }
 
 // cellCached resolves one cell through the worker cache (legacy path;
@@ -362,7 +424,8 @@ func (m *Memory) SpanCached(sc *SpanCache, space logging.SpaceID, block int32, a
 				last = len(reg.cells) - 1
 			}
 			reg.demoteOverlapping(m, idx, last+1)
-			reg.touched = true
+			reg.markLive()
+			reg.inflateOwner(m)
 		}
 		c := &reg.cells[idx]
 		c.Lock()
@@ -380,22 +443,6 @@ func regionEnd(space logging.SpaceID, a uint64) uint64 {
 		return ^uint64(0) // one slab per block
 	}
 	return (a>>pageBits + 1) << pageBits
-}
-
-// Stats reports shadow occupancy.
-func (m *Memory) Stats() (globalPages int, sharedBlocks int, syncLocs int) {
-	for i := range m.stripes {
-		if pm := m.stripes[i].pages.Load(); pm != nil {
-			globalPages += len(*pm)
-		}
-	}
-	if bm := m.sharedPtr.Load(); bm != nil {
-		sharedBlocks = len(*bm)
-	}
-	m.syncMu.Lock()
-	syncLocs = len(m.syncs)
-	m.syncMu.Unlock()
-	return
 }
 
 // SyncLoc is the S_x metadata of one synchronization location: a map from

@@ -50,13 +50,13 @@ func TestSharedCellPerBlock(t *testing.T) {
 
 func TestPageAllocationOnDemand(t *testing.T) {
 	m := New(1, 0)
-	if p, _, _ := m.Stats(); p != 0 {
+	if p := m.Stats().GlobalPages; p != 0 {
 		t.Fatalf("pages = %d before any access", p)
 	}
 	m.CellFor(logging.SpaceGlobal, -1, 0x10000)
 	m.CellFor(logging.SpaceGlobal, -1, 0x10008)   // same page
 	m.CellFor(logging.SpaceGlobal, -1, 0x2000000) // different page
-	if p, _, _ := m.Stats(); p != 2 {
+	if p := m.Stats().GlobalPages; p != 2 {
 		t.Errorf("pages = %d, want 2", p)
 	}
 }
@@ -201,7 +201,7 @@ func TestPeekSyncDoesNotCreate(t *testing.T) {
 	if m.PeekSync(k) == nil {
 		t.Error("PeekSync missed an existing location")
 	}
-	if _, _, n := m.Stats(); n != 1 {
+	if n := m.Stats().SyncLocs; n != 1 {
 		t.Errorf("sync locs = %d, want 1", n)
 	}
 }

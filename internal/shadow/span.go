@@ -74,6 +74,23 @@ type Region struct {
 
 	// sums is the sorted, non-overlapping summary list. Guarded by lock.
 	sums []SpanSum
+
+	// owner is the packed ownership probe word: state (2 bits) | id<<2.
+	// Published atomically for the lock-free pre-filter; transitions
+	// happen under lock (see owner.go).
+	owner atomic.Uint64
+
+	// Clock bounds backing the exclusive ownership states. Guarded by
+	// lock: they do not fit the probe word, and the fast path only needs
+	// them after it has taken the region lock anyway.
+	ownLastWarp uint32
+	ownLastMax  vc.Clock
+	ownOtherMax vc.Clock
+
+	// lastUse is the LRU stamp and liveMark the has-live-metadata flag,
+	// both read lock-free by the bounded-shadow evictor (owner.go).
+	lastUse  atomic.Uint64
+	liveMark atomic.Bool
 }
 
 // Lock acquires the region spinlock.
@@ -90,6 +107,12 @@ func (r *Region) Lock() {
 	}
 }
 
+// TryLock attempts the region spinlock without spinning. The bounded-
+// shadow evictor uses it so an in-use region (possibly locked by the
+// very goroutine that triggered eviction) is skipped instead of
+// deadlocked on.
+func (r *Region) TryLock() bool { return r.lock.CompareAndSwap(0, 1) }
+
 // Unlock releases the region spinlock.
 func (r *Region) Unlock() { r.lock.Store(0) }
 
@@ -101,7 +124,16 @@ func (r *Region) Cells() []Cell { return r.cells }
 func (r *Region) Touched() bool { return r.touched }
 
 // SetTouched marks the region's unsummarized cells as possibly nonzero.
-func (r *Region) SetTouched() { r.touched = true }
+func (r *Region) SetTouched() { r.markLive() }
+
+// markLive records that the region now holds metadata (touched cells or,
+// via Install, summaries) that an eviction would discard.
+func (r *Region) markLive() {
+	r.touched = true
+	if !r.liveMark.Load() {
+		r.liveMark.Store(true)
+	}
+}
 
 // Sums returns the live summary list (tests and stats).
 func (r *Region) Sums() []SpanSum { return r.sums }
@@ -144,13 +176,16 @@ func (r *Region) demoteOverlapping(m *Memory, lo, hi int) {
 		m.materialize(r, &r.sums[k])
 	}
 	r.sums = append(r.sums[:i], r.sums[j:]...)
-	r.touched = true
+	r.markLive()
 }
 
 // Install inserts a summary. The caller must have removed (demoted or
 // replaced) everything overlapping [s.Lo, s.Hi) first, and must hold
 // the region lock.
 func (r *Region) Install(s SpanSum) {
+	if !r.liveMark.Load() {
+		r.liveMark.Store(true)
+	}
 	i := sort.Search(len(r.sums), func(k int) bool { return r.sums[k].Lo >= s.Lo })
 	r.sums = append(r.sums, SpanSum{})
 	copy(r.sums[i+1:], r.sums[i:])
@@ -250,13 +285,19 @@ func (m *Memory) SpanRuns(sc *SpanCache, space logging.SpaceID, block int32, add
 
 // sharedRegion resolves a block's shared slab through the worker cache.
 func (m *Memory) sharedRegion(sc *SpanCache, block int32) *Region {
+	m.validateCache(sc)
+	var reg *Region
 	if sc != nil && sc.shared != nil && sc.sharedBlock == block {
-		return sc.shared
+		reg = sc.shared
+	} else {
+		reg = m.sharedSlab(block)
+		if sc != nil {
+			sc.sharedBlock = block
+			sc.shared = reg
+		}
 	}
-	reg := m.sharedSlab(block)
-	if sc != nil {
-		sc.sharedBlock = block
-		sc.shared = reg
+	if m.capBytes > 0 {
+		m.stamp(reg)
 	}
 	return reg
 }

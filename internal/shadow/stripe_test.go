@@ -22,7 +22,7 @@ func TestStripedPageIdentity(t *testing.T) {
 			t.Errorf("addr %#x: cell identity differs across lookup paths", a)
 		}
 	}
-	pages, _, _ := m.Stats()
+	pages := m.Stats().GlobalPages
 	if pages != len(addrs) {
 		t.Errorf("global pages = %d, want %d", pages, len(addrs))
 	}
@@ -97,7 +97,7 @@ func TestConcurrentStripedAllocation(t *testing.T) {
 			}
 		}
 	}
-	pages, _, _ := m.Stats()
+	pages := m.Stats().GlobalPages
 	if pages != pagesPerWorker {
 		t.Errorf("global pages = %d, want %d", pages, pagesPerWorker)
 	}
