@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-sim bench-scaling bench-detect bench-shadow bench-fleet bench-repair fleet-sim stress-multiqueue serve ci fmt-check vet-smoke vet-fix-smoke stress-ownership
+.PHONY: all build vet test race bench bench-sim bench-scaling bench-detect bench-shadow bench-fleet bench-repair bench-proto fleet-sim stress-multiqueue stress-stream serve ci fmt-check vet-smoke vet-fix-smoke stress-ownership
 
 all: build vet test
 
@@ -125,6 +125,20 @@ fleet-sim:
 	$(GO) run -race ./cmd/fleetsim -nodes 4 -jobs 20000 -seed 42 -repeat 2
 	$(GO) run -race ./cmd/fleetsim -nodes 8 -jobs 20000 -seed 42 -traffic mixed -crash 2@0.3 -hbloss 0.05 -repeat 2
 
+# Streaming-protocol A/B: JSON submit+poll vs the binary wire protocol
+# on bytes-on-wire, time-to-first-race and jobs/sec, cold and warm, at
+# three report sizes (BENCH_proto.json) — gated on stream-vs-JSON
+# report digest identity and a 1.3x floor on every headline factor.
+bench-proto:
+	$(GO) run ./cmd/benchtab -proto -jobs 16 -workers 2 -min-speedup 1.3 -o BENCH_proto.json
+
+# The streaming-protocol correctness stress: frame-decoder fuzz corpus
+# regression, then stream-vs-JSON report equivalence over the
+# 66-program bug suite under the Go race detector.
+stress-stream:
+	$(GO) test -run 'FuzzFrames|TestDecodeMalformedPayloads|TestRaceStreamRoundTrip|TestSummaryRoundTrip|TestRecordBatchRoundTrip' ./internal/wire/
+	$(GO) test -race -run TestStreamJSONEquivalence ./internal/server/
+
 # The multi-queue determinism stress: the 66-program bug suite at 4
 # queues vs 1 queue, repeated, with real parallelism and under the Go
 # race detector.
@@ -135,4 +149,4 @@ stress-multiqueue:
 serve:
 	$(GO) run ./cmd/barracudad -addr :8321
 
-ci: build vet fmt-check test race vet-smoke vet-fix-smoke stress-multiqueue fleet-sim
+ci: build vet fmt-check test race vet-smoke vet-fix-smoke stress-multiqueue stress-stream fleet-sim

@@ -9,6 +9,8 @@
 //	barracuda -bench hashtable
 //	barracuda -bench dxtc -ownership -shadow-cap 67108864
 //	barracuda vet [-json] [-strict] [-stats] file.ptx...
+//	barracuda -server http://host:8321 -ptx kernel.ptx          # remote (JSON poll)
+//	barracuda -server http://host:8321 -stream -ptx kernel.ptx  # remote (streaming)
 //
 // -ownership enables the adaptive exclusive-ownership shadow tier;
 // -shadow-cap bounds resident shadow memory (LRU eviction, honest
@@ -52,15 +54,27 @@ func main() {
 		ownership = flag.Bool("ownership", false, "enable the exclusive-ownership shadow fast path (requires span mode)")
 		shadowCap = flag.Int64("shadow-cap", 0, "bound resident shadow memory to this many bytes via LRU eviction (0 = unbounded; evicting live state is reported as degraded precision)")
 		verbose   = flag.Bool("v", false, "print per-race dynamic counts and PTVC format stats")
+		serverURL = flag.String("server", "", "submit to a barracudad daemon or fleet coordinator at this base URL instead of running locally")
+		streamF   = flag.Bool("stream", false, "with -server: use the binary streaming protocol (races print as they are found)")
+		apiKey    = flag.String("api-key", "", "with -server: tenant key for rate limiting and accounting")
 	)
 	flag.Parse()
-	if err := run(runOpts{
+	o := runOpts{
 		ptxPath: *ptxPath, fatbinPath: *fatbinArg, benchName: *benchName,
 		kernel: *kernel, grid: *grid, block: *block, bufs: *bufs,
 		queues: *queues, gran: *gran, fullvc: *fullvc, budget: *budget,
 		warpsize: *warpsize, profile: *profileF, staticPrune: *staticp,
 		ownership: *ownership, shadowCap: *shadowCap, verbose: *verbose,
-	}); err != nil {
+	}
+	var err error
+	if *serverURL != "" {
+		err = remoteRun(o, *serverURL, *apiKey, *streamF)
+	} else if *streamF {
+		err = fmt.Errorf("-stream requires -server")
+	} else {
+		err = run(o)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "barracuda:", err)
 		os.Exit(1)
 	}

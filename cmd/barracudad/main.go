@@ -20,6 +20,15 @@
 // the result's "shadow" object). Aggregated shadow pressure is exposed
 // on /metrics and in fleet heartbeats.
 //
+// Besides the JSON job API, the daemon serves the binary streaming
+// protocol on GET /v1/stream (HTTP upgrade; see internal/wire): chunked
+// module upload into a content-addressed source cache (-src-cache),
+// pipelined launches, and race frames pushed as the detector finds
+// them. Streaming clients present an API key in the handshake;
+// -tenant-rate / -tenant-burst size the per-key token bucket, and
+// per-tenant traffic counters appear under "tenants" on /v1/metrics.
+// Use `barracuda -server URL -stream` as a ready-made client.
+//
 // Fleet modes:
 //
 //	barracudad -coordinator -addr :8320
@@ -59,6 +68,10 @@ func main() {
 		maxBuf  = flag.Int64("maxbuf", 1<<30, "per-job total buffer byte cap (-1 = unlimited)")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 
+		srcCache    = flag.Int("src-cache", 64, "content-addressed PTX source cache entries for the streaming protocol (LRU)")
+		tenantRate  = flag.Float64("tenant-rate", 100, "per-tenant admitted launches per second on /v1/stream (negative disables rate limiting)")
+		tenantBurst = flag.Float64("tenant-burst", 200, "per-tenant token-bucket burst on /v1/stream")
+
 		coordinator = flag.Bool("coordinator", false, "run as a fleet coordinator instead of a worker (no local detection)")
 		join        = flag.String("join", "", "coordinator base URL to register with (worker mode), e.g. http://coord:8320")
 		nodeID      = flag.String("node-id", "", "stable fleet node identity (default: derived from -advertise)")
@@ -96,6 +109,8 @@ func main() {
 		DefaultTimeout:   *timeout,
 		DefaultMaxInstrs: *budget,
 		MaxBufferBytes:   *maxBuf,
+		SrcEntries:       *srcCache,
+		Tenants:          server.TenantOptions{RatePerSec: *tenantRate, Burst: *tenantBurst},
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,0 +1,442 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"barracuda/internal/server"
+	"barracuda/internal/wire"
+)
+
+// The protocol benchmark (-proto) A/Bs the two job surfaces of the same
+// daemon — JSON submit + long-poll vs the binary streaming protocol —
+// on the three axes the stream was built for:
+//
+//   - bytes on the wire (counted at the socket, both directions),
+//   - time-to-first-race (submission start until the client can see a
+//     race: the first race frame on the stream, the terminal poll
+//     response on JSON),
+//   - jobs/sec.
+//
+// Each axis is measured cold (every job a distinct module, full upload)
+// and warm (repeat module: the stream declares the content hash and
+// skips the transfer; JSON re-sends the source every time) across
+// report sizes, on synthetic kernels with S racy stores up front and a
+// long race-free tail so detection keeps running after the first race
+// is known — exactly the window where push beats poll.
+
+// ProtoPhase is one (surface, temperature) measurement.
+type ProtoPhase struct {
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	TTFRMS      float64 `json:"ttfr_ms"`
+	BytesPerJob float64 `json:"bytes_per_job"`
+}
+
+// ProtoSize is the A/B at one report size.
+type ProtoSize struct {
+	RacyStores  int `json:"racy_stores"`
+	Races       int `json:"races"` // static races actually reported
+	ModuleBytes int `json:"module_bytes"`
+
+	JSONCold   ProtoPhase `json:"json_cold"`
+	JSONWarm   ProtoPhase `json:"json_warm"`
+	StreamCold ProtoPhase `json:"stream_cold"`
+	StreamWarm ProtoPhase `json:"stream_warm"`
+
+	// Headline ratios (>1 means the stream wins).
+	TTFRSpeedupCold  float64 `json:"ttfr_speedup_cold"`
+	TTFRSpeedupWarm  float64 `json:"ttfr_speedup_warm"`
+	BytesFactorCold  float64 `json:"bytes_factor_cold"`
+	BytesFactorWarm  float64 `json:"bytes_factor_warm"`
+	DigestsIdentical bool    `json:"digests_identical"`
+}
+
+// ProtoBench is the BENCH_proto.json schema.
+type ProtoBench struct {
+	BenchEnv
+	Workers   int         `json:"workers"`
+	Jobs      int         `json:"jobs_per_phase"`
+	TailIters int         `json:"tail_iters"`
+	Sizes     []ProtoSize `json:"sizes"`
+}
+
+// protoKernel builds a kernel with racyStores conflicting writes at
+// distinct PCs/addresses followed by a race-free per-thread store loop.
+// The tail keeps the simulator and detector busy long after the racy
+// prefix has been processed — the window where a pushed race frame
+// beats waiting for the terminal report.
+func protoKernel(racyStores, tailIters int) (src string, bufBytes int) {
+	const tailBase = 4096
+	var b strings.Builder
+	b.WriteString(".visible .entry k(.param .u64 out)\n{\n")
+	b.WriteString("\t.reg .u32 %r<8>;\n\t.reg .u64 %rd<8>;\n\t.reg .pred %p<2>;\n")
+	b.WriteString("\tld.param.u64 %rd1, [out];\n")
+	b.WriteString("\tmov.u32 %r1, %tid.x;\n")
+	// Conflicting stores: every thread writes the same cell with its
+	// own tid, so the same-value filter cannot mask the race.
+	for i := 0; i < racyStores; i++ {
+		fmt.Fprintf(&b, "\tst.global.u32 [%%rd1+%d], %%r1;\n", 4*i)
+	}
+	// Race-free tail: each thread hammers its own cell.
+	b.WriteString("\tmov.u32 %r2, %ctaid.x;\n")
+	b.WriteString("\tmov.u32 %r3, %ntid.x;\n")
+	b.WriteString("\tmul.lo.u32 %r4, %r2, %r3;\n")
+	b.WriteString("\tadd.u32 %r4, %r4, %r1;\n")
+	b.WriteString("\tmul.wide.u32 %rd2, %r4, 4;\n")
+	b.WriteString("\tadd.u64 %rd3, %rd1, %rd2;\n")
+	b.WriteString("\tmov.u32 %r5, 0;\n")
+	b.WriteString("TAIL:\n")
+	fmt.Fprintf(&b, "\tst.global.u32 [%%rd3+%d], %%r4;\n", tailBase)
+	b.WriteString("\tadd.u32 %r5, %r5, 1;\n")
+	fmt.Fprintf(&b, "\tsetp.lt.u32 %%p1, %%r5, %d;\n", tailIters)
+	b.WriteString("\t@%p1 bra TAIL;\n")
+	b.WriteString("\tret;\n}\n")
+	return b.String(), tailBase + protoThreads*4 + 4096
+}
+
+const (
+	protoGrid    = 4
+	protoBlock   = 64
+	protoThreads = protoGrid * protoBlock
+)
+
+// countConn counts every byte crossing the socket in either direction.
+type countConn struct {
+	net.Conn
+	n *atomic.Int64
+}
+
+func (c countConn) Read(p []byte) (int, error) {
+	m, err := c.Conn.Read(p)
+	c.n.Add(int64(m))
+	return m, err
+}
+
+func (c countConn) Write(p []byte) (int, error) {
+	m, err := c.Conn.Write(p)
+	c.n.Add(int64(m))
+	return m, err
+}
+
+// runProtoBench measures both protocols against an in-process daemon on
+// a loopback socket and writes the artifact. minSpeedup > 0 gates the
+// run: the stream must beat JSON on bytes AND time-to-first-race by at
+// least that factor at every report size, warm and cold.
+func runProtoBench(jobs, workers int, minSpeedup float64, outPath string) error {
+	srv := server.New(server.SchedulerOptions{
+		Workers:  workers,
+		QueueCap: 4 * jobs,
+		// Cold phases must miss: every module distinct, caches larger
+		// than one phase so eviction noise never mixes into the timing.
+		CacheEntries: 4 * jobs,
+		SrcEntries:   4 * jobs,
+	})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	addr := ln.Addr().String()
+
+	res := ProtoBench{
+		BenchEnv:  benchEnv(),
+		Workers:   workers,
+		Jobs:      jobs,
+		TailIters: protoTailIters,
+	}
+	for _, racy := range []int{1, 8, 32} {
+		sz, err := protoSize(addr, jobs, racy)
+		if err != nil {
+			return fmt.Errorf("report size %d: %w", racy, err)
+		}
+		res.Sizes = append(res.Sizes, *sz)
+		fmt.Printf("proto %2d racy stores (%d races, %d B module): ttfr %6.2fms json / %6.2fms stream (%.2fx warm), bytes/job %7.0f json / %7.0f stream (%.1fx warm)\n",
+			racy, sz.Races, sz.ModuleBytes,
+			sz.JSONWarm.TTFRMS, sz.StreamWarm.TTFRMS, sz.TTFRSpeedupWarm,
+			sz.JSONWarm.BytesPerJob, sz.StreamWarm.BytesPerJob, sz.BytesFactorWarm)
+		if !sz.DigestsIdentical {
+			return fmt.Errorf("report size %d: streamed and polled reports diverge", racy)
+		}
+		if minSpeedup > 0 {
+			for _, g := range []struct {
+				name string
+				v    float64
+			}{
+				{"ttfr cold", sz.TTFRSpeedupCold},
+				{"ttfr warm", sz.TTFRSpeedupWarm},
+				{"bytes cold", sz.BytesFactorCold},
+				{"bytes warm", sz.BytesFactorWarm},
+			} {
+				if g.v < minSpeedup {
+					return fmt.Errorf("report size %d: %s factor %.2f below gate %.2f", racy, g.name, g.v, minSpeedup)
+				}
+			}
+		}
+	}
+
+	data, _ := json.MarshalIndent(res, "", "  ")
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("proto bench → %s\n", outPath)
+	return nil
+}
+
+const protoTailIters = 3000
+
+// protoSize runs all four phases at one report size.
+func protoSize(addr string, jobs, racy int) (*ProtoSize, error) {
+	src, bufBytes := protoKernel(racy, protoTailIters)
+	sz := &ProtoSize{RacyStores: racy, ModuleBytes: len(src)}
+
+	// Cold variants are namespaced per surface so neither protocol's
+	// cold phase inherits session-cache warmth from the other's.
+	mkVariant := func(tag string) func(int) string {
+		return func(i int) string {
+			return fmt.Sprintf("// variant %s.%d.%d\n%s", tag, racy, i, src)
+		}
+	}
+
+	// JSON phases.
+	var jsonDigest string
+	for _, warm := range []bool{false, true} {
+		phase, dig, err := jsonPhase(addr, jobs, warm, src, mkVariant("json"), bufBytes)
+		if err != nil {
+			return nil, fmt.Errorf("json warm=%v: %w", warm, err)
+		}
+		if warm {
+			sz.JSONWarm = *phase
+			jsonDigest = dig
+		} else {
+			sz.JSONCold = *phase
+		}
+	}
+	// Stream phases.
+	var streamDigest string
+	for _, warm := range []bool{false, true} {
+		phase, dig, races, err := streamPhase(addr, jobs, warm, src, mkVariant("stream"), bufBytes)
+		if err != nil {
+			return nil, fmt.Errorf("stream warm=%v: %w", warm, err)
+		}
+		if warm {
+			sz.StreamWarm = *phase
+			streamDigest = dig
+			sz.Races = races
+		} else {
+			sz.StreamCold = *phase
+		}
+	}
+
+	sz.DigestsIdentical = jsonDigest != "" && jsonDigest == streamDigest
+	if sz.StreamCold.TTFRMS > 0 {
+		sz.TTFRSpeedupCold = sz.JSONCold.TTFRMS / sz.StreamCold.TTFRMS
+	}
+	if sz.StreamWarm.TTFRMS > 0 {
+		sz.TTFRSpeedupWarm = sz.JSONWarm.TTFRMS / sz.StreamWarm.TTFRMS
+	}
+	if sz.StreamCold.BytesPerJob > 0 {
+		sz.BytesFactorCold = sz.JSONCold.BytesPerJob / sz.StreamCold.BytesPerJob
+	}
+	if sz.StreamWarm.BytesPerJob > 0 {
+		sz.BytesFactorWarm = sz.JSONWarm.BytesPerJob / sz.StreamWarm.BytesPerJob
+	}
+	return sz, nil
+}
+
+// jsonPhase drives `jobs` sequential submit+poll rounds, counting
+// socket bytes, and returns the canonical digest of the last report.
+func jsonPhase(addr string, jobs int, warm bool, src string, variant func(int) string, bufBytes int) (*ProtoPhase, string, error) {
+	var bytesOnWire atomic.Int64
+	client := &http.Client{
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, a string) (net.Conn, error) {
+				c, err := net.Dial(network, a)
+				if err != nil {
+					return nil, err
+				}
+				return countConn{Conn: c, n: &bytesOnWire}, nil
+			},
+		},
+	}
+	defer client.CloseIdleConnections()
+	base := "http://" + addr
+
+	oneJob := func(modSrc string) (time.Duration, *server.JobInfo, error) {
+		start := time.Now()
+		body, _ := json.Marshal(server.JobRequest{
+			PTX: modSrc, Kernel: "k", Grid: protoGrid, Block: protoBlock,
+			Buffers: []int{bufBytes},
+		})
+		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		var info server.JobInfo
+		if err := decodeProto(resp, &info); err != nil {
+			return 0, nil, fmt.Errorf("submit: %w", err)
+		}
+		for attempt := 0; ; {
+			resp, err := client.Get(fmt.Sprintf("%s/jobs/%s?wait_ms=2000", base, info.ID))
+			if err != nil {
+				return 0, nil, err
+			}
+			if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+				resp.Body.Close()
+				time.Sleep(50 * time.Millisecond << attempt)
+				attempt++
+				continue
+			}
+			if err := decodeProto(resp, &info); err != nil {
+				return 0, nil, fmt.Errorf("poll: %w", err)
+			}
+			switch info.Status {
+			case server.StatusDone:
+				// First moment the client can see any race.
+				return time.Since(start), &info, nil
+			case server.StatusFailed, server.StatusTimeout:
+				return 0, nil, fmt.Errorf("job %s: %s", info.Status, info.Error)
+			}
+		}
+	}
+
+	if warm { // prime the module cache outside the measured window
+		if _, _, err := oneJob(src); err != nil {
+			return nil, "", err
+		}
+		bytesOnWire.Store(0)
+	}
+	var ttfr time.Duration
+	var last *server.JobInfo
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		modSrc := src
+		if !warm {
+			modSrc = variant(i)
+		}
+		d, info, err := oneJob(modSrc)
+		if err != nil {
+			return nil, "", err
+		}
+		ttfr += d
+		last = info
+	}
+	total := time.Since(start)
+
+	var dig string
+	if last != nil && last.Result != nil {
+		if rep, err := last.Result.CoreReport(); err == nil {
+			dig = rep.CanonicalDigest()
+		}
+	}
+	return &ProtoPhase{
+		JobsPerSec:  float64(jobs) / total.Seconds(),
+		TTFRMS:      float64(ttfr.Microseconds()) / 1000 / float64(jobs),
+		BytesPerJob: float64(bytesOnWire.Load()) / float64(jobs),
+	}, dig, nil
+}
+
+// streamPhase drives `jobs` sequential launches over one counted stream
+// connection and returns the digest of the last summary plus its static
+// race count.
+func streamPhase(addr string, jobs int, warm bool, src string, variant func(int) string, bufBytes int) (*ProtoPhase, string, int, error) {
+	var bytesOnWire atomic.Int64
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	c, err := wire.Handshake(countConn{Conn: raw, n: &bytesOnWire}, addr, "benchtab")
+	if err != nil {
+		raw.Close()
+		return nil, "", 0, err
+	}
+	defer c.Close()
+
+	oneJob := func(seq uint64, modSrc string) (ttfr time.Duration, sum wire.Summary, err error) {
+		start := time.Now()
+		if _, _, err = c.UploadModule([]byte(modSrc)); err != nil {
+			return 0, sum, err
+		}
+		if err = c.Launch(wire.LaunchSpec{
+			Seq: seq, Kernel: "k", Grid: protoGrid, Block: protoBlock,
+			Buffers: []int{bufBytes},
+		}); err != nil {
+			return 0, sum, err
+		}
+		for {
+			ev, nerr := c.Next()
+			if nerr != nil {
+				return 0, sum, nerr
+			}
+			switch ev.Type {
+			case wire.FReject:
+				return 0, sum, fmt.Errorf("rejected (%s): %s", ev.Reject.Code, ev.Reject.Msg)
+			case wire.FRace:
+				if ttfr == 0 {
+					ttfr = time.Since(start)
+				}
+			case wire.FSummary:
+				if ev.Summary.Status != server.StatusDone {
+					return 0, sum, fmt.Errorf("job %s: %s", ev.Summary.Status, ev.Summary.Error)
+				}
+				if ttfr == 0 { // no race streamed (shouldn't happen here)
+					ttfr = time.Since(start)
+				}
+				return ttfr, ev.Summary, nil
+			}
+		}
+	}
+
+	if warm { // prime module + session caches outside the measured window
+		if _, _, err := oneJob(1<<32, src); err != nil {
+			return nil, "", 0, err
+		}
+		bytesOnWire.Store(0)
+	}
+	var ttfrSum time.Duration
+	var last wire.Summary
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		modSrc := src
+		if !warm {
+			modSrc = variant(i)
+		}
+		ttfr, sum, err := oneJob(uint64(i+1), modSrc)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		ttfrSum += ttfr
+		last = sum
+	}
+	total := time.Since(start)
+	c.Bye()
+
+	return &ProtoPhase{
+		JobsPerSec:  float64(jobs) / total.Seconds(),
+		TTFRMS:      float64(ttfrSum.Microseconds()) / 1000 / float64(jobs),
+		BytesPerJob: float64(bytesOnWire.Load()) / float64(jobs),
+	}, last.Report().CanonicalDigest(), len(last.Races), nil
+}
+
+func decodeProto(resp *http.Response, into *server.JobInfo) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e server.ErrorJSON
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s (%s)", e.Error, e.Code)
+		}
+		return fmt.Errorf("server: %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"barracuda/internal/fleet"
 	"barracuda/internal/server"
 )
 
@@ -79,11 +80,20 @@ func runServerBench(jobs, workers int, outPath string) error {
 		return info.ID, nil
 	}
 	wait := func(id string) error {
-		for {
+		for attempt := 0; ; {
 			resp, err := http.Get(fmt.Sprintf("%s/jobs/%s?wait_ms=2000", base, id))
 			if err != nil {
 				return err
 			}
+			// Honor server backpressure instead of hot-spinning on it.
+			if fleet.RetryableStatus(resp.StatusCode) {
+				d := fleet.RetryDelay(resp, attempt)
+				attempt++
+				resp.Body.Close()
+				time.Sleep(d)
+				continue
+			}
+			attempt = 0
 			var info server.JobInfo
 			json.NewDecoder(resp.Body).Decode(&info)
 			resp.Body.Close()

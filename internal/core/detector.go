@@ -169,6 +169,14 @@ type Options struct {
 	// based compaction of shared slabs at fully-converged block
 	// barriers. 0 means unbounded. Requires span mode.
 	ShadowCapBytes int64
+	// OnRace, when set, is invoked once per *new* static race, at the
+	// moment of discovery (subsequent dynamic occurrences only bump the
+	// count and do not re-fire). The callback runs under the detector's
+	// report lock on a detection worker goroutine, so it must be fast and
+	// must never block indefinitely or call back into the detector; the
+	// streaming job API hands it a buffered channel sized to MaxRaces so
+	// a send can never block. The Race passed is a snapshot (Count == 1).
+	OnRace func(Race)
 }
 
 // raceKey dedupes dynamic races into static ones.
@@ -724,7 +732,7 @@ func (d *Detector) report(tid vc.TID, r *logging.Record,
 	if r.Space == logging.SpaceShared {
 		blk = int32(r.Block)
 	}
-	d.races[key] = &Race{
+	rc := &Race{
 		Kind:      kind,
 		Space:     r.Space,
 		Block:     blk,
@@ -733,6 +741,10 @@ func (d *Detector) report(tid vc.TID, r *logging.Record,
 		Cur:       Access{TID: tid, PC: r.PC, Write: curWrite, Atomic: r.Op == trace.OpAtom},
 		SameInstr: sameInstr,
 		Count:     1,
+	}
+	d.races[key] = rc
+	if d.opts.OnRace != nil {
+		d.opts.OnRace(*rc)
 	}
 }
 

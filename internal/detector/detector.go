@@ -263,6 +263,17 @@ func (s *Session) Close() error {
 
 // Detect runs a kernel under the race detector.
 func (s *Session) Detect(kernelName string, launch gpusim.LaunchConfig) (*Result, error) {
+	return s.DetectObserved(kernelName, launch, nil)
+}
+
+// DetectObserved runs a kernel under the race detector with an optional
+// incremental race observer: onRace fires once per new static race at
+// the moment of discovery, before the run completes — the hook behind
+// the streaming job protocol's incremental race frames. onRace runs on a
+// detection worker goroutine under the report lock, so it must be
+// non-blocking (the stream layer hands it a channel buffered to
+// MaxRaces). A nil onRace is exactly Detect.
+func (s *Session) DetectObserved(kernelName string, launch gpusim.LaunchConfig, onRace func(core.Race)) (*Result, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -298,6 +309,7 @@ func (s *Session) Detect(kernelName string, launch gpusim.LaunchConfig) (*Result
 		PerCellShadow:     s.cfg.PerCellShadow,
 		Ownership:         s.cfg.Ownership,
 		ShadowCapBytes:    s.cfg.ShadowCapBytes,
+		OnRace:            onRace,
 	})
 	set := logging.NewSet(s.cfg.Queues, s.cfg.QueueCap)
 

@@ -90,6 +90,13 @@ type Options struct {
 	// successor rather than queue (trading one cache miss for
 	// utilization). Interactive jobs always take the first free slot.
 	NoSpill bool
+	// JSONForward forces coordinator→worker forwarding over the JSON
+	// /jobs API instead of the binary streaming protocol. It exists as
+	// the honest A/B baseline for measuring what frame forwarding buys
+	// (benchtab -proto); stream forwarding already falls back to JSON
+	// per job when a worker refuses the upgrade or the job shape only
+	// the JSON surface expresses (benchmark modules, repair loops).
+	JSONForward bool
 }
 
 func (o Options) withDefaults() Options {

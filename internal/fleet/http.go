@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"barracuda/internal/bench"
@@ -68,6 +69,8 @@ type FleetMetricsJSON struct {
 	QueuedInteractive int        `json:"queued_interactive"`
 	QueuedBatch       int        `json:"queued_batch"`
 	InFlight          int        `json:"in_flight"`
+	StreamForwards    int64      `json:"stream_forwards"`
+	JSONForwards      int64      `json:"json_forwards"`
 	Nodes             []NodeJSON `json:"nodes"`
 }
 
@@ -80,11 +83,16 @@ type FleetMetricsJSON struct {
 // ones re-route to the next ring successor with the failed node
 // excluded.
 type HTTPCoordinator struct {
-	core    *Coordinator
-	mux     *http.ServeMux
-	client  *http.Client
-	start   time.Time
-	maxJobs int
+	core        *Coordinator
+	mux         *http.ServeMux
+	client      *http.Client
+	start       time.Time
+	maxJobs     int
+	jsonForward bool
+
+	// Forward-path census for the JSON-vs-stream A/B (benchtab -proto).
+	streamFwds atomic.Int64
+	jsonFwds   atomic.Int64
 
 	mu     sync.Mutex
 	jobs   map[string]*proxyJob
@@ -145,13 +153,14 @@ func (p *proxyJob) terminal() bool {
 func NewHTTPCoordinator(opt Options) *HTTPCoordinator {
 	opt = opt.withDefaults()
 	h := &HTTPCoordinator{
-		core:    NewCoordinator(opt),
-		mux:     http.NewServeMux(),
-		client:  &http.Client{Timeout: 30 * time.Second},
-		start:   time.Now(),
-		maxJobs: opt.MaxJobs,
-		jobs:    make(map[string]*proxyJob),
-		quit:    make(chan struct{}),
+		core:        NewCoordinator(opt),
+		mux:         http.NewServeMux(),
+		client:      &http.Client{Timeout: 30 * time.Second},
+		start:       time.Now(),
+		maxJobs:     opt.MaxJobs,
+		jsonForward: opt.JSONForward,
+		jobs:        make(map[string]*proxyJob),
+		quit:        make(chan struct{}),
 	}
 	h.mux.HandleFunc("POST /fleet/join", h.handleJoin)
 	h.mux.HandleFunc("POST /fleet/heartbeat", h.handleHeartbeat)
@@ -221,6 +230,11 @@ func (h *HTTPCoordinator) forward(a Assignment) {
 	pj.mu.Unlock()
 
 	req := pj.fjRequest()
+	if !h.jsonForward && h.streamForward(a, pj, node, req) {
+		h.streamFwds.Add(1)
+		return
+	}
+	h.jsonFwds.Add(1)
 	body, _ := json.Marshal(req)
 	resp, err := h.client.Post(node.Addr+"/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
@@ -404,6 +418,8 @@ func (h *HTTPCoordinator) handleMetrics(w http.ResponseWriter, r *http.Request) 
 		QueuedInteractive: qi,
 		QueuedBatch:       qb,
 		InFlight:          h.core.InFlight(),
+		StreamForwards:    h.streamFwds.Load(),
+		JSONForwards:      h.jsonFwds.Load(),
 		Nodes:             h.nodesJSON(),
 	})
 }

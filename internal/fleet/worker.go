@@ -30,6 +30,12 @@ type WorkerLink struct {
 
 	quit chan struct{}
 	done chan struct{}
+
+	// holdUntil pauses join/beat attempts while a backpressured
+	// coordinator's Retry-After (or the bounded-backoff fallback) runs
+	// out; attempts counts consecutive failures for the fallback curve.
+	holdUntil time.Time
+	attempts  int
 }
 
 // StartWorkerLink registers with the coordinator and starts the
@@ -79,7 +85,10 @@ func (l *WorkerLink) loop() {
 		select {
 		case <-l.quit:
 			return
-		case <-t.C:
+		case now := <-t.C:
+			if now.Before(l.holdUntil) {
+				continue // coordinator said Retry-After: respect it
+			}
 			if !joined {
 				joined = l.join()
 				continue
@@ -87,6 +96,15 @@ func (l *WorkerLink) loop() {
 			joined = l.beat()
 		}
 	}
+}
+
+// hold records a backpressure response: the link stays silent for the
+// server's Retry-After (or the bounded exponential fallback).
+func (l *WorkerLink) hold(resp *http.Response) {
+	d := RetryDelay(resp, l.attempts)
+	l.attempts++
+	l.holdUntil = time.Now().Add(d)
+	l.logf("fleet: coordinator backpressure (%s), holding %v", resp.Status, d)
 }
 
 func (l *WorkerLink) join() bool {
@@ -99,10 +117,15 @@ func (l *WorkerLink) join() bool {
 		return false
 	}
 	defer resp.Body.Close()
+	if RetryableStatus(resp.StatusCode) {
+		l.hold(resp)
+		return false
+	}
 	if resp.StatusCode/100 != 2 {
 		l.logf("fleet: join %s: %s (will retry)", l.coord, resp.Status)
 		return false
 	}
+	l.attempts = 0
 	l.logf("fleet: joined coordinator %s as %s (%s)", l.coord, l.id, l.addr)
 	return true
 }
@@ -120,9 +143,15 @@ func (l *WorkerLink) beat() bool {
 		l.logf("fleet: coordinator forgot %s, re-joining", l.id)
 		return false
 	}
+	if RetryableStatus(resp.StatusCode) {
+		l.hold(resp)
+		return true // stay joined; just back off
+	}
 	if resp.StatusCode/100 != 2 {
 		l.logf("fleet: heartbeat: %s", resp.Status)
+		return true
 	}
+	l.attempts = 0
 	return true
 }
 

@@ -13,12 +13,15 @@ package server
 
 import (
 	"fmt"
+	"strconv"
 
 	"barracuda/internal/bench"
 	"barracuda/internal/core"
 	"barracuda/internal/detector"
 	"barracuda/internal/gpusim"
+	"barracuda/internal/logging"
 	"barracuda/internal/shadow"
+	"barracuda/internal/vc"
 )
 
 // ConfigJSON is the wire form of detector.Config.
@@ -172,14 +175,15 @@ type AccessJSON struct {
 
 // RaceJSON is one detected race.
 type RaceJSON struct {
-	Kind    string     `json:"kind"`  // intra-warp | intra-block | inter-block
-	Space   string     `json:"space"` // global | shared | local
-	Addr    string     `json:"addr"`  // hex device address
-	Block   int32      `json:"block"` // -1 for global memory
-	Count   int        `json:"count"` // dynamic occurrences
-	Prev    AccessJSON `json:"prev"`
-	Cur     AccessJSON `json:"cur"`
-	Summary string     `json:"summary"`
+	Kind      string     `json:"kind"`  // intra-warp | intra-block | inter-block
+	Space     string     `json:"space"` // global | shared | local
+	Addr      string     `json:"addr"`  // hex device address
+	Block     int32      `json:"block"` // -1 for global memory
+	Count     int        `json:"count"` // dynamic occurrences
+	SameInstr bool       `json:"same_instr,omitempty"`
+	Prev      AccessJSON `json:"prev"`
+	Cur       AccessJSON `json:"cur"`
+	Summary   string     `json:"summary"`
 }
 
 // DivergenceJSON is one barrier-divergence report.
@@ -194,16 +198,21 @@ type DivergenceJSON struct {
 // jobs (kind "repair"), Repair carries the full report and RaceCount is
 // the baseline race count the repair loop started from.
 type JobResult struct {
-	Kernel            string                 `json:"kernel"`
-	RaceCount         int                    `json:"race_count"`
-	Races             []RaceJSON             `json:"races,omitempty"`
-	Divergences       []DivergenceJSON       `json:"divergences,omitempty"`
-	SameValueFiltered uint64                 `json:"same_value_filtered,omitempty"`
-	WarpInstrs        uint64                 `json:"warp_instrs"`
-	Records           uint64                 `json:"records"`
-	DetectMS          float64                `json:"detect_ms"`
-	Formats           map[string]int         `json:"ptvc_formats,omitempty"`
-	Repair            *detector.RepairReport `json:"repair,omitempty"`
+	Kernel            string           `json:"kernel"`
+	RaceCount         int              `json:"race_count"`
+	Races             []RaceJSON       `json:"races,omitempty"`
+	Divergences       []DivergenceJSON `json:"divergences,omitempty"`
+	SameValueFiltered uint64           `json:"same_value_filtered,omitempty"`
+	WarpInstrs        uint64           `json:"warp_instrs"`
+	Records           uint64           `json:"records"`
+	// RecordsSeen is the detector-side record count (Report.RecordsSeen),
+	// the figure CanonicalDigest covers. Records above is the
+	// simulator-side count; the two agree on healthy runs but are sampled
+	// at different layers, so both travel.
+	RecordsSeen uint64                 `json:"records_seen"`
+	DetectMS    float64                `json:"detect_ms"`
+	Formats     map[string]int         `json:"ptvc_formats,omitempty"`
+	Repair      *detector.RepairReport `json:"repair,omitempty"`
 	// Shadow reports the shadow-memory occupancy and adaptive-tier
 	// counters of the run; PrecisionDegraded is true when a bounded
 	// shadow evicted live metadata (races may be under- but never
@@ -258,6 +267,7 @@ func resultJSON(kernel string, res *detector.Result) *JobResult {
 		SameValueFiltered: res.Report.SameValueGag,
 		WarpInstrs:        res.SimStats.WarpInstrs,
 		Records:           res.SimStats.Records,
+		RecordsSeen:       res.Report.RecordsSeen,
 		DetectMS:          float64(res.Duration.Microseconds()) / 1000,
 		PrecisionDegraded: res.Report.PrecisionDegraded,
 	}
@@ -265,14 +275,15 @@ func resultJSON(kernel string, res *detector.Result) *JobResult {
 	out.Shadow = &sh
 	for _, r := range res.Report.Races {
 		out.Races = append(out.Races, RaceJSON{
-			Kind:    r.Kind.String(),
-			Space:   r.Space.String(),
-			Addr:    fmt.Sprintf("%#x", r.Addr),
-			Block:   r.Block,
-			Count:   r.Count,
-			Prev:    accessJSON(r.Prev),
-			Cur:     accessJSON(r.Cur),
-			Summary: r.String(),
+			Kind:      r.Kind.String(),
+			Space:     r.Space.String(),
+			Addr:      fmt.Sprintf("%#x", r.Addr),
+			Block:     r.Block,
+			Count:     r.Count,
+			SameInstr: r.SameInstr,
+			Prev:      accessJSON(r.Prev),
+			Cur:       accessJSON(r.Cur),
+			Summary:   r.String(),
 		})
 	}
 	for _, d := range res.Report.Divergences {
@@ -292,6 +303,74 @@ func resultJSON(kernel string, res *detector.Result) *JobResult {
 
 func accessJSON(a core.Access) AccessJSON {
 	return AccessJSON{Thread: int32(a.TID), Line: a.PC, Write: a.Write, Atomic: a.Atomic}
+}
+
+// CoreReport reconstructs the detector report a result was projected
+// from — the inverse of resultJSON over the fields CanonicalDigest
+// covers. The streamed and polled paths are compared through this:
+// digest(CoreReport(JSON)) must equal digest(Summary.Report()).
+func (r *JobResult) CoreReport() (*core.Report, error) {
+	rep := &core.Report{
+		RecordsSeen:       r.RecordsSeen,
+		SameValueGag:      r.SameValueFiltered,
+		PrecisionDegraded: r.PrecisionDegraded,
+	}
+	for i, rc := range r.Races {
+		kind, ok := raceKinds[rc.Kind]
+		if !ok {
+			return nil, fmt.Errorf("result: races[%d]: unknown kind %q", i, rc.Kind)
+		}
+		space, ok := spaceIDs[rc.Space]
+		if !ok {
+			return nil, fmt.Errorf("result: races[%d]: unknown space %q", i, rc.Space)
+		}
+		var addr uint64
+		if rc.Addr != "" {
+			var err error
+			if addr, err = strconv.ParseUint(rc.Addr, 0, 64); err != nil {
+				return nil, fmt.Errorf("result: races[%d]: bad addr %q: %v", i, rc.Addr, err)
+			}
+		}
+		rep.Races = append(rep.Races, core.Race{
+			Kind:      kind,
+			Space:     space,
+			Block:     rc.Block,
+			Addr:      addr,
+			SameInstr: rc.SameInstr,
+			Count:     rc.Count,
+			Prev:      coreAccess(rc.Prev),
+			Cur:       coreAccess(rc.Cur),
+		})
+	}
+	for i, d := range r.Divergences {
+		var mask uint64
+		if d.Mask != "" {
+			var err error
+			if mask, err = strconv.ParseUint(d.Mask, 0, 32); err != nil {
+				return nil, fmt.Errorf("result: divergences[%d]: bad mask %q: %v", i, d.Mask, err)
+			}
+		}
+		rep.Divergences = append(rep.Divergences, core.BarrierDivergence{
+			Block: d.Block, Warp: d.Warp, PC: d.Line, Mask: uint32(mask),
+		})
+	}
+	return rep, nil
+}
+
+var raceKinds = map[string]core.RaceKind{
+	"intra-warp":  core.IntraWarp,
+	"intra-block": core.IntraBlock,
+	"inter-block": core.InterBlock,
+}
+
+var spaceIDs = map[string]logging.SpaceID{
+	"global": logging.SpaceGlobal,
+	"shared": logging.SpaceShared,
+	"local":  logging.SpaceLocal,
+}
+
+func coreAccess(a AccessJSON) core.Access {
+	return core.Access{TID: vc.TID(a.Thread), PC: a.Line, Write: a.Write, Atomic: a.Atomic}
 }
 
 // launchConfig builds the simulator launch for a resolved job.

@@ -140,6 +140,8 @@ type MetricsJSON struct {
 	InFlight      int            `json:"in_flight"`
 	Jobs          JobCounters    `json:"jobs"`
 	Cache         CacheStats     `json:"cache"`
+	Srcs          SrcStoreStats  `json:"srcs"`
+	Tenants       []TenantJSON   `json:"tenants,omitempty"`
 	Shadow        ShadowCounters `json:"shadow"`
 	DetectLatency HistogramJSON  `json:"detect_latency"`
 }

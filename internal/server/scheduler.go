@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"barracuda/internal/bench"
+	"barracuda/internal/core"
 	"barracuda/internal/detector"
 	"barracuda/internal/gpusim"
 )
@@ -39,6 +40,12 @@ type SchedulerOptions struct {
 	// MaxJobs bounds the retained job history (default 4096; oldest
 	// finished jobs are forgotten first).
 	MaxJobs int
+	// SrcEntries bounds the content-addressed source store behind the
+	// streaming protocol's warm-upload short-circuit (default 64).
+	SrcEntries int
+	// Tenants sizes the per-API-key admission control on the streaming
+	// path.
+	Tenants TenantOptions
 }
 
 func (o SchedulerOptions) withDefaults() SchedulerOptions {
@@ -71,15 +78,16 @@ type Job struct {
 	ID string
 
 	// Immutable after Submit.
-	req     JobRequest
-	src     string // resolved PTX source
-	kernel  string // may be "" for PTX jobs: resolved at run time
-	grid    int
-	block   int
-	buffers []int
-	cfg     detector.Config
-	timeout time.Duration
-	budget  uint64
+	req      JobRequest
+	src      string // resolved PTX source
+	kernel   string // may be "" for PTX jobs: resolved at run time
+	grid     int
+	block    int
+	buffers  []int
+	cfg      detector.Config
+	timeout  time.Duration
+	budget   uint64
+	observer func(core.Race) // streaming path: fired per new static race
 
 	mu        sync.Mutex
 	status    string
@@ -131,6 +139,8 @@ func (j *Job) finish(status, errMsg string, result *JobResult) {
 type Scheduler struct {
 	opts    SchedulerOptions
 	cache   *ModCache
+	srcs    *SrcStore
+	tenants *TenantRegistry
 	metrics *Metrics
 
 	inflight atomic.Int64 // jobs currently held by a worker
@@ -151,6 +161,8 @@ func NewScheduler(opts SchedulerOptions) *Scheduler {
 	s := &Scheduler{
 		opts:    opts,
 		cache:   NewModCache(opts.CacheEntries),
+		srcs:    NewSrcStore(opts.SrcEntries),
+		tenants: NewTenantRegistry(opts.Tenants),
 		metrics: &Metrics{},
 		queue:   make(chan *Job, opts.QueueCap),
 		quit:    make(chan struct{}),
@@ -168,6 +180,13 @@ func (s *Scheduler) Metrics() *Metrics { return s.metrics }
 
 // Cache returns the module cache (for stats).
 func (s *Scheduler) Cache() *ModCache { return s.cache }
+
+// Srcs returns the content-addressed source store the streaming
+// protocol negotiates uploads against.
+func (s *Scheduler) Srcs() *SrcStore { return s.srcs }
+
+// Tenants returns the per-API-key admission registry.
+func (s *Scheduler) Tenants() *TenantRegistry { return s.tenants }
 
 // QueueDepth is the number of queued-but-unstarted jobs.
 func (s *Scheduler) QueueDepth() int { return len(s.queue) }
@@ -224,20 +243,30 @@ func (s *Scheduler) Options() SchedulerOptions { return s.opts }
 // success, ErrQueueFull under backpressure, and a descriptive error for
 // invalid payloads (mapped to 400 by the HTTP layer).
 func (s *Scheduler) Submit(req JobRequest) (*Job, error) {
+	return s.SubmitObserved(req, nil)
+}
+
+// SubmitObserved is Submit with an incremental race observer: onRace is
+// invoked once per new static race at the moment of discovery, from a
+// detection worker goroutine. The streaming API uses it to push FRace
+// frames before the job completes; it must not block (the stream layer
+// hands it a buffered channel sized to the race cap).
+func (s *Scheduler) SubmitObserved(req JobRequest, onRace func(core.Race)) (*Job, error) {
 	if err := req.Validate(s.opts.MaxBufferBytes); err != nil {
 		return nil, err
 	}
 	job := &Job{
-		req:     req,
-		kernel:  req.Kernel,
-		grid:    req.Grid,
-		block:   req.Block,
-		buffers: req.Buffers,
-		cfg:     req.Config.Detector(),
-		timeout: s.opts.DefaultTimeout,
-		budget:  s.opts.DefaultMaxInstrs,
-		status:  StatusQueued,
-		done:    make(chan struct{}),
+		observer: onRace,
+		req:      req,
+		kernel:   req.Kernel,
+		grid:     req.Grid,
+		block:    req.Block,
+		buffers:  req.Buffers,
+		cfg:      req.Config.Detector(),
+		timeout:  s.opts.DefaultTimeout,
+		budget:   s.opts.DefaultMaxInstrs,
+		status:   StatusQueued,
+		done:     make(chan struct{}),
 	}
 	if req.TimeoutMS > 0 {
 		job.timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -401,7 +430,7 @@ func (s *Scheduler) run(job *Job) {
 			ch <- outcome{err: err}
 			return
 		}
-		res, err := sess.Detect(kernel, launchConfig(job.grid, job.block, args, job.budget, job.req.WarpSize))
+		res, err := sess.DetectObserved(kernel, launchConfig(job.grid, job.block, args, job.budget, job.req.WarpSize), job.observer)
 		ch <- outcome{kernel: kernel, res: res, err: err}
 	}()
 

@@ -22,6 +22,9 @@ const maxBodyBytes = 16 << 20
 //	                    ?wait_ms=N long-polls until terminal or N ms
 //	POST /v1/analyze    static analysis only → 200 AnalyzeResponse | 400
 //	POST /v1/repair     verified repair loop → 200 RepairResponse | 400
+//	GET  /v1/stream     upgrade to the binary streaming protocol
+//	                    (internal/wire): chunked PTX upload, pipelined
+//	                    launches, incremental race frames → 101 | 426
 //	GET  /healthz       liveness             → 200 {"status":"ok",...}
 //	GET  /metrics       counters             → 200 MetricsJSON
 //	GET  /v1/metrics    alias of /metrics (the versioned surface the
@@ -47,6 +50,7 @@ func New(opts SchedulerOptions) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	s.mux.HandleFunc("GET /v1/stream", s.handleStream)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -169,6 +173,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		InFlight:      s.sched.InFlight(),
 		Jobs:          m.Counters(),
 		Cache:         s.sched.Cache().Stats(),
+		Srcs:          s.sched.Srcs().Stats(),
+		Tenants:       s.sched.Tenants().Snapshot(),
 		Shadow:        m.Shadow(),
 		DetectLatency: m.Latency.Snapshot(),
 	})

@@ -1,0 +1,446 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"barracuda/internal/core"
+	"barracuda/internal/shadow"
+	"barracuda/internal/wire"
+)
+
+// handleStream upgrades the connection to the binary streaming protocol
+// (see internal/wire): chunked module upload into the content-addressed
+// source store, pipelined launches under the same scheduler budgets as
+// the JSON API, and incremental race frames pushed as the detector
+// finds them — no poll loop.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("Upgrade") != wire.UpgradeHeader {
+		writeError(w, http.StatusUpgradeRequired, CodeInvalidArgument,
+			fmt.Sprintf("stream: set \"Upgrade: %s\"", wire.UpgradeHeader))
+		return
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, CodeUnavailable, "stream: connection not hijackable")
+		return
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeUnavailable, "stream: hijack: "+err.Error())
+		return
+	}
+	resp := fmt.Sprintf("HTTP/1.1 101 Switching Protocols\r\nUpgrade: %s\r\nConnection: Upgrade\r\n\r\n",
+		wire.UpgradeHeader)
+	if _, err := conn.Write([]byte(resp)); err != nil {
+		conn.Close()
+		return
+	}
+	st := &stream{
+		sched: s.sched,
+		conn:  conn,
+		// The hijacked bufio.Reader may already hold client bytes that
+		// raced ahead of the 101; reads must drain it first.
+		src: io.MultiReader(bufferedReader{rw.Reader}, conn),
+		fw:  wire.NewWriter(conn),
+	}
+	st.serve()
+}
+
+// bufferedReader drains what the hijacked bufio.Reader buffered and
+// then reports EOF so the MultiReader falls through to the conn.
+type bufferedReader struct{ br *bufio.Reader }
+
+func (b bufferedReader) Read(p []byte) (int, error) {
+	if b.br.Buffered() == 0 {
+		return 0, io.EOF
+	}
+	return b.br.Read(p)
+}
+
+// stream is one upgraded connection's state machine.
+type stream struct {
+	sched *Scheduler
+	conn  net.Conn
+
+	src io.Reader
+	fr  *wire.Reader
+
+	wmu sync.Mutex // serializes frames from launch goroutines
+	fw  *wire.Writer
+
+	apiKey string
+
+	// Current module (the source launches run against).
+	module    string
+	moduleSet bool
+
+	// In-progress upload.
+	upTotal  uint64
+	upHash   []byte // declared hash, nil if undeclared
+	upBuf    bytes.Buffer
+	upSHA    hash.Hash
+	upActive bool
+
+	launches sync.WaitGroup
+
+	jobs     int64
+	races    atomic.Int64 // bumped from per-launch pump goroutines
+	bytesOut int64
+}
+
+func (st *stream) writeFrame(t byte, payload []byte) error {
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	st.bytesOut += int64(len(payload)) + 9
+	return st.fw.WriteFrame(t, payload)
+}
+
+func (st *stream) fatal(code, msg string) {
+	st.writeFrame(wire.FFatal, wire.EncodeFatal(wire.Fatal{Code: code, Msg: msg}))
+}
+
+func (st *stream) serve() {
+	defer st.conn.Close()
+	defer func() {
+		st.sched.Tenants().ObserveBytes(st.apiKey, 0, st.bytesOut)
+	}()
+
+	if err := wire.WritePrelude(st.conn); err != nil {
+		return
+	}
+	if _, err := wire.ReadPrelude(st.src); err != nil {
+		if errors.Is(err, wire.ErrVersionMismatch) {
+			st.fatal(wire.CodeVersionMismatch, err.Error())
+		}
+		return
+	}
+	st.fr = wire.NewReader(st.src)
+	f, err := st.fr.ReadFrame()
+	if err != nil || f.Type != wire.FHello {
+		st.fatal(wire.CodeInvalidArgument, "stream: expected HELLO")
+		return
+	}
+	hello, err := wire.DecodeHello(f.Payload)
+	if err != nil {
+		st.fatal(wire.CodeInvalidArgument, err.Error())
+		return
+	}
+	st.apiKey = hello.APIKey
+	// Connection admission spends one token: a tenant hammering
+	// reconnects is throttled the same way as one hammering launches.
+	if ok, wait := st.sched.Tenants().Admit(st.apiKey); !ok {
+		st.writeFrame(wire.FReject, wire.EncodeReject(wire.Reject{
+			Code: wire.CodeQueueFull, Msg: "stream: tenant rate limit",
+			RetryAfterMS: uint64(wait.Milliseconds()) + 1,
+		}))
+		return
+	}
+	if err := st.writeFrame(wire.FWelcome, wire.EncodeWelcome(wire.Welcome{
+		MaxFrame: wire.MaxFrame, MaxModule: wire.MaxModule,
+	})); err != nil {
+		return
+	}
+
+	bytesIn := int64(0)
+	defer func() { st.sched.Tenants().ObserveBytes(st.apiKey, bytesIn, 0) }()
+	for {
+		f, err := st.fr.ReadFrame()
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				st.fatal(wire.CodeInvalidArgument, err.Error())
+			}
+			break
+		}
+		bytesIn += int64(len(f.Payload)) + 9
+		switch f.Type {
+		case wire.FModBegin:
+			err = st.modBegin(f.Payload)
+		case wire.FModChunk:
+			err = st.modChunk(f.Payload)
+		case wire.FModEnd:
+			err = st.modEnd()
+		case wire.FLaunch:
+			err = st.launch(f.Payload)
+		case wire.FBye:
+			err = errStreamDone
+		default:
+			err = fmt.Errorf("unexpected frame %#x", f.Type)
+		}
+		if err == errStreamDone {
+			break
+		}
+		if err != nil {
+			st.fatal(wire.CodeInvalidArgument, err.Error())
+			break
+		}
+	}
+	// Drain in-flight launches so their summaries reach the client even
+	// after BYE; a torn connection just makes their writes no-ops.
+	st.launches.Wait()
+	st.sched.Tenants().ObserveRaces(st.apiKey, st.races.Load())
+}
+
+var errStreamDone = errors.New("stream: bye")
+
+func (st *stream) modBegin(p []byte) error {
+	mb, err := wire.DecodeModBegin(p)
+	if err != nil {
+		return err
+	}
+	if mb.TotalLen > wire.MaxModule {
+		return fmt.Errorf("module %d bytes exceeds limit %d", mb.TotalLen, wire.MaxModule)
+	}
+	if len(mb.Hash) == 32 {
+		var h [32]byte
+		copy(h[:], mb.Hash)
+		if src, ok := st.sched.Srcs().Get(h); ok {
+			// Warm hit: the declared content is resident; skip the upload.
+			st.module, st.moduleSet = src, true
+			st.upActive = false
+			return st.writeFrame(wire.FModState, wire.EncodeModState(wire.ModState{State: wire.ModHave, Hash: mb.Hash}))
+		}
+	}
+	st.upTotal = mb.TotalLen
+	st.upHash = mb.Hash
+	st.upBuf.Reset()
+	st.upBuf.Grow(int(mb.TotalLen))
+	st.upSHA = sha256.New()
+	st.upActive = true
+	return st.writeFrame(wire.FModState, wire.EncodeModState(wire.ModState{State: wire.ModNeed}))
+}
+
+func (st *stream) modChunk(p []byte) error {
+	if !st.upActive {
+		return errors.New("MOD_CHUNK outside an upload")
+	}
+	if uint64(st.upBuf.Len())+uint64(len(p)) > st.upTotal {
+		return fmt.Errorf("upload overruns declared length %d", st.upTotal)
+	}
+	st.upBuf.Write(p)
+	st.upSHA.Write(p)
+	return nil
+}
+
+func (st *stream) modEnd() error {
+	if !st.upActive {
+		return errors.New("MOD_END outside an upload")
+	}
+	st.upActive = false
+	if uint64(st.upBuf.Len()) != st.upTotal {
+		return fmt.Errorf("upload ended at %d of %d declared bytes", st.upBuf.Len(), st.upTotal)
+	}
+	sum := st.upSHA.Sum(nil)
+	if st.upHash != nil && !bytes.Equal(sum, st.upHash) {
+		return errors.New("upload content hash does not match MOD_BEGIN declaration")
+	}
+	st.module, st.moduleSet = st.upBuf.String(), true
+	st.sched.Srcs().Put(st.module)
+	return st.writeFrame(wire.FModState, wire.EncodeModState(wire.ModState{State: wire.ModReady, Hash: sum}))
+}
+
+func (st *stream) reject(seq uint64, code, msg string, retryAfter time.Duration) error {
+	return st.writeFrame(wire.FReject, wire.EncodeReject(wire.Reject{
+		Seq: seq, Code: code, Msg: msg,
+		RetryAfterMS: uint64(retryAfter.Milliseconds()),
+	}))
+}
+
+func (st *stream) launch(p []byte) error {
+	spec, err := wire.DecodeLaunch(p)
+	if err != nil {
+		return err
+	}
+	if !st.moduleSet {
+		return st.reject(spec.Seq, wire.CodeInvalidArgument, "LAUNCH before a module upload", 0)
+	}
+	if ok, wait := st.sched.Tenants().Admit(st.apiKey); !ok {
+		return st.reject(spec.Seq, wire.CodeQueueFull, "tenant rate limit", wait+time.Millisecond)
+	}
+	req := JobRequest{
+		PTX:       st.module,
+		Kernel:    spec.Kernel,
+		Grid:      spec.Grid,
+		Block:     spec.Block,
+		Buffers:   spec.Buffers,
+		TimeoutMS: spec.TimeoutMS,
+		MaxInstrs: spec.MaxInstrs,
+		WarpSize:  spec.WarpSize,
+		Config: ConfigJSON{
+			Queues:            spec.Config.Queues,
+			QueueCap:          spec.Config.QueueCap,
+			Granularity:       spec.Config.Granularity,
+			MaxRaces:          spec.Config.MaxRaces,
+			FullVC:            spec.Config.FullVC,
+			NoPrune:           spec.Config.NoPrune,
+			StaticPrune:       spec.Config.StaticPrune,
+			NoSameValueFilter: spec.Config.NoSameValueFilter,
+			PerCellShadow:     spec.Config.PerCellShadow,
+			Ownership:         spec.Config.Ownership,
+			ShadowCapBytes:    spec.Config.ShadowCapBytes,
+		},
+	}
+	// Buffer to the race cap so the observer can never block the
+	// detection worker: the detector fires at most MaxRaces new static
+	// races per run.
+	capRaces := spec.Config.MaxRaces
+	if capRaces <= 0 {
+		capRaces = 1024
+	}
+	raceCh := make(chan core.Race, capRaces)
+	onRace := func(r core.Race) {
+		select {
+		case raceCh <- r:
+		default: // cap exceeded would be a detector bug; never block
+		}
+	}
+	job, err := st.sched.SubmitObserved(req, onRace)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return st.reject(spec.Seq, wire.CodeQueueFull, err.Error(), time.Second)
+	case err != nil:
+		return st.reject(spec.Seq, wire.CodeInvalidArgument, err.Error(), 0)
+	}
+	st.jobs++
+	st.sched.Tenants().ObserveJob(st.apiKey)
+	if err := st.writeFrame(wire.FAccept, wire.EncodeAccept(wire.Accept{Seq: spec.Seq, JobID: job.ID})); err != nil {
+		return err
+	}
+	st.launches.Add(1)
+	go st.pump(spec.Seq, job, raceCh)
+	return nil
+}
+
+// pump pushes one launch's incremental race frames and terminal
+// summary. It runs per launch; frame writes serialize on the stream's
+// write mutex, so pipelined launches interleave cleanly.
+func (st *stream) pump(seq uint64, job *Job, raceCh <-chan core.Race) {
+	defer st.launches.Done()
+	var enc wire.RaceEncoder
+	push := func(r core.Race) {
+		st.races.Add(1)
+		st.writeFrame(wire.FRace, wire.EncodeRace(&enc, wire.RaceEvent{Seq: seq, Race: r}))
+	}
+	for {
+		select {
+		case r := <-raceCh:
+			push(r)
+		case <-job.Done():
+			for {
+				select {
+				case r := <-raceCh:
+					push(r)
+					continue
+				default:
+				}
+				break
+			}
+			st.writeFrame(wire.FSummary, wire.EncodeSummary(st.summary(seq, job)))
+			return
+		}
+	}
+}
+
+// JobInfoFromSummary rebuilds the JSON JobInfo shape from a streamed
+// terminal Summary — the inverse of the projection the daemon applies
+// when it encodes one. The fleet coordinator uses it so wire-forwarded
+// jobs report results in the same envelope as JSON-forwarded ones.
+// Only digest-covered and headline fields travel on the wire; the
+// JSON-only extras (simulator-side Records, PTVC format census, full
+// shadow occupancy breakdown) stay zero.
+func JobInfoFromSummary(id string, sum wire.Summary) *JobInfo {
+	info := &JobInfo{
+		ID:          id,
+		Status:      sum.Status,
+		Error:       sum.Error,
+		CacheHit:    sum.CacheHit,
+		QueueWaitMS: float64(sum.QueueWaitUS) / 1000,
+		TotalMS:     float64(sum.TotalUS) / 1000,
+	}
+	if sum.Status != StatusDone {
+		return info // failed/timeout jobs carry no result, matching the scheduler
+	}
+	res := &JobResult{
+		Kernel:            sum.Kernel,
+		RaceCount:         len(sum.Races),
+		SameValueFiltered: sum.SameValueFiltered,
+		WarpInstrs:        sum.WarpInstrs,
+		RecordsSeen:       sum.RecordsSeen,
+		DetectMS:          float64(sum.DetectUS) / 1000,
+		PrecisionDegraded: sum.PrecisionDegraded,
+		Shadow: &shadow.MemStats{
+			PeakResidentBytes: int64(sum.ShadowPeakResident),
+			LiveEvictions:     sum.ShadowLiveEvicts,
+			PrecisionDegraded: sum.PrecisionDegraded,
+		},
+	}
+	for _, r := range sum.Races {
+		res.Races = append(res.Races, RaceJSON{
+			Kind:      r.Kind.String(),
+			Space:     r.Space.String(),
+			Addr:      fmt.Sprintf("%#x", r.Addr),
+			Block:     r.Block,
+			Count:     r.Count,
+			SameInstr: r.SameInstr,
+			Prev:      accessJSON(r.Prev),
+			Cur:       accessJSON(r.Cur),
+			Summary:   r.String(),
+		})
+	}
+	for _, d := range sum.Divergences {
+		res.Divergences = append(res.Divergences, DivergenceJSON{
+			Block: d.Block, Warp: d.Warp, Line: d.PC,
+			Mask: fmt.Sprintf("%#x", d.Mask),
+		})
+	}
+	info.Result = res
+	return info
+}
+
+// summary projects a terminal job onto the wire. The race table comes
+// from the final report (authoritative ordering and dynamic counts);
+// the incremental frames the client saw were a low-latency preview.
+func (st *stream) summary(seq uint64, job *Job) wire.Summary {
+	info := job.Info()
+	sum := wire.Summary{
+		Seq:         seq,
+		Status:      info.Status,
+		Error:       info.Error,
+		CacheHit:    info.CacheHit,
+		QueueWaitUS: uint64(info.QueueWaitMS * 1000),
+		TotalUS:     uint64(info.TotalMS * 1000),
+	}
+	res := info.Result
+	if res == nil {
+		return sum
+	}
+	sum.Kernel = res.Kernel
+	sum.RecordsSeen = res.RecordsSeen
+	sum.WarpInstrs = res.WarpInstrs
+	sum.SameValueFiltered = res.SameValueFiltered
+	sum.DetectUS = uint64(res.DetectMS * 1000)
+	sum.PrecisionDegraded = res.PrecisionDegraded
+	if res.Shadow != nil {
+		sum.ShadowPeakResident = uint64(res.Shadow.PeakResidentBytes)
+		sum.ShadowLiveEvicts = uint64(res.Shadow.LiveEvictions)
+	}
+	if rep, err := res.CoreReport(); err == nil {
+		sum.Races = rep.Races
+		for _, d := range rep.Divergences {
+			sum.Divergences = append(sum.Divergences, wire.Divergence{
+				Block: d.Block, Warp: d.Warp, PC: d.PC, Mask: d.Mask,
+			})
+		}
+	}
+	return sum
+}

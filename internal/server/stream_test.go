@@ -1,0 +1,270 @@
+package server
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"barracuda/internal/wire"
+)
+
+// dialStream upgrades a fresh connection against the test server.
+func dialStream(t *testing.T, ts_URL, apiKey string) *wire.Client {
+	t.Helper()
+	host := strings.TrimPrefix(ts_URL, "http://")
+	conn, err := net.Dial("tcp", host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := wire.Handshake(conn, host, apiKey)
+	if err != nil {
+		conn.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// collect drains events until every launched seq has a summary.
+func collect(t *testing.T, c *wire.Client, want int) (map[uint64]wire.Summary, map[uint64][]wire.RaceEvent, []wire.Reject) {
+	t.Helper()
+	sums := map[uint64]wire.Summary{}
+	races := map[uint64][]wire.RaceEvent{}
+	var rejects []wire.Reject
+	for len(sums)+len(rejects) < want {
+		ev, err := c.Next()
+		if err != nil {
+			t.Fatalf("after %d summaries: %v", len(sums), err)
+		}
+		switch ev.Type {
+		case wire.FAccept:
+		case wire.FRace:
+			races[ev.Race.Seq] = append(races[ev.Race.Seq], ev.Race)
+		case wire.FSummary:
+			sums[ev.Summary.Seq] = ev.Summary
+		case wire.FReject:
+			rejects = append(rejects, ev.Reject)
+		}
+	}
+	return sums, races, rejects
+}
+
+func TestStreamDetectFlow(t *testing.T) {
+	_, ts := newTestServer(t, SchedulerOptions{Workers: 2})
+	c := dialStream(t, ts.URL, "tenant-a")
+
+	if w := c.Welcome(); w.MaxFrame != wire.MaxFrame || w.MaxModule != wire.MaxModule {
+		t.Fatalf("welcome limits = %+v", w)
+	}
+	_, warm, err := c.UploadModule([]byte(racySrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm {
+		t.Fatal("first upload reported warm")
+	}
+	if err := c.Launch(wire.LaunchSpec{Seq: 1, Kernel: "k", Grid: 1, Block: 64, Buffers: []int{256}}); err != nil {
+		t.Fatal(err)
+	}
+	sums, races, rejects := collect(t, c, 1)
+	if len(rejects) != 0 {
+		t.Fatalf("rejects: %+v", rejects)
+	}
+	sum := sums[1]
+	if sum.Status != StatusDone {
+		t.Fatalf("status = %q (%s)", sum.Status, sum.Error)
+	}
+	if len(sum.Races) == 0 {
+		t.Fatal("racy kernel streamed no races in summary")
+	}
+	// The incremental frames must have previewed every static race.
+	if len(races[1]) != len(sum.Races) {
+		t.Fatalf("streamed %d incremental races, summary has %d", len(races[1]), len(sum.Races))
+	}
+	if sum.RecordsSeen == 0 || sum.WarpInstrs == 0 {
+		t.Fatalf("stats not populated: %+v", sum)
+	}
+}
+
+func TestStreamWarmUploadSkipsBytes(t *testing.T) {
+	_, ts := newTestServer(t, SchedulerOptions{Workers: 1})
+	c1 := dialStream(t, ts.URL, "")
+	if _, warm, err := c1.UploadModule([]byte(racySrc)); err != nil || warm {
+		t.Fatalf("first upload: warm=%v err=%v", warm, err)
+	}
+	// A second connection declaring the same hash skips the transfer.
+	c2 := dialStream(t, ts.URL, "")
+	if _, warm, err := c2.UploadModule([]byte(racySrc)); err != nil || !warm {
+		t.Fatalf("second upload: warm=%v err=%v, want warm=true", warm, err)
+	}
+	// The warm module is actually usable.
+	if err := c2.Launch(wire.LaunchSpec{Seq: 7, Kernel: "k", Grid: 1, Block: 32, Buffers: []int{64}}); err != nil {
+		t.Fatal(err)
+	}
+	sums, _, _ := collect(t, c2, 1)
+	if sums[7].Status != StatusDone {
+		t.Fatalf("warm-module launch: %+v", sums[7])
+	}
+}
+
+func TestStreamPipelinedLaunches(t *testing.T) {
+	_, ts := newTestServer(t, SchedulerOptions{Workers: 2})
+	c := dialStream(t, ts.URL, "tenant-p")
+	if _, _, err := c.UploadModule([]byte(racySrc)); err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	for i := 1; i <= n; i++ {
+		if err := c.Launch(wire.LaunchSpec{Seq: uint64(i), Kernel: "k", Grid: 1, Block: 32, Buffers: []int{64}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sums, _, rejects := collect(t, c, n)
+	if len(rejects) != 0 {
+		t.Fatalf("rejects: %+v", rejects)
+	}
+	for i := 1; i <= n; i++ {
+		if s, ok := sums[uint64(i)]; !ok || s.Status != StatusDone {
+			t.Fatalf("seq %d: %+v", i, s)
+		}
+	}
+}
+
+func TestStreamLaunchValidationReject(t *testing.T) {
+	_, ts := newTestServer(t, SchedulerOptions{Workers: 1})
+	c := dialStream(t, ts.URL, "")
+	if _, _, err := c.UploadModule([]byte(racySrc)); err != nil {
+		t.Fatal(err)
+	}
+	// Negative grid fails JobRequest validation; connection survives.
+	if err := c.Launch(wire.LaunchSpec{Seq: 1, Kernel: "k", Grid: -1, Block: 32}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, rejects := collect(t, c, 1)
+	if len(rejects) != 1 || rejects[0].Code != wire.CodeInvalidArgument {
+		t.Fatalf("rejects = %+v, want one invalid_argument", rejects)
+	}
+	// The connection still works after a reject.
+	if err := c.Launch(wire.LaunchSpec{Seq: 2, Kernel: "k", Grid: 1, Block: 32, Buffers: []int{64}}); err != nil {
+		t.Fatal(err)
+	}
+	sums, _, _ := collect(t, c, 1)
+	if sums[2].Status != StatusDone {
+		t.Fatalf("post-reject launch: %+v", sums[2])
+	}
+}
+
+func TestStreamTenantRateLimit(t *testing.T) {
+	_, ts := newTestServer(t, SchedulerOptions{
+		Workers: 1,
+		// One-token bucket with negligible refill: the handshake spends
+		// the only token, the first launch must be rejected with a
+		// Retry-After hint.
+		Tenants: TenantOptions{RatePerSec: 0.001, Burst: 1},
+	})
+	c := dialStream(t, ts.URL, "throttled")
+	if _, _, err := c.UploadModule([]byte(racySrc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Launch(wire.LaunchSpec{Seq: 1, Kernel: "k", Grid: 1, Block: 32, Buffers: []int{64}}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, rejects := collect(t, c, 1)
+	if len(rejects) != 1 {
+		t.Fatalf("rejects = %+v", rejects)
+	}
+	rej := rejects[0]
+	if rej.Code != wire.CodeQueueFull {
+		t.Fatalf("reject code = %q, want %q", rej.Code, wire.CodeQueueFull)
+	}
+	if rej.RetryAfterMS == 0 {
+		t.Fatal("reject carries no Retry-After hint")
+	}
+}
+
+func TestStreamRateLimitedHandshake(t *testing.T) {
+	srv, ts := newTestServer(t, SchedulerOptions{
+		Workers: 1,
+		Tenants: TenantOptions{RatePerSec: 0.001, Burst: 1},
+	})
+	// Exhaust the tenant's only token.
+	if ok, _ := srv.Scheduler().Tenants().Admit("dos"); !ok {
+		t.Fatal("first admit should pass")
+	}
+	host := strings.TrimPrefix(ts.URL, "http://")
+	conn, err := net.Dial("tcp", host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_, err = wire.Handshake(conn, host, "dos")
+	rej, ok := err.(*wire.RejectError)
+	if !ok {
+		t.Fatalf("err = %v, want *wire.RejectError", err)
+	}
+	if rej.Reject.Code != wire.CodeQueueFull || rej.Reject.RetryAfterMS == 0 {
+		t.Fatalf("handshake reject = %+v", rej.Reject)
+	}
+}
+
+func TestStreamTenantAccounting(t *testing.T) {
+	srv, ts := newTestServer(t, SchedulerOptions{Workers: 1})
+	c := dialStream(t, ts.URL, "metered")
+	if _, _, err := c.UploadModule([]byte(racySrc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Launch(wire.LaunchSpec{Seq: 1, Kernel: "k", Grid: 1, Block: 64, Buffers: []int{256}}); err != nil {
+		t.Fatal(err)
+	}
+	collect(t, c, 1)
+	c.Bye()
+	c.Close()
+	// Bye lets the server finish its accounting; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var got *TenantJSON
+		for _, tj := range srv.Scheduler().Tenants().Snapshot() {
+			if tj.Key == "metered" {
+				tj := tj
+				got = &tj
+			}
+		}
+		if got != nil && got.Jobs == 1 && got.BytesIn > 0 && got.BytesOut > 0 && got.Races > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant counters never settled: %+v", got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestStreamModuleHashMismatch(t *testing.T) {
+	_, ts := newTestServer(t, SchedulerOptions{Workers: 1})
+	host := strings.TrimPrefix(ts.URL, "http://")
+	conn, err := net.Dial("tcp", host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c, err := wire.Handshake(conn, host, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-roll an upload whose declared hash does not match the bytes.
+	w := wire.NewWriter(conn)
+	badHash := make([]byte, 32)
+	w.WriteFrame(wire.FModBegin, wire.EncodeModBegin(wire.ModBegin{TotalLen: 3, Hash: badHash}))
+	if _, err := c.Next(); err == nil {
+		// ModState(need) arrives as an unexpected-frame error from Next;
+		// accept either shape, the point is what follows.
+		t.Log("mod state delivered")
+	}
+	w.WriteFrame(wire.FModChunk, []byte("abc"))
+	w.WriteFrame(wire.FModEnd, nil)
+	_, err = c.Next()
+	if _, ok := err.(*wire.FatalError); !ok {
+		t.Fatalf("err = %v, want *wire.FatalError for hash mismatch", err)
+	}
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"testing"
+
+	"barracuda/internal/bugsuite"
+	"barracuda/internal/wire"
+)
+
+// TestStreamJSONEquivalence is the end-to-end contract of the streaming
+// protocol: over the whole bug suite, the report reassembled from
+// stream frames must be digest-identical (core.CanonicalDigest) to the
+// report fetched from the JSON poll API — same races, same counts, same
+// divergences, same record totals. Programs that exhaust the step
+// budget must classify as timeout on both surfaces.
+func TestStreamJSONEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full bug suite; skipped in -short")
+	}
+	_, ts := newTestServer(t, SchedulerOptions{Workers: 2, QueueCap: 256, MaxJobs: 8192})
+	c := dialStream(t, ts.URL, "equiv")
+
+	tests := bugsuite.Tests()
+	for _, bt := range tests {
+		bt := bt
+		t.Run(bt.Name, func(t *testing.T) {
+			req := JobRequest{
+				PTX:       bt.PTX,
+				Kernel:    bt.Kernel,
+				Grid:      bt.Grid.Count(),
+				Block:     bt.Block.Count(),
+				Buffers:   bt.Bufs,
+				MaxInstrs: 1 << 19,
+			}
+
+			// JSON path: submit and poll.
+			code, info, errj := postJob(t, ts, req)
+			if code != 202 {
+				t.Fatalf("JSON submit: %d %+v", code, errj)
+			}
+			info = waitJob(t, ts, info.ID)
+
+			// Stream path: upload (warm after the first program repeats a
+			// module) and launch on the shared connection.
+			if _, _, err := c.UploadModule([]byte(bt.PTX)); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Launch(wire.LaunchSpec{
+				Seq: 1, Kernel: bt.Kernel,
+				Grid: bt.Grid.Count(), Block: bt.Block.Count(),
+				Buffers: bt.Bufs, MaxInstrs: 1 << 19,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var sum wire.Summary
+			for {
+				ev, err := c.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ev.Type == wire.FReject {
+					t.Fatalf("stream reject: %+v", ev.Reject)
+				}
+				if ev.Type == wire.FSummary {
+					sum = ev.Summary
+					break
+				}
+			}
+
+			if sum.Status != info.Status {
+				t.Fatalf("status: stream %q (%s), JSON %q (%s)", sum.Status, sum.Error, info.Status, info.Error)
+			}
+			if info.Status != StatusDone {
+				return // timeout/failure classified identically: done
+			}
+			jsonRep, err := info.Result.CoreReport()
+			if err != nil {
+				t.Fatalf("reconstruct JSON report: %v", err)
+			}
+			jsonDig := jsonRep.CanonicalDigest()
+			streamDig := sum.Report().CanonicalDigest()
+			if streamDig != jsonDig {
+				t.Fatalf("digest mismatch:\n--- stream ---\n%s--- json ---\n%s", streamDig, jsonDig)
+			}
+		})
+	}
+}

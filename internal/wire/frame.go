@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame is one decoded wire frame.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// WritePrelude emits the 5-byte stream opener (magic ‖ version).
+func WritePrelude(w io.Writer) error {
+	var b [5]byte
+	copy(b[:], Magic)
+	b[4] = Version
+	_, err := w.Write(b[:])
+	return err
+}
+
+// ReadPrelude consumes and validates the stream opener, returning the
+// peer's protocol version. A short read is ErrTruncated, a foreign
+// byte stream is ErrBadMagic, and a known-magic/wrong-version peer is
+// ErrVersionMismatch (the caller can still answer with a FFatal frame:
+// framing is stable across versions by construction).
+func ReadPrelude(r io.Reader) (byte, error) {
+	var b [5]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("%w: prelude: %v", ErrTruncated, err)
+	}
+	if string(b[:4]) != Magic {
+		return 0, ErrBadMagic
+	}
+	if b[4] != Version {
+		return b[4], fmt.Errorf("%w: peer speaks v%d, this build speaks v%d", ErrVersionMismatch, b[4], Version)
+	}
+	return b[4], nil
+}
+
+// Writer frames and buffers outgoing messages. Not safe for concurrent
+// use; callers that multiplex (the server's race/summary pushers)
+// serialize around it.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter wraps w in a buffered frame writer.
+func NewWriter(w io.Writer) *Writer { return &Writer{bw: bufio.NewWriter(w)} }
+
+// WriteFrame emits one frame and flushes it. Flushing per frame keeps
+// push latency (time-to-first-race) at one syscall, which is the point
+// of the streaming protocol; batching would trade that away.
+func (w *Writer) WriteFrame(t byte, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: writing %d bytes", ErrFrameOversize, len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = t
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(payload)
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return err
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	if _, err := w.bw.Write(tail[:]); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// Reader decodes frames off a stream.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader wraps r in a buffered frame reader.
+func NewReader(r io.Reader) *Reader { return &Reader{br: bufio.NewReader(r)} }
+
+// ReadFrame decodes the next frame. io.EOF is returned verbatim at a
+// clean frame boundary; every other failure is a typed error. The
+// length prefix is validated against MaxFrame before the payload is
+// allocated, so a hostile prefix cannot trigger an unbounded (or even
+// large) allocation.
+func (r *Reader) ReadFrame() (Frame, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: frame header: %v", ErrTruncated, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("%w: length prefix %d", ErrFrameOversize, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r.br, payload); err != nil {
+		return Frame{}, fmt.Errorf("%w: frame body: %v", ErrTruncated, err)
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(r.br, tail[:]); err != nil {
+		return Frame{}, fmt.Errorf("%w: frame crc: %v", ErrTruncated, err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(payload)
+	if crc.Sum32() != binary.LittleEndian.Uint32(tail[:]) {
+		return Frame{}, fmt.Errorf("%w: frame type %#x len %d", ErrBadCRC, hdr[0], n)
+	}
+	return Frame{Type: hdr[0], Payload: payload}, nil
+}

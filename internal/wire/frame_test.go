@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestPreludeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrelude(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ReadPrelude(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Version {
+		t.Fatalf("version = %d, want %d", v, Version)
+	}
+}
+
+func TestPreludeErrors(t *testing.T) {
+	if _, err := ReadPrelude(strings.NewReader("BC")); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short prelude: err = %v, want ErrTruncated", err)
+	}
+	if _, err := ReadPrelude(strings.NewReader("HTTP/")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("foreign bytes: err = %v, want ErrBadMagic", err)
+	}
+	if _, err := ReadPrelude(strings.NewReader(Magic + "\x63")); !errors.Is(err, ErrVersionMismatch) {
+		t.Errorf("future version: err = %v, want ErrVersionMismatch", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 1<<16)}
+	for i, p := range payloads {
+		if err := w.WriteFrame(byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, p := range payloads {
+		f, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Type != byte(i+1) || !bytes.Equal(f.Payload, p) {
+			t.Fatalf("frame %d: type %#x len %d, want type %#x len %d", i, f.Type, len(f.Payload), i+1, len(p))
+		}
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("at clean boundary: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(FLaunch, []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every proper prefix must fail with ErrTruncated (or io.EOF at the
+	// zero-byte boundary), never panic.
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		_, err := r.ReadFrame()
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("cut=0: err = %v, want io.EOF", err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestFrameBadCRC(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(FRace, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Flip one payload bit.
+	corrupted := append([]byte(nil), full...)
+	corrupted[7] ^= 0x01
+	if _, err := NewReader(bytes.NewReader(corrupted)).ReadFrame(); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("payload corruption: err = %v, want ErrBadCRC", err)
+	}
+	// Flip a CRC bit.
+	corrupted = append([]byte(nil), full...)
+	corrupted[len(corrupted)-1] ^= 0x80
+	if _, err := NewReader(bytes.NewReader(corrupted)).ReadFrame(); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("crc corruption: err = %v, want ErrBadCRC", err)
+	}
+}
+
+func TestFrameOversizePrefix(t *testing.T) {
+	// A hostile length prefix must be rejected before allocation.
+	var hdr [5]byte
+	hdr[0] = FModChunk
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(MaxFrame+1))
+	if _, err := NewReader(bytes.NewReader(hdr[:])).ReadFrame(); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("oversize prefix: err = %v, want ErrFrameOversize", err)
+	}
+	binary.LittleEndian.PutUint32(hdr[1:], ^uint32(0))
+	if _, err := NewReader(bytes.NewReader(hdr[:])).ReadFrame(); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("max u32 prefix: err = %v, want ErrFrameOversize", err)
+	}
+	if err := NewWriter(io.Discard).WriteFrame(FModChunk, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("oversize write: err = %v, want ErrFrameOversize", err)
+	}
+}
