@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-sim bench-scaling bench-detect bench-shadow bench-fleet bench-repair bench-proto fleet-sim stress-multiqueue stress-stream serve ci fmt-check vet-smoke vet-fix-smoke stress-ownership
+.PHONY: all build vet test race bench bench-sim bench-scaling bench-detect bench-shadow bench-fleet bench-repair bench-proto bench-filter fleet-sim stress-multiqueue stress-stream stress-filter serve ci fmt-check vet-smoke vet-fix-smoke stress-ownership
 
 all: build vet test
 
@@ -125,6 +125,22 @@ fleet-sim:
 	$(GO) run -race ./cmd/fleetsim -nodes 4 -jobs 20000 -seed 42 -repeat 2
 	$(GO) run -race ./cmd/fleetsim -nodes 8 -jobs 20000 -seed 42 -traffic mixed -crash 2@0.3 -hbloss 0.05 -repeat 2
 
+# Producer-side epoch filtering A/B: loop-heavy, barrier-dense and
+# adversarial no-repeat mixes, full live detections with the filter off
+# vs on (BENCH_filter.json) — gated on canonical-digest and record-count
+# equality on every run and a 1.5x floor on the loop-heavy speedup.
+bench-filter:
+	$(GO) run ./cmd/benchtab -filter -min-speedup 1.5 -o BENCH_filter.json
+
+# The producer-filter correctness stress: filtered-vs-unfiltered report
+# equivalence over the 66-program bug suite (sequential and randomized
+# schedules), the benchmark suite, and the record-batch codec fuzz
+# corpus, under the Go race detector where schedules are concurrent.
+stress-filter:
+	GOMAXPROCS=4 $(GO) test -race -run 'TestProducerFilter' ./internal/bugsuite/ ./internal/detector/ ./internal/server/
+	$(GO) test -run 'TestFilterBenchmarkEquivalence' ./internal/bench/
+	$(GO) test -run 'FuzzRecords|TestRecordSeedsRoundTrip' ./internal/wire/
+
 # Streaming-protocol A/B: JSON submit+poll vs the binary wire protocol
 # on bytes-on-wire, time-to-first-race and jobs/sec, cold and warm, at
 # three report sizes (BENCH_proto.json) — gated on stream-vs-JSON
@@ -149,4 +165,4 @@ stress-multiqueue:
 serve:
 	$(GO) run ./cmd/barracudad -addr :8321
 
-ci: build vet fmt-check test race vet-smoke vet-fix-smoke stress-multiqueue stress-stream fleet-sim
+ci: build vet fmt-check test race vet-smoke vet-fix-smoke stress-multiqueue stress-stream stress-filter fleet-sim

@@ -50,6 +50,7 @@ func remoteRun(o runOpts, baseURL, apiKey string, stream bool) error {
 			StaticPrune:    o.staticPrune,
 			Ownership:      o.ownership,
 			ShadowCapBytes: o.shadowCap,
+			ProducerFilter: o.producerFilter,
 		},
 	}
 	if o.ptxPath != "" {
@@ -213,6 +214,7 @@ func streamRun(req server.JobRequest, baseURL, apiKey string, verbose bool) erro
 			StaticPrune:    req.Config.StaticPrune,
 			Ownership:      req.Config.Ownership,
 			ShadowCapBytes: req.Config.ShadowCapBytes,
+			ProducerFilter: req.Config.ProducerFilter,
 		},
 	}
 	if err := c.Launch(spec); err != nil {

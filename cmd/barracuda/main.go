@@ -52,6 +52,7 @@ func main() {
 		profileF  = flag.Bool("profile", false, "run the memory-access profiler instead of the race detector")
 		staticp   = flag.Bool("staticprune", false, "enable the inter-block static instrumentation pruner")
 		ownership = flag.Bool("ownership", false, "enable the exclusive-ownership shadow fast path (requires span mode)")
+		prodFilt  = flag.Bool("producer-filter", false, "suppress redundant access records at the simulator (producer-side epoch filtering; reports stay byte-identical)")
 		shadowCap = flag.Int64("shadow-cap", 0, "bound resident shadow memory to this many bytes via LRU eviction (0 = unbounded; evicting live state is reported as degraded precision)")
 		verbose   = flag.Bool("v", false, "print per-race dynamic counts and PTVC format stats")
 		serverURL = flag.String("server", "", "submit to a barracudad daemon or fleet coordinator at this base URL instead of running locally")
@@ -65,6 +66,7 @@ func main() {
 		queues: *queues, gran: *gran, fullvc: *fullvc, budget: *budget,
 		warpsize: *warpsize, profile: *profileF, staticPrune: *staticp,
 		ownership: *ownership, shadowCap: *shadowCap, verbose: *verbose,
+		producerFilter: *prodFilt,
 	}
 	var err error
 	if *serverURL != "" {
@@ -84,7 +86,7 @@ type runOpts struct {
 	ptxPath, fatbinPath, benchName, kernel, bufs string
 	grid, block, queues, gran, warpsize          int
 	fullvc, profile, staticPrune, verbose        bool
-	ownership                                    bool
+	ownership, producerFilter                    bool
 	shadowCap                                    int64
 	budget                                       uint64
 }
@@ -93,6 +95,7 @@ func run(o runOpts) error {
 	cfg := detector.Config{
 		Queues: o.queues, Granularity: o.gran, FullVC: o.fullvc, StaticPrune: o.staticPrune,
 		Ownership: o.ownership, ShadowCapBytes: o.shadowCap,
+		ProducerFilter: o.producerFilter,
 	}
 
 	var (

@@ -141,7 +141,10 @@ func main() {
 	case s := <-sig:
 		log.Printf("barracudad: %v, shutting down", s)
 		if link != nil {
-			link.Close()
+			// Drain before closing the job surface: the coordinator stops
+			// routing new work here, and jobs it already forwarded finish
+			// and report back instead of being requeued on another node.
+			link.Drain(30 * time.Second)
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

@@ -11,9 +11,11 @@ type BenchEnv struct {
 	GOMAXPROCS int `json:"gomaxprocs"`
 
 	// Detector knobs in effect for the artifact's headline runs. Zero
-	// values are the defaults (ownership tier off, shadow unbounded).
+	// values are the defaults (ownership tier off, shadow unbounded,
+	// producer filter off).
 	Ownership      bool  `json:"ownership"`
 	ShadowCapBytes int64 `json:"shadow_cap_bytes"`
+	ProducerFilter bool  `json:"producer_filter"`
 }
 
 // benchEnv snapshots the host environment with default knob settings.

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"barracuda/internal/bench"
+)
+
+// FilterBenchOut is the BENCH_filter.json schema: producer-side epoch
+// filtering measured A/B against the unfiltered capture path over
+// loop-heavy, barrier-dense and adversarial no-repeat mixes, each a
+// full live detection whose canonical report must match the baseline.
+type FilterBenchOut struct {
+	BenchEnv
+
+	// LoopSpeedup is the headline number the producer filter exists
+	// for: unfiltered detection time over filtered time on the
+	// loop-heavy mix.
+	LoopSpeedup float64 `json:"loop_speedup"`
+	// AdversarialOverhead is the honest cost bound: the relative
+	// slowdown on a mix where every probe misses.
+	AdversarialOverhead float64 `json:"adversarial_overhead"`
+	DigestsEqual        bool    `json:"digests_equal"`
+
+	Points []bench.FilterPoint `json:"points"`
+}
+
+// runFilterBench runs the producer-filter A/B experiment, writes the
+// artifact, and (when minSpeedup > 0) enforces the perf and
+// equivalence gate on the loop-heavy mix.
+func runFilterBench(outPath string, minSpeedup float64) error {
+	r, err := bench.FilterBench(bench.FilterOptions{})
+	if err != nil {
+		return err
+	}
+	env := benchEnv()
+	env.ProducerFilter = true
+	out := FilterBenchOut{
+		BenchEnv:            env,
+		LoopSpeedup:         r.LoopSpeedup,
+		AdversarialOverhead: r.AdversarialOverhead,
+		DigestsEqual:        r.DigestsEqual,
+		Points:              r.Points,
+	}
+	fmt.Println("producer-filter A/B: unfiltered capture vs epoch-filtered capture (full live detection)")
+	fmt.Printf("%-14s %9s %10s %10s %8s %11s %10s %10s\n",
+		"mix", "records", "base ms", "filt ms", "speedup", "suppressed", "dyn hits", "elides")
+	for _, p := range r.Points {
+		fmt.Printf("%-14s %9d %10.1f %10.1f %7.2fx %10.1f%% %10d %10d\n",
+			p.Mix, p.Records, p.BaseNS/1e6, p.FiltNS/1e6,
+			p.Speedup, p.SuppressedFrac*100, p.Hits, p.StaticElides)
+	}
+	data, _ := json.MarshalIndent(out, "", "  ")
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: loop speedup %.2fx, adversarial overhead %.1f%%, digests_equal=%v\n",
+		outPath, out.LoopSpeedup, out.AdversarialOverhead*100, out.DigestsEqual)
+	if !out.DigestsEqual {
+		return fmt.Errorf("producer filter disagrees with baseline: canonical digests or record counts differ")
+	}
+	if minSpeedup > 0 && out.LoopSpeedup < minSpeedup {
+		return fmt.Errorf("loop-heavy speedup %.3fx below required %.3fx", out.LoopSpeedup, minSpeedup)
+	}
+	return nil
+}

@@ -40,6 +40,12 @@
 // fails if ring routing does not beat random on hit rate at N=4, if any
 // job is lost, or if replaying a scenario changes its schedule digest.
 //
+// With -filter it A/B-benchmarks producer-side epoch filtering (the
+// per-warp interval filter cache plus the static log-once tier) against
+// the unfiltered capture path over loop-heavy, barrier-dense and
+// adversarial no-repeat mixes — full live detections, digest-gated —
+// and writes BENCH_filter.json.
+//
 // With -repair it benchmarks verified repair synthesis through the
 // scheduler's /v1/repair path — repairs/sec with every request a
 // distinct module (full synthesis plus dynamic verification) vs the
@@ -74,7 +80,8 @@ func main() {
 		fleetB   = flag.Bool("fleet", false, "benchmark fleet warm routing against random placement in the cluster simulator instead")
 		protoB   = flag.Bool("proto", false, "benchmark the binary streaming protocol against JSON submit+poll (bytes on wire, time-to-first-race) instead")
 		repairB  = flag.Bool("repair", false, "benchmark verified repair synthesis (cold vs memoized warm) instead")
-		minSpeed = flag.Float64("min-speedup", 0, "with -sim, -detect, -shadow or -repair: fail unless the speedup reaches this factor")
+		filterB  = flag.Bool("filter", false, "benchmark producer-side epoch filtering against the unfiltered capture path instead")
+		minSpeed = flag.Float64("min-speedup", 0, "with -sim, -detect, -shadow, -repair or -filter: fail unless the speedup reaches this factor")
 		minGain  = flag.Float64("min-hit-gain", 0, "with -fleet: fail unless ring/random hit-rate gain at N=4 reaches this factor")
 		jobs     = flag.Int("jobs", 32, "jobs per phase for -server and -repair")
 		workers  = flag.Int("workers", 4, "detection workers for -server")
@@ -160,6 +167,18 @@ func main() {
 			path = "BENCH_fleet.json"
 		}
 		if err := runFleetBench(path, *minGain); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *filterB {
+		runtime.GOMAXPROCS(runtime.NumCPU())
+		path := *out
+		if path == "" {
+			path = "BENCH_filter.json"
+		}
+		if err := runFilterBench(path, *minSpeed); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"barracuda/internal/detector"
+	"barracuda/internal/gpusim"
+)
+
+// FilterPoint is one access mix's A/B measurement of producer-side
+// epoch filtering: full live detection (simulate + instrument + detect)
+// with the filter off against the same launch with it on. Times are
+// best-of-repeats for Session.Detect end to end.
+type FilterPoint struct {
+	Mix     string `json:"mix"`
+	Records uint64 `json:"records"` // detector-side records, unfiltered run
+
+	BaseNS float64 `json:"base_ns"` // unfiltered detection time, ns
+	FiltNS float64 `json:"filt_ns"` // filtered detection time, ns
+
+	Speedup      float64 `json:"speedup"` // BaseNS / FiltNS
+	DigestsEqual bool    `json:"digests_equal"`
+
+	// Producer-filter telemetry from the filtered run.
+	Probes          uint64  `json:"probes"`
+	Hits            uint64  `json:"hits"`
+	StaticElides    uint64  `json:"static_elides"`
+	Suppressed      uint64  `json:"suppressed_records"`
+	SuppressedFrac  float64 `json:"suppressed_frac"`  // of the unfiltered record count
+	EmittedRecords  uint64  `json:"emitted_records"`  // records that still hit the queue
+	FilteredRecords uint64  `json:"filtered_records"` // RecordsSeen of the filtered run (must equal Records)
+}
+
+// FilterResult aggregates the producer-filter experiment, the
+// BENCH_filter.json payload.
+type FilterResult struct {
+	Points []FilterPoint `json:"points"`
+
+	// LoopSpeedup is the speedup on the loop-heavy mix — the headline
+	// number producer-side filtering exists for, and the one
+	// `benchtab -filter -min-speedup` gates on.
+	LoopSpeedup float64 `json:"loop_speedup"`
+	// AdversarialOverhead is FiltNS/BaseNS - 1 on the no-repeat mix:
+	// the honest cost of probing a filter that never hits.
+	AdversarialOverhead float64 `json:"adversarial_overhead"`
+	DigestsEqual        bool    `json:"digests_equal"`
+}
+
+// FilterOptions tunes the producer-filter experiment.
+type FilterOptions struct {
+	// Repeats is how many times each mix is detected per path; the
+	// fastest run is kept (default 3 — these are full simulations).
+	Repeats int
+	// Iters scales the kernel loop trip counts (default 2048 — short
+	// runs are wall-clock-noise-dominated and undersell both the win
+	// and the honest adversarial overhead).
+	Iters int
+}
+
+// filterMixPTX generates one mix's kernel. All three are race-free so
+// the measurement is pure capture-path cost:
+//
+//	loop-heavy   — each thread re-reads its own 4 global words in a
+//	  barrier-free loop: after the first pass every read is equivalent
+//	  to one already logged in the interval, so the filter (and the
+//	  static log-once tier) suppresses nearly the whole stream. The
+//	  target of the `-min-speedup` gate.
+//	barrier-dense — the loop body re-reads one word 8 times, then hits
+//	  a block barrier: each barrier opens a new interval (the per-warp
+//	  generation bump), so only the 7 within-interval repeats filter.
+//	  This bounds what sync-heavy kernels keep of the win.
+//	adversarial  — a sweep where every iteration reads a fresh address:
+//	  no access is ever equivalent to a logged one, so every probe
+//	  misses and the run pays pure filter overhead. This bounds the
+//	  cost on streaming kernels.
+func filterMixPTX(mix string, iters int) (src string, buffers []int) {
+	switch mix {
+	case "loop-heavy":
+		// 4 private words per thread, re-read iters times.
+		src = fmt.Sprintf(`.visible .entry main(.param .u64 in, .param .u64 out)
+{
+	.reg .u32 %%r<16>;
+	.reg .u64 %%rd<8>;
+	.reg .pred %%p<2>;
+	ld.param.u64 %%rd1, [in];
+	ld.param.u64 %%rd2, [out];
+	mov.u32 %%r1, %%tid.x;
+	mov.u32 %%r2, %%ctaid.x;
+	mov.u32 %%r3, %%ntid.x;
+	mad.lo.u32 %%r4, %%r2, %%r3, %%r1;
+	mul.lo.u32 %%r5, %%r4, 16;
+	cvt.u64.u32 %%rd3, %%r5;
+	add.u64 %%rd4, %%rd1, %%rd3;
+	mov.u32 %%r6, 0;
+	mov.u32 %%r7, 0;
+BODY:
+	ld.global.u32 %%r8, [%%rd4];
+	ld.global.u32 %%r9, [%%rd4+4];
+	ld.global.u32 %%r10, [%%rd4+8];
+	ld.global.u32 %%r11, [%%rd4+12];
+	add.u32 %%r6, %%r6, %%r8;
+	add.u32 %%r6, %%r6, %%r9;
+	add.u32 %%r6, %%r6, %%r10;
+	add.u32 %%r6, %%r6, %%r11;
+	add.u32 %%r7, %%r7, 1;
+	setp.lt.u32 %%p1, %%r7, %d;
+	@%%p1 bra BODY;
+	shl.b32 %%r12, %%r4, 2;
+	cvt.u64.u32 %%rd5, %%r12;
+	add.u64 %%rd6, %%rd2, %%rd5;
+	st.global.u32 [%%rd6], %%r6;
+	ret;
+}`, iters)
+		return src, []int{256 * 16, 256 * 4}
+	case "barrier-dense":
+		// The read address is offset by a value loaded from memory (zero
+		// at runtime), so the static analysis cannot prove the site
+		// loop-invariant and suppression must come from the dynamic
+		// cache. Inner loop: 8 same-PC reads; outer loop: a block
+		// barrier per interval.
+		outer := iters / 8
+		if outer < 1 {
+			outer = 1
+		}
+		src = fmt.Sprintf(`.visible .entry main(.param .u64 in, .param .u64 out)
+{
+	.reg .u32 %%r<16>;
+	.reg .u64 %%rd<8>;
+	.reg .pred %%p<4>;
+	ld.param.u64 %%rd1, [in];
+	ld.param.u64 %%rd2, [out];
+	mov.u32 %%r1, %%tid.x;
+	mov.u32 %%r2, %%ctaid.x;
+	mov.u32 %%r3, %%ntid.x;
+	mad.lo.u32 %%r4, %%r2, %%r3, %%r1;
+	shl.b32 %%r5, %%r4, 2;
+	cvt.u64.u32 %%rd3, %%r5;
+	add.u64 %%rd4, %%rd1, %%rd3;
+	ld.global.u32 %%r6, [%%rd4];
+	cvt.u64.u32 %%rd5, %%r6;
+	add.u64 %%rd6, %%rd4, %%rd5;
+	mov.u32 %%r7, 0;
+	mov.u32 %%r8, 0;
+OUTER:
+	mov.u32 %%r9, 0;
+INNER:
+	ld.global.u32 %%r10, [%%rd6];
+	add.u32 %%r7, %%r7, %%r10;
+	add.u32 %%r9, %%r9, 1;
+	setp.lt.u32 %%p1, %%r9, 8;
+	@%%p1 bra INNER;
+	bar.sync 0;
+	add.u32 %%r8, %%r8, 1;
+	setp.lt.u32 %%p2, %%r8, %d;
+	@%%p2 bra OUTER;
+	add.u64 %%rd7, %%rd2, %%rd3;
+	st.global.u32 [%%rd7], %%r7;
+	ret;
+}`, outer)
+		return src, []int{256 * 4, 256 * 4}
+	case "adversarial":
+		// Each iteration reads a fresh word: addr = in + (iter*N + gtid)*4.
+		src = fmt.Sprintf(`.visible .entry main(.param .u64 in, .param .u64 out)
+{
+	.reg .u32 %%r<16>;
+	.reg .u64 %%rd<8>;
+	.reg .pred %%p<2>;
+	ld.param.u64 %%rd1, [in];
+	ld.param.u64 %%rd2, [out];
+	mov.u32 %%r1, %%tid.x;
+	mov.u32 %%r2, %%ctaid.x;
+	mov.u32 %%r3, %%ntid.x;
+	mad.lo.u32 %%r4, %%r2, %%r3, %%r1;
+	mov.u32 %%r6, 0;
+	mov.u32 %%r7, 0;
+BODY:
+	mad.lo.u32 %%r8, %%r7, 256, %%r4;
+	shl.b32 %%r9, %%r8, 2;
+	cvt.u64.u32 %%rd3, %%r9;
+	add.u64 %%rd4, %%rd1, %%rd3;
+	ld.global.u32 %%r10, [%%rd4];
+	add.u32 %%r6, %%r6, %%r10;
+	add.u32 %%r7, %%r7, 1;
+	setp.lt.u32 %%p1, %%r7, %d;
+	@%%p1 bra BODY;
+	shl.b32 %%r11, %%r4, 2;
+	cvt.u64.u32 %%rd5, %%r11;
+	add.u64 %%rd6, %%rd2, %%rd5;
+	st.global.u32 [%%rd6], %%r6;
+	ret;
+}`, iters)
+		return src, []int{iters * 256 * 4, 256 * 4}
+	}
+	panic("unknown filter mix " + mix)
+}
+
+// filterDetect runs one mix end to end with the given filter setting
+// and returns the wall time, digest and result.
+func filterDetect(mix string, iters int, filter bool) (time.Duration, string, *detector.Result, error) {
+	src, buffers := filterMixPTX(mix, iters)
+	s, err := detector.OpenPTX(src, detector.Config{ProducerFilter: filter})
+	if err != nil {
+		return 0, "", nil, fmt.Errorf("filter mix %s: %w", mix, err)
+	}
+	var args []uint64
+	for _, sz := range buffers {
+		a, err := s.Dev.Alloc(sz)
+		if err != nil {
+			return 0, "", nil, err
+		}
+		args = append(args, a)
+	}
+	launch := gpusim.LaunchConfig{Grid: gpusim.Dim3{X: 4}, Block: gpusim.Dim3{X: 64}, Args: args}
+	start := time.Now()
+	res, err := s.Detect("main", launch)
+	if err != nil {
+		return 0, "", nil, fmt.Errorf("filter mix %s: %w", mix, err)
+	}
+	return time.Since(start), res.Report.CanonicalDigest(), res, nil
+}
+
+// FilterBench runs the producer-filter A/B experiment: each mix is
+// detected live with the filter off and on, best-of-repeats, with
+// canonical-digest and record-count equality checked every run.
+func FilterBench(opts FilterOptions) (*FilterResult, error) {
+	repeats := opts.Repeats
+	if repeats <= 0 {
+		repeats = 3
+	}
+	iters := opts.Iters
+	if iters <= 0 {
+		iters = 2048
+	}
+	res := &FilterResult{DigestsEqual: true}
+	for _, mix := range []string{"loop-heavy", "barrier-dense", "adversarial"} {
+		pt := FilterPoint{Mix: mix, DigestsEqual: true}
+		var baseBest, filtBest time.Duration
+		for rep := 0; rep < repeats; rep++ {
+			bd, bdig, base, err := filterDetect(mix, iters, false)
+			if err != nil {
+				return nil, err
+			}
+			fd, fdig, filt, err := filterDetect(mix, iters, true)
+			if err != nil {
+				return nil, err
+			}
+			if rep == 0 || bd < baseBest {
+				baseBest = bd
+			}
+			if rep == 0 || fd < filtBest {
+				filtBest = fd
+			}
+			if bdig != fdig || base.Report.RecordsSeen != filt.Report.RecordsSeen {
+				pt.DigestsEqual = false
+			}
+			pt.Records = base.Report.RecordsSeen
+			f := filt.SimStats.Filter
+			pt.Probes, pt.Hits, pt.StaticElides = f.Probes, f.Hits, f.StaticElides
+			pt.Suppressed = f.Suppressed()
+			pt.FilteredRecords = filt.Report.RecordsSeen
+			pt.EmittedRecords = filt.Report.RecordsSeen - pt.Suppressed
+		}
+		pt.BaseNS = float64(baseBest.Nanoseconds())
+		pt.FiltNS = float64(filtBest.Nanoseconds())
+		if pt.FiltNS > 0 {
+			pt.Speedup = pt.BaseNS / pt.FiltNS
+		}
+		if pt.Records > 0 {
+			pt.SuppressedFrac = float64(pt.Suppressed) / float64(pt.Records)
+		}
+		switch mix {
+		case "loop-heavy":
+			res.LoopSpeedup = pt.Speedup
+		case "adversarial":
+			if pt.Speedup > 0 {
+				res.AdversarialOverhead = 1/pt.Speedup - 1
+			}
+		}
+		res.DigestsEqual = res.DigestsEqual && pt.DigestsEqual
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+
+	"barracuda/internal/detector"
+)
+
+// TestFilterBenchmarkEquivalence is the benchmark-suite half of the
+// producer-filter correctness contract (the bug-suite half lives in
+// internal/bugsuite/filter_test.go): every Table 1 benchmark, detected
+// live with producer-side epoch filtering on, must produce the same
+// canonical report as the unfiltered baseline with an identical
+// detector-side record count — at one queue and four, and (long mode)
+// at warp size 5, where partial masks change which records qualify as
+// coalesced and hence suppressible.
+func TestFilterBenchmarkEquivalence(t *testing.T) {
+	warpSizes := []int{0}
+	queueCounts := []int{1, 4}
+	if !testing.Short() {
+		warpSizes = []int{0, 5}
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			for _, ws := range warpSizes {
+				for _, q := range queueCounts {
+					type run struct {
+						digest string
+						seen   uint64
+					}
+					runs := map[bool]run{}
+					for _, filter := range []bool{false, true} {
+						s, launch, err := session(b, detector.Config{Queues: q, ProducerFilter: filter})
+						if err != nil {
+							t.Fatal(err)
+						}
+						launch.WarpSize = ws
+						res, err := s.Detect("main", launch)
+						if err != nil {
+							t.Fatalf("detect (ws=%d q=%d filter=%v): %v", ws, q, filter, err)
+						}
+						runs[filter] = run{res.Report.CanonicalDigest(), res.Report.RecordsSeen}
+					}
+					if runs[false].digest != runs[true].digest {
+						t.Errorf("canonical digest diverged (ws=%d q=%d):\n--- baseline ---\n%s--- filtered ---\n%s",
+							ws, q, runs[false].digest, runs[true].digest)
+					}
+					if runs[false].seen != runs[true].seen {
+						t.Errorf("RecordsSeen diverged (ws=%d q=%d): baseline %d, filtered %d",
+							ws, q, runs[false].seen, runs[true].seen)
+					}
+				}
+			}
+		})
+	}
+}

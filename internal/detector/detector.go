@@ -57,6 +57,14 @@ type Config struct {
 	// reports are identical either way. Requires the span fast path, so
 	// it is mutually exclusive with FullVC and PerCellShadow.
 	Ownership bool
+	// ProducerFilter enables the simulator's producer-side epoch filter:
+	// per-warp caches suppress provably redundant global-space access
+	// records before they reach the queues, with suppressed counts
+	// reconciled so reports and canonical digests are byte-identical to
+	// an unfiltered run (see gpusim/filter.go for the soundness gates).
+	// False preserves the unfiltered emission path verbatim as the A/B
+	// baseline. Mutually exclusive with FullVC.
+	ProducerFilter bool
 	// ShadowCapBytes bounds resident shadow memory (global pages plus
 	// shared slabs) to this many bytes: shared slabs are compacted at
 	// fully-converged block barriers (losslessly), and past the cap the
@@ -101,6 +109,9 @@ func (c Config) Validate() error {
 	}
 	if c.ShadowCapBytes > 0 && c.PerCellShadow {
 		return fmt.Errorf("detector: ShadowCapBytes and PerCellShadow are mutually exclusive: bounded shadow relies on the region bookkeeping the per-cell baseline bypasses")
+	}
+	if c.ProducerFilter && c.FullVC {
+		return fmt.Errorf("detector: ProducerFilter and FullVC are mutually exclusive: the filter's suppression argument relies on the compressed-PTVC epoch semantics (and OpFlush reconciliation) the full-VC ablation bypasses")
 	}
 	return nil
 }
@@ -321,6 +332,8 @@ func (s *Session) DetectObserved(kernelName string, launch gpusim.LaunchConfig, 
 
 	launch.Sink = &routeSink{set: set}
 	launch.EmitBranchEvents = true
+	launch.ProducerFilter = s.cfg.ProducerFilter
+	launch.FilterGranularity = s.cfg.Granularity
 	start := time.Now()
 	stats, err := s.Instr.Launch(kernelName, launch)
 	set.CloseAll()

@@ -130,6 +130,7 @@ type Stats struct {
 	Spills      int64 `json:"spills"`       // batch dispatched cold to an idle non-primary
 	PrimaryHits int64 `json:"primary_hits"` // dispatches that landed on the ring primary
 	WarmHits    int64 `json:"warm_hits"`    // completions the worker reported as cache hits
+	Drained     int64 `json:"drained"`      // nodes removed after a clean drain (no requeue)
 }
 
 // ErrNoNodes is returned by Submit when the fleet has no members at all.
@@ -186,6 +187,45 @@ func (c *Coordinator) Leave(id string) []Assignment {
 	c.reg.Leave(id)
 	c.evictNodeLocked(id)
 	return c.dispatchLocked()
+}
+
+// Drain begins a graceful departure for a node: it leaves the ring and
+// gets no new work, but its in-flight jobs keep running to completion —
+// unlike Leave, nothing is requeued. Once the last in-flight job
+// finishes (Complete or Fail), the node is removed from the registry.
+// Returns the number of jobs still in flight on the node and whether
+// the node is known; inflight==0 means the drain finished immediately
+// (the node is already gone on return). Draining nodes still heartbeat;
+// a beat neither revives them nor cancels the drain.
+func (c *Coordinator) Drain(id string, now time.Time) (asgs []Assignment, inflight int, known bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.reg.Drain(id, now) {
+		return c.dispatchLocked(), 0, false
+	}
+	c.ring.Remove(id)
+	inflight = len(c.inflight[id])
+	if inflight == 0 {
+		c.finishDrainLocked(id)
+	}
+	// Work that would have routed here re-routes to ring successors.
+	return c.dispatchLocked(), inflight, true
+}
+
+// maybeFinishDrainLocked removes a draining node once its in-flight set
+// is empty. Called after Complete/Fail delete a job from the table.
+func (c *Coordinator) maybeFinishDrainLocked(id string) {
+	info, ok := c.reg.Get(id)
+	if !ok || info.State != StateDraining || len(c.inflight[id]) != 0 {
+		return
+	}
+	c.finishDrainLocked(id)
+}
+
+func (c *Coordinator) finishDrainLocked(id string) {
+	c.reg.Leave(id)
+	delete(c.inflight, id)
+	c.stats.Drained++
 }
 
 // Heartbeat records a worker beat. known=false means the coordinator
@@ -257,6 +297,7 @@ func (c *Coordinator) Complete(node, jobID string, cacheHit bool) (asgs []Assign
 				c.stats.WarmHits++
 			}
 			live = true
+			c.maybeFinishDrainLocked(node)
 		}
 	}
 	return c.dispatchLocked(), live
@@ -298,10 +339,12 @@ func (c *Coordinator) Fail(node, jobID string, retryable bool) (asgs []Assignmen
 	job.excluded[node] = struct{}{}
 	if !retryable || job.attempts >= c.opt.MaxAttempts {
 		c.stats.FailedPerm++
+		c.maybeFinishDrainLocked(node)
 		return c.dispatchLocked(), FailTerminal
 	}
 	c.stats.Retries++
 	c.enqueueLocked(job, true)
+	c.maybeFinishDrainLocked(node)
 	return c.dispatchLocked(), FailRequeued
 }
 

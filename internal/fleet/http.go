@@ -38,6 +38,19 @@ type LeaveRequest struct {
 	ID string `json:"id"`
 }
 
+// DrainRequest asks the coordinator to begin (or poll) a graceful
+// drain of a worker: no new work, in-flight jobs run to completion.
+type DrainRequest struct {
+	ID string `json:"id"`
+}
+
+// DrainResponse reports drain progress. Removed=true (or a 404 on a
+// later poll) means the node is fully drained and deregistered.
+type DrainResponse struct {
+	InFlight int  `json:"in_flight"`
+	Removed  bool `json:"removed"`
+}
+
 // NodeJSON is the coordinator's view of one worker.
 type NodeJSON struct {
 	ID        string                `json:"id"`
@@ -165,6 +178,7 @@ func NewHTTPCoordinator(opt Options) *HTTPCoordinator {
 	h.mux.HandleFunc("POST /fleet/join", h.handleJoin)
 	h.mux.HandleFunc("POST /fleet/heartbeat", h.handleHeartbeat)
 	h.mux.HandleFunc("POST /fleet/leave", h.handleLeave)
+	h.mux.HandleFunc("POST /fleet/drain", h.handleDrain)
 	h.mux.HandleFunc("GET /fleet/nodes", h.handleNodes)
 	h.mux.HandleFunc("GET /fleet/metrics", h.handleMetrics)
 	h.mux.HandleFunc("POST /jobs", h.handleSubmit)
@@ -390,6 +404,27 @@ func (h *HTTPCoordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
 	}
 	h.perform(h.core.Leave(req.ID))
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleDrain starts or polls a graceful drain. The first call marks
+// the node draining and reports its in-flight count; the worker polls
+// until in_flight reaches zero. Each poll refreshes the node's beat, so
+// a draining worker needs no separate heartbeat loop. A 404 means the
+// node is unknown — for a poll that follows an accepted drain this is
+// the success signal (the coordinator already removed the node).
+func (h *HTTPCoordinator) handleDrain(w http.ResponseWriter, r *http.Request) {
+	var req DrainRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, server.CodeInvalidArgument, "bad request body: "+err.Error())
+		return
+	}
+	asgs, inflight, known := h.core.Drain(req.ID, time.Now())
+	h.perform(asgs)
+	if !known {
+		writeError(w, http.StatusNotFound, server.CodeNotFound, "drain: unknown node "+req.ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, DrainResponse{InFlight: inflight, Removed: inflight == 0})
 }
 
 func (h *HTTPCoordinator) handleNodes(w http.ResponseWriter, r *http.Request) {

@@ -76,7 +76,7 @@ func (f *testFleet) addWorker(id string) *testWorker {
 // kill simulates a crash: the HTTP listener dies and heartbeats stop,
 // with no graceful leave.
 func (w *testWorker) kill() {
-	close(w.link.quit)
+	w.link.stop.Do(func() { close(w.link.quit) })
 	<-w.link.done
 	w.ts.Close()
 	w.srv.Close()

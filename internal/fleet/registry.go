@@ -25,6 +25,11 @@ const (
 	StateAlive NodeState = iota
 	StateSuspect
 	StateDead
+	// StateDraining: the node asked to leave gracefully. It receives no
+	// new work but keeps its in-flight jobs; heartbeats refresh its
+	// liveness without reviving it to Alive. The coordinator removes it
+	// once its last in-flight job finishes.
+	StateDraining
 )
 
 func (s NodeState) String() string {
@@ -35,6 +40,8 @@ func (s NodeState) String() string {
 		return "suspect"
 	case StateDead:
 		return "dead"
+	case StateDraining:
+		return "draining"
 	}
 	return "unknown"
 }
@@ -104,7 +111,22 @@ func (g *Registry) Heartbeat(id string, stats server.HeartbeatStats, now time.Ti
 	}
 	n.LastBeat = now
 	n.Stats = stats
-	n.State = StateAlive
+	if n.State != StateDraining {
+		n.State = StateAlive
+	}
+	return true
+}
+
+// Drain marks a node as draining: known but no longer eligible for new
+// work, and immune to heartbeat revival. The beat clock is refreshed so
+// a drain request itself counts as liveness.
+func (g *Registry) Drain(id string, now time.Time) bool {
+	n, ok := g.nodes[id]
+	if !ok {
+		return false
+	}
+	n.State = StateDraining
+	n.LastBeat = now
 	return true
 }
 
@@ -117,7 +139,7 @@ func (g *Registry) Tick(now time.Time) (died []string) {
 		switch {
 		case silent >= g.deadAfter:
 			died = append(died, id)
-		case silent >= g.suspectAfter:
+		case silent >= g.suspectAfter && n.State != StateDraining:
 			n.State = StateSuspect
 		}
 	}

@@ -59,6 +59,7 @@ func launchSpec(req server.JobRequest) wire.LaunchSpec {
 			NoSameValueFilter: req.Config.NoSameValueFilter,
 			PerCellShadow:     req.Config.PerCellShadow,
 			Ownership:         req.Config.Ownership,
+			ProducerFilter:    req.Config.ProducerFilter,
 		},
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sync"
 	"time"
 
 	"barracuda/internal/server"
@@ -30,6 +31,7 @@ type WorkerLink struct {
 
 	quit chan struct{}
 	done chan struct{}
+	stop sync.Once // Close and Drain both stop the loop; only one closes quit
 
 	// holdUntil pauses join/beat attempts while a backpressured
 	// coordinator's Retry-After (or the bounded-backoff fallback) runs
@@ -65,15 +67,80 @@ func StartWorkerLink(coordURL, id, advertiseAddr string, sched *server.Scheduler
 }
 
 // Close stops the loop and sends a best-effort leave so the coordinator
-// re-routes immediately instead of waiting out the dead timer.
+// re-routes immediately instead of waiting out the dead timer. In-flight
+// jobs forwarded to this worker are requeued; use Drain for a clean
+// departure that lets them finish.
 func (l *WorkerLink) Close() {
-	close(l.quit)
-	<-l.done
+	l.stopLoop()
 	body, _ := json.Marshal(LeaveRequest{ID: l.id})
 	resp, err := l.client.Post(l.coord+"/fleet/leave", "application/json", bytes.NewReader(body))
 	if err == nil {
 		resp.Body.Close()
 	}
+}
+
+func (l *WorkerLink) stopLoop() {
+	l.stop.Do(func() { close(l.quit) })
+	<-l.done
+}
+
+// Drain departs gracefully: the heartbeat loop stops (so a beat can't
+// race the removal and re-join), then /fleet/drain is polled until the
+// coordinator reports every job this node was running as finished and
+// removes it. Each poll refreshes the node's beat server-side, so the
+// dead timer never fires during a slow drain. On timeout (or if the
+// coordinator never accepted the drain) it falls back to a plain leave,
+// which requeues whatever is still in flight. Returns true on a clean
+// drain.
+func (l *WorkerLink) Drain(timeout time.Duration) bool {
+	l.stopLoop()
+	interval := l.interval
+	if interval > time.Second {
+		interval = time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	accepted := false
+	for time.Now().Before(deadline) {
+		body, _ := json.Marshal(DrainRequest{ID: l.id})
+		resp, err := l.client.Post(l.coord+"/fleet/drain", "application/json", bytes.NewReader(body))
+		if err != nil {
+			l.logf("fleet: drain: %v (will retry)", err)
+			time.Sleep(interval)
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			resp.Body.Close()
+			if accepted {
+				// The coordinator finished the drain between polls.
+				l.logf("fleet: drained %s cleanly", l.id)
+				return true
+			}
+			// Unknown node: nothing to drain, nothing to requeue.
+			l.logf("fleet: drain: coordinator does not know %s", l.id)
+			return true
+		}
+		var dr DrainResponse
+		derr := json.NewDecoder(resp.Body).Decode(&dr)
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 || derr != nil {
+			l.logf("fleet: drain: %s (will retry)", resp.Status)
+			time.Sleep(interval)
+			continue
+		}
+		accepted = true
+		if dr.Removed {
+			l.logf("fleet: drained %s cleanly", l.id)
+			return true
+		}
+		l.logf("fleet: draining %s: %d job(s) in flight", l.id, dr.InFlight)
+		time.Sleep(interval)
+	}
+	l.logf("fleet: drain of %s timed out, leaving (in-flight jobs requeue)", l.id)
+	body, _ := json.Marshal(LeaveRequest{ID: l.id})
+	if resp, err := l.client.Post(l.coord+"/fleet/leave", "application/json", bytes.NewReader(body)); err == nil {
+		resp.Body.Close()
+	}
+	return false
 }
 
 func (l *WorkerLink) loop() {

@@ -46,6 +46,24 @@ type LaunchConfig struct {
 	// path. Kept as the A/B baseline for BENCH_sim.json; both paths are
 	// report- and stats-equivalent.
 	LaneMajor bool
+
+	// ProducerFilter enables the producer-side epoch filter: each warp
+	// keeps a small direct-mapped cache of recently emitted global-space
+	// access records and suppresses a record when an equivalent one was
+	// already emitted by the same warp in the current synchronization
+	// interval with no intervening global interference (see filter.go for
+	// the exact validity conditions). Suppressed counts are reconciled via
+	// trace.OpFlush records so detector statistics and canonical digests
+	// are byte-identical to an unfiltered run. Only active on the
+	// warp-major path with a Sink and EmitBranchEvents set; ignored
+	// otherwise.
+	ProducerFilter bool
+
+	// FilterGranularity is the detector's shadow granularity in bytes,
+	// used by the filter's write-suppression gate (lanes of a suppressed
+	// multi-lane write must provably touch disjoint shadow cells so
+	// same-value counters cannot drift). 0 means 1.
+	FilterGranularity int
 }
 
 // ErrStepBudget is returned (wrapped) when a launch exceeds
@@ -54,12 +72,26 @@ var ErrStepBudget = fmt.Errorf("gpusim: warp instruction budget exceeded")
 
 // Stats summarises one launch.
 type Stats struct {
-	WarpInstrs   uint64 // dynamic warp-level instructions executed
-	ThreadInstrs uint64 // dynamic per-lane instructions executed
-	Records      uint64 // records emitted to the sink
-	Barriers     uint64 // block barrier episodes completed
-	Divergences  uint64 // dynamic divergent branches
+	WarpInstrs   uint64      // dynamic warp-level instructions executed
+	ThreadInstrs uint64      // dynamic per-lane instructions executed
+	Records      uint64      // records emitted to the sink
+	Barriers     uint64      // block barrier episodes completed
+	Divergences  uint64      // dynamic divergent branches
+	Filter       FilterStats // producer-side filter activity (zero when off)
 }
+
+// FilterStats counts producer-side filter activity. All fields are zero
+// unless LaunchConfig.ProducerFilter was active for the launch.
+type FilterStats struct {
+	Probes       uint64 // dynamic filter-cache probes
+	Hits         uint64 // records suppressed by the dynamic cache
+	StaticElides uint64 // records elided at statically marked log-once sites
+	Flushes      uint64 // OpFlush reconciliation records emitted
+}
+
+// Suppressed returns the total number of access records the filter kept
+// off the queue.
+func (f FilterStats) Suppressed() uint64 { return f.Hits + f.StaticElides }
 
 // stackRole distinguishes SIMT stack entries for If/Else/Fi event emission.
 type stackRole uint8
@@ -90,6 +122,14 @@ type warpState struct {
 	local    []byte // lane-private local memory, localBytes per lane
 	waiting  bool   // parked at a barrier
 	done     bool
+
+	// Producer-side filter state (see filter.go). fgen is monotone over
+	// the warpState's lifetime — including arena reuse across launches —
+	// so stale cache slots are invalidated by a single increment.
+	fgen   uint64
+	fpend  uint64     // suppressed records not yet reconciled via OpFlush
+	fslots []fslot    // dynamic direct-mapped cache (lazy)
+	fonce  []onceSlot // per static log-once site (lazy)
 }
 
 type blockState struct {
@@ -115,6 +155,13 @@ type engine struct {
 	stats     Stats
 	rec       logging.Record // scratch record
 	syncSeq   uint64         // global ordering for synchronization records
+
+	// Producer-side filter (see filter.go).
+	filtOn       bool
+	fGran        uint64         // shadow granularity for the write gate
+	fWriteEpoch  uint64         // emitted global write/atomic/sync records
+	fAccessEpoch uint64         // emitted global memory records of any kind
+	frec         logging.Record // scratch for OpFlush (must not alias rec)
 }
 
 // Launch runs a kernel to completion and returns execution statistics.
@@ -153,6 +200,12 @@ func (mod *Module) Launch(name string, cfg LaunchConfig) (Stats, error) {
 	}
 	e.wpb = (e.bsz + e.ws - 1) / e.ws
 	e.laneMajor = cfg.LaneMajor
+	e.filtOn = cfg.ProducerFilter && !e.laneMajor &&
+		cfg.Sink != nil && cfg.EmitBranchEvents
+	e.fGran = uint64(cfg.FilterGranularity)
+	if e.fGran == 0 {
+		e.fGran = 1
+	}
 	if cfg.RandomSched {
 		e.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
@@ -295,6 +348,9 @@ func (e *engine) popEntry(w *warpState) {
 	top := w.stack[len(w.stack)-1]
 	w.stack = w.stack[:len(w.stack)-1]
 	if len(w.stack) == 0 {
+		if e.filtOn {
+			e.filterFlush(w) // reconcile suppressed counts at warp exit
+		}
 		w.done = true
 		w.blk.liveWarp--
 		return
@@ -313,6 +369,12 @@ func (e *engine) popEntry(w *warpState) {
 func (e *engine) emitBranch(w *warpState, kind trace.OpKind, mask uint32) {
 	if e.cfg.Sink == nil || !e.cfg.EmitBranchEvents {
 		return
+	}
+	if e.filtOn {
+		// Divergence events split/merge the warp's PTVC groups: flush the
+		// pending suppressed count under the old format and invalidate the
+		// caches before the event reaches the detector.
+		e.filterBump(w)
 	}
 	e.rec = logging.Record{
 		Warp:  uint32(w.gwid),
@@ -344,6 +406,14 @@ func (e *engine) parkAtBarrier(w *warpState) {
 	}
 	e.stats.Barriers++
 	if e.cfg.Sink != nil && e.cfg.EmitBranchEvents {
+		if e.filtOn {
+			// The release joins every warp's clock block-wide: flush all
+			// pending counts (same block queue, so FIFO delivers them ahead
+			// of the release) and start a fresh generation for each warp.
+			for _, o := range w.blk.warps {
+				e.filterBump(o)
+			}
+		}
 		e.rec = logging.Record{
 			Block: uint32(w.blk.idx),
 			Op:    trace.OpBarRel,

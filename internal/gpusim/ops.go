@@ -62,6 +62,7 @@ type cInstr struct {
 	logSync   bool // acquire/release record: stamp the global Seq
 	logVal    bool // carries a stored-value operand (write records)
 	logAddrOK bool // has a well-formed address operand
+	logOnce   int  // static log-once site index, -1 when unmarked
 }
 
 // compile lowers a loaded kernel's instructions into executable form,
@@ -115,6 +116,7 @@ func (mod *Module) compile(lk *loadedKernel) ([]cInstr, error) {
 	// warp-uniformity facts in for scalarization, and precompute _log
 	// record templates. All cached with the compiled code.
 	uni := staticanalysis.ComputeUniformity(lk.cfg)
+	nOnce := 0
 	for i := range code {
 		ci := &code[i]
 		ci.fn = selectHandler(ci)
@@ -123,14 +125,20 @@ func (mod *Module) compile(lk *loadedKernel) ([]cInstr, error) {
 		}
 		if ci.op == ptx.OpLog {
 			prepLog(ci)
+			if ci.in.LogOnce && !ci.logSkip && !ci.logBar && !ci.logSync {
+				ci.logOnce = nOnce
+				nOnce++
+			}
 		}
 	}
+	lk.nOnce = nOnce
 	lk.code = code
 	return code, nil
 }
 
 // prepLog precomputes the launch-invariant part of a _log record.
 func prepLog(ci *cInstr) {
+	ci.logOnce = -1
 	k := trace.FromLogKind(ci.in.LogK)
 	switch k {
 	case trace.OpIf, trace.OpElse, trace.OpFi:
@@ -485,6 +493,11 @@ func (e *engine) execBranch(w *warpState, top *stackEntry, ci *cInstr, eff uint3
 func (e *engine) execLog(w *warpState, ci *cInstr, exec uint32) error {
 	if ci.logSkip || e.cfg.Sink == nil || exec == 0 {
 		return nil
+	}
+	if e.filtOn {
+		// The filtered path is a separate function so that with the filter
+		// off this emission path stays byte-for-byte the A/B baseline.
+		return e.execLogFiltered(w, ci, exec)
 	}
 	rec := &e.rec
 	*rec = *ci.logTmpl

@@ -52,6 +52,7 @@ type KernelStats struct {
 	StaticPruned       int // additional sites removed only by the inter-block pruner
 	ThreadPrivate      int // sites dropped entirely as provably thread-private
 	Added              int // instructions added (logs, branches)
+	LogOnce            int // sites marked elidable for the producer-side filter
 }
 
 // FracInstrumented returns Instrumented/Static.
@@ -96,6 +97,7 @@ func (r *Result) TotalStats() KernelStats {
 		t.StaticPruned += s.StaticPruned
 		t.ThreadPrivate += s.ThreadPrivate
 		t.Added += s.Added
+		t.LogOnce += s.LogOnce
 	}
 	return t
 }
@@ -128,6 +130,7 @@ type site struct {
 	staticp bool         // prunable per the inter-block static analysis
 	branch  bool         // conditional branch (gets _log.if)
 	conv    bool         // branch convergence point (gets _log.fi)
+	once    bool         // statically elidable by the producer filter
 }
 
 func instrumentKernel(k *ptx.Kernel, opts Options) (*ptx.Kernel, *KernelStats, error) {
@@ -163,6 +166,7 @@ func instrumentKernel(k *ptx.Kernel, opts Options) (*ptx.Kernel, *KernelStats, e
 	markPrunable(cfg, class, sites)
 
 	stats := &KernelStats{Static: len(cfg.Instrs)}
+	var aff *staticanalysis.Affine
 	if opts.StaticPrune {
 		sa := staticanalysis.AnalyzeCFG(cfg, class)
 		for i := range cfg.Instrs {
@@ -171,6 +175,18 @@ func instrumentKernel(k *ptx.Kernel, opts Options) (*ptx.Kernel, *KernelStats, e
 			}
 		}
 		stats.ThreadPrivate = sa.Prune.Private
+		aff = sa.Affine
+	} else {
+		aff = staticanalysis.ComputeAffine(cfg)
+	}
+	// Mark log-once sites unconditionally: the mark is metadata on the
+	// emitted _log instruction (never printed, inert at runtime unless the
+	// simulator's producer filter is on), so the instrumented module is
+	// identical whether or not a given session enables filtering.
+	for idx := range staticanalysis.LogOnceSites(cfg, class, aff) {
+		s := siteFor(cfg.Instrs[idx])
+		s.once = true
+		stats.LogOnce++
 	}
 	for _, s := range sites {
 		if s.kind == trace.OpNone && !s.branch && !s.conv {
@@ -254,9 +270,10 @@ func rewriteBody(body []ptx.Stmt, sites map[*ptx.Instr]*site, opts Options, stat
 	emitLog := func(in *ptx.Instr, s *site) {
 		kind := s.kind
 		lg := &ptx.Instr{
-			Op:   ptx.OpLog,
-			LogK: kind.LogKind(),
-			Line: in.Line,
+			Op:      ptx.OpLog,
+			LogK:    kind.LogKind(),
+			LogOnce: s.once,
+			Line:    in.Line,
 		}
 		switch kind {
 		case trace.OpBar:

@@ -397,6 +397,7 @@ type Instr struct {
 	Level    string  // membar: cta|gl|sys, bar: sync, cvta: to
 	LogK     LogKind // _log pseudo-instruction kind
 	AccSz    int     // _log.{rd,wr,...}: access size in bytes
+	LogOnce  bool    // _log site statically proven loop-invariant (filter hint)
 	Dst      Operand // destination (zero Operand when none)
 	HasDst   bool
 	Args     []Operand

@@ -37,6 +37,7 @@ type ConfigJSON struct {
 	PerCellShadow     bool  `json:"per_cell_shadow,omitempty"`
 	Ownership         bool  `json:"ownership,omitempty"`
 	ShadowCapBytes    int64 `json:"shadow_cap_bytes,omitempty"`
+	ProducerFilter    bool  `json:"producer_filter,omitempty"`
 }
 
 // Detector converts to the internal config.
@@ -53,6 +54,7 @@ func (c ConfigJSON) Detector() detector.Config {
 		PerCellShadow:     c.PerCellShadow,
 		Ownership:         c.Ownership,
 		ShadowCapBytes:    c.ShadowCapBytes,
+		ProducerFilter:    c.ProducerFilter,
 	}
 }
 
@@ -219,6 +221,20 @@ type JobResult struct {
 	// over-reported from that point).
 	Shadow            *shadow.MemStats `json:"shadow,omitempty"`
 	PrecisionDegraded bool             `json:"precision_degraded,omitempty"`
+	// Filter reports the producer-side epoch filter's activity; present
+	// only when the job ran with producer_filter set (the counters are
+	// zero otherwise and the field is omitted).
+	Filter *FilterJSON `json:"filter,omitempty"`
+}
+
+// FilterJSON is the per-job producer-filter activity on the wire.
+// Suppressed is Hits + StaticElides: the records kept off the queue.
+type FilterJSON struct {
+	Probes       uint64 `json:"probes"`
+	Hits         uint64 `json:"hits"`
+	StaticElides uint64 `json:"static_elides"`
+	Flushes      uint64 `json:"flushes"`
+	Suppressed   uint64 `json:"suppressed_records"`
 }
 
 // JobInfo is the job envelope returned by the API.
@@ -273,6 +289,15 @@ func resultJSON(kernel string, res *detector.Result) *JobResult {
 	}
 	sh := res.Report.Shadow
 	out.Shadow = &sh
+	if f := res.SimStats.Filter; f != (gpusim.FilterStats{}) {
+		out.Filter = &FilterJSON{
+			Probes:       f.Probes,
+			Hits:         f.Hits,
+			StaticElides: f.StaticElides,
+			Flushes:      f.Flushes,
+			Suppressed:   f.Suppressed(),
+		}
+	}
 	for _, r := range res.Report.Races {
 		out.Races = append(out.Races, RaceJSON{
 			Kind:      r.Kind.String(),

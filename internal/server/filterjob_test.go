@@ -1,0 +1,91 @@
+package server
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// loopReadSrc reads a per-thread global word in a tight barrier-free
+// loop — heavy producer-filter traffic, no races.
+const loopReadSrc = `.visible .entry k(.param .u64 in, .param .u64 out)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<8>;
+	.reg .pred %p<2>;
+	ld.param.u64 %rd1, [in];
+	ld.param.u64 %rd2, [out];
+	mov.u32 %r1, %tid.x;
+	shl.b32 %r2, %r1, 2;
+	cvt.u64.u32 %rd3, %r2;
+	add.u64 %rd4, %rd1, %rd3;
+	add.u64 %rd5, %rd2, %rd3;
+	mov.u32 %r3, 0;
+	mov.u32 %r4, 0;
+LOOP:
+	ld.global.u32 %r5, [%rd4];
+	add.u32 %r3, %r3, %r5;
+	add.u32 %r4, %r4, 1;
+	setp.lt.u32 %p1, %r4, 32;
+	@%p1 bra LOOP;
+	st.global.u32 [%rd5], %r3;
+	ret;
+}`
+
+// TestProducerFilterJob runs the same kernel with and without the
+// producer filter through the full HTTP surface: the reports must be
+// identical, the filtered job must surface its filter stats in the
+// result, and /metrics must accumulate them daemon-wide.
+func TestProducerFilterJob(t *testing.T) {
+	_, ts := newTestServer(t, SchedulerOptions{Workers: 1})
+
+	req := JobRequest{PTX: loopReadSrc, Kernel: "k", Grid: 2, Block: 64, Buffers: []int{512, 512}}
+	code, base, _ := postJob(t, ts, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("baseline submit: %d", code)
+	}
+	baseInfo := waitJob(t, ts, base.ID)
+	if baseInfo.Status != StatusDone {
+		t.Fatalf("baseline job: %s (%s)", baseInfo.Status, baseInfo.Error)
+	}
+	if baseInfo.Result.Filter != nil {
+		t.Errorf("unfiltered job carries filter stats: %+v", baseInfo.Result.Filter)
+	}
+
+	req.Config.ProducerFilter = true
+	code, filt, _ := postJob(t, ts, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("filtered submit: %d", code)
+	}
+	filtInfo := waitJob(t, ts, filt.ID)
+	if filtInfo.Status != StatusDone {
+		t.Fatalf("filtered job: %s (%s)", filtInfo.Status, filtInfo.Error)
+	}
+	if filtInfo.CacheHit {
+		t.Error("filtered job hit the unfiltered module cache entry (CacheKey ignores producer_filter)")
+	}
+
+	if !reflect.DeepEqual(baseInfo.Result.Races, filtInfo.Result.Races) {
+		t.Errorf("race lists diverged:\nbaseline: %+v\nfiltered: %+v",
+			baseInfo.Result.Races, filtInfo.Result.Races)
+	}
+	if baseInfo.Result.RecordsSeen != filtInfo.Result.RecordsSeen {
+		t.Errorf("RecordsSeen diverged: baseline %d, filtered %d",
+			baseInfo.Result.RecordsSeen, filtInfo.Result.RecordsSeen)
+	}
+	f := filtInfo.Result.Filter
+	if f == nil {
+		t.Fatal("filtered job result carries no filter stats")
+	}
+	if f.Suppressed == 0 || f.Suppressed != f.Hits+f.StaticElides {
+		t.Errorf("implausible filter stats: %+v", f)
+	}
+	if filtInfo.Result.Records >= baseInfo.Result.Records {
+		t.Errorf("filtered job emitted %d records, baseline %d", filtInfo.Result.Records, baseInfo.Result.Records)
+	}
+
+	m := getMetrics(t, ts)
+	if m.Filter.Suppressed != int64(f.Suppressed) || m.Filter.Probes != int64(f.Probes) {
+		t.Errorf("/metrics filter counters %+v do not match the job's %+v", m.Filter, f)
+	}
+}

@@ -79,10 +79,10 @@ func NewModCache(max int) *ModCache {
 func CacheKey(src string, cfg detector.Config) string {
 	h := sha256.New()
 	h.Write([]byte(src))
-	fmt.Fprintf(h, "\x00%d|%d|%d|%d|%t|%t|%t|%t|%t|%t|%d",
+	fmt.Fprintf(h, "\x00%d|%d|%d|%d|%t|%t|%t|%t|%t|%t|%d|%t",
 		cfg.Queues, cfg.QueueCap, cfg.Granularity, cfg.MaxRaces,
 		cfg.FullVC, cfg.NoPrune, cfg.NoSameValueFilter, cfg.StaticPrune,
-		cfg.PerCellShadow, cfg.Ownership, cfg.ShadowCapBytes)
+		cfg.PerCellShadow, cfg.Ownership, cfg.ShadowCapBytes, cfg.ProducerFilter)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

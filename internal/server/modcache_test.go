@@ -23,6 +23,9 @@ func TestCacheKeyDistinguishesSourceAndConfig(t *testing.T) {
 	if CacheKey(racySrc, detector.Config{Queues: 4}) == base {
 		t.Error("key ignores detector config")
 	}
+	if CacheKey(racySrc, detector.Config{ProducerFilter: true}) == base {
+		t.Error("key ignores producer filter")
+	}
 }
 
 func TestCacheHitReusesSessionAndBuffers(t *testing.T) {

@@ -46,6 +46,11 @@ type SchedulerOptions struct {
 	// Tenants sizes the per-API-key admission control on the streaming
 	// path.
 	Tenants TenantOptions
+	// TenantWeights sets per-tenant weighted-round-robin shares of the
+	// admission queue (default weight 1 for any tenant not listed). A
+	// tenant with weight 2 is served two jobs per rotation to everyone
+	// else's one; no tenant can starve another regardless of backlog.
+	TenantWeights map[string]int
 }
 
 func (o SchedulerOptions) withDefaults() SchedulerOptions {
@@ -87,6 +92,7 @@ type Job struct {
 	cfg      detector.Config
 	timeout  time.Duration
 	budget   uint64
+	tenant   string          // API key the job was admitted under ("" = anonymous)
 	observer func(core.Race) // streaming path: fired per new static race
 
 	mu        sync.Mutex
@@ -145,9 +151,8 @@ type Scheduler struct {
 
 	inflight atomic.Int64 // jobs currently held by a worker
 
-	queue chan *Job
-	quit  chan struct{}
-	wg    sync.WaitGroup
+	q  *fairQueue
+	wg sync.WaitGroup
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -164,8 +169,7 @@ func NewScheduler(opts SchedulerOptions) *Scheduler {
 		srcs:    NewSrcStore(opts.SrcEntries),
 		tenants: NewTenantRegistry(opts.Tenants),
 		metrics: &Metrics{},
-		queue:   make(chan *Job, opts.QueueCap),
-		quit:    make(chan struct{}),
+		q:       newFairQueue(opts.QueueCap, opts.TenantWeights),
 		jobs:    make(map[string]*Job),
 	}
 	for i := 0; i < opts.Workers; i++ {
@@ -189,7 +193,7 @@ func (s *Scheduler) Srcs() *SrcStore { return s.srcs }
 func (s *Scheduler) Tenants() *TenantRegistry { return s.tenants }
 
 // QueueDepth is the number of queued-but-unstarted jobs.
-func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+func (s *Scheduler) QueueDepth() int { return s.q.Depth() }
 
 // InFlight is the number of jobs currently held by workers.
 func (s *Scheduler) InFlight() int { return int(s.inflight.Load()) }
@@ -214,6 +218,12 @@ type HeartbeatStats struct {
 	ShadowPeakResident int64 `json:"shadow_peak_resident_bytes,omitempty"`
 	ShadowEvictions    int64 `json:"shadow_evictions,omitempty"`
 	ShadowDegradedJobs int64 `json:"shadow_degraded_jobs,omitempty"`
+
+	// Producer-filter effectiveness: how many records this node's jobs
+	// kept off the queues, so fleet operators can see the A/B knob's
+	// payoff per node.
+	FilterSuppressed int64 `json:"filter_suppressed_records,omitempty"`
+	FilterProbes     int64 `json:"filter_probes,omitempty"`
 }
 
 // HeartbeatStats builds the heartbeat payload.
@@ -221,6 +231,7 @@ func (s *Scheduler) HeartbeatStats() HeartbeatStats {
 	cs := s.cache.Stats()
 	c := s.metrics.Counters()
 	sh := s.metrics.Shadow()
+	fc := s.metrics.Filter()
 	return HeartbeatStats{
 		QueueDepth:         s.QueueDepth(),
 		QueueCap:           s.opts.QueueCap,
@@ -233,6 +244,8 @@ func (s *Scheduler) HeartbeatStats() HeartbeatStats {
 		ShadowPeakResident: sh.PeakResident,
 		ShadowEvictions:    sh.Evictions,
 		ShadowDegradedJobs: sh.DegradedJobs,
+		FilterSuppressed:   fc.Suppressed,
+		FilterProbes:       fc.Probes,
 	}
 }
 
@@ -252,10 +265,18 @@ func (s *Scheduler) Submit(req JobRequest) (*Job, error) {
 // frames before the job completes; it must not block (the stream layer
 // hands it a buffered channel sized to the race cap).
 func (s *Scheduler) SubmitObserved(req JobRequest, onRace func(core.Race)) (*Job, error) {
+	return s.SubmitTenant(req, "", onRace)
+}
+
+// SubmitTenant is SubmitObserved with a tenant identity: the job is
+// admitted into that tenant's weighted-round-robin bucket, so one
+// tenant's backlog cannot starve another's submissions.
+func (s *Scheduler) SubmitTenant(req JobRequest, tenant string, onRace func(core.Race)) (*Job, error) {
 	if err := req.Validate(s.opts.MaxBufferBytes); err != nil {
 		return nil, err
 	}
 	job := &Job{
+		tenant:   tenant,
 		observer: onRace,
 		req:      req,
 		kernel:   req.Kernel,
@@ -296,9 +317,7 @@ func (s *Scheduler) SubmitObserved(req JobRequest, onRace func(core.Race)) (*Job
 	job.submitted = time.Now()
 	s.mu.Unlock()
 
-	select {
-	case s.queue <- job:
-	default:
+	if !s.q.push(job.tenant, job) {
 		s.metrics.Rejected.Add(1)
 		return nil, ErrQueueFull
 	}
@@ -352,28 +371,22 @@ func (s *Scheduler) Jobs() []*Job {
 
 // Stop shuts the worker pool down and fails any still-queued jobs.
 func (s *Scheduler) Stop() {
-	close(s.quit)
+	s.q.close()
 	s.wg.Wait()
-	for {
-		select {
-		case job := <-s.queue:
-			job.finish(StatusFailed, "server shutting down", nil)
-			s.metrics.Failed.Add(1)
-		default:
-			return
-		}
+	for _, job := range s.q.drain() {
+		job.finish(StatusFailed, "server shutting down", nil)
+		s.metrics.Failed.Add(1)
 	}
 }
 
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.quit:
+		job := s.q.pop()
+		if job == nil {
 			return
-		case job := <-s.queue:
-			s.run(job)
 		}
+		s.run(job)
 	}
 }
 
@@ -450,6 +463,7 @@ func (s *Scheduler) run(job *Job) {
 			s.metrics.Completed.Add(1)
 			s.metrics.Latency.Observe(o.res.Duration)
 			s.metrics.ObserveShadow(o.res.Report.Shadow)
+			s.metrics.ObserveFilter(o.res.SimStats.Filter)
 			job.finish(StatusDone, "", resultJSON(o.kernel, o.res))
 		case errors.Is(o.err, gpusim.ErrStepBudget):
 			s.metrics.TimedOut.Add(1)

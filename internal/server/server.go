@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -78,6 +79,18 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, ErrorJSON{Error: msg, Code: code})
 }
 
+// bearerToken extracts the API key from an Authorization: Bearer
+// header; jobs submitted without one share the anonymous fair-share
+// bucket.
+func bearerToken(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) > len(prefix) && strings.EqualFold(h[:len(prefix)], prefix) {
+		return h[len(prefix):]
+	}
+	return ""
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -86,7 +99,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "bad request body: "+err.Error())
 		return
 	}
-	job, err := s.sched.Submit(req)
+	job, err := s.sched.SubmitTenant(req, bearerToken(r), nil)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -176,6 +189,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Srcs:          s.sched.Srcs().Stats(),
 		Tenants:       s.sched.Tenants().Snapshot(),
 		Shadow:        m.Shadow(),
+		Filter:        m.Filter(),
 		DetectLatency: m.Latency.Snapshot(),
 	})
 }

@@ -288,6 +288,7 @@ func (st *stream) launch(p []byte) error {
 			PerCellShadow:     spec.Config.PerCellShadow,
 			Ownership:         spec.Config.Ownership,
 			ShadowCapBytes:    spec.Config.ShadowCapBytes,
+			ProducerFilter:    spec.Config.ProducerFilter,
 		},
 	}
 	// Buffer to the race cap so the observer can never block the
@@ -304,7 +305,7 @@ func (st *stream) launch(p []byte) error {
 		default: // cap exceeded would be a detector bug; never block
 		}
 	}
-	job, err := st.sched.SubmitObserved(req, onRace)
+	job, err := st.sched.SubmitTenant(req, st.apiKey, onRace)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return st.reject(spec.Seq, wire.CodeQueueFull, err.Error(), time.Second)
@@ -384,6 +385,12 @@ func JobInfoFromSummary(id string, sum wire.Summary) *JobInfo {
 			PrecisionDegraded: sum.PrecisionDegraded,
 		},
 	}
+	if sum.FilterSuppressed != 0 || sum.FilterFlushes != 0 {
+		res.Filter = &FilterJSON{
+			Suppressed: sum.FilterSuppressed,
+			Flushes:    sum.FilterFlushes,
+		}
+	}
 	for _, r := range sum.Races {
 		res.Races = append(res.Races, RaceJSON{
 			Kind:      r.Kind.String(),
@@ -433,6 +440,10 @@ func (st *stream) summary(seq uint64, job *Job) wire.Summary {
 	if res.Shadow != nil {
 		sum.ShadowPeakResident = uint64(res.Shadow.PeakResidentBytes)
 		sum.ShadowLiveEvicts = uint64(res.Shadow.LiveEvictions)
+	}
+	if res.Filter != nil {
+		sum.FilterSuppressed = res.Filter.Suppressed
+		sum.FilterFlushes = res.Filter.Flushes
 	}
 	if rep, err := res.CoreReport(); err == nil {
 		sum.Races = rep.Races

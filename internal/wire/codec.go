@@ -220,6 +220,7 @@ type ConfigSpec struct {
 	NoSameValueFilter bool
 	PerCellShadow     bool
 	Ownership         bool
+	ProducerFilter    bool
 }
 
 const (
@@ -229,6 +230,7 @@ const (
 	cfgNoSameValue
 	cfgPerCell
 	cfgOwnership
+	cfgProducerFilter
 )
 
 func appendConfig(b []byte, c ConfigSpec) []byte {
@@ -251,6 +253,9 @@ func appendConfig(b []byte, c ConfigSpec) []byte {
 	if c.Ownership {
 		flags |= cfgOwnership
 	}
+	if c.ProducerFilter {
+		flags |= cfgProducerFilter
+	}
 	b = append(b, flags)
 	b = appendUvarint(b, uint64(c.Queues))
 	b = appendUvarint(b, uint64(c.QueueCap))
@@ -268,6 +273,7 @@ func (d *dec) config() ConfigSpec {
 		NoSameValueFilter: flags&cfgNoSameValue != 0,
 		PerCellShadow:     flags&cfgPerCell != 0,
 		Ownership:         flags&cfgOwnership != 0,
+		ProducerFilter:    flags&cfgProducerFilter != 0,
 		Queues:            int(d.uvarint()),
 		QueueCap:          int(d.uvarint()),
 		Granularity:       int(d.uvarint()),
@@ -548,6 +554,10 @@ type Summary struct {
 	ShadowPeakResident uint64
 	ShadowLiveEvicts   uint64
 	PrecisionDegraded  bool
+
+	// Producer-filter activity of the run (zero when the filter was off).
+	FilterSuppressed uint64 // records kept off the queue (hits + static elides)
+	FilterFlushes    uint64 // OpFlush reconciliation records emitted
 }
 
 // EncodeSummary renders a Summary payload. The race table uses a fresh
@@ -587,7 +597,9 @@ func EncodeSummary(s Summary) []byte {
 	b = appendUvarint(b, s.QueueWaitUS)
 	b = appendUvarint(b, s.TotalUS)
 	b = appendUvarint(b, s.ShadowPeakResident)
-	return appendUvarint(b, s.ShadowLiveEvicts)
+	b = appendUvarint(b, s.ShadowLiveEvicts)
+	b = appendUvarint(b, s.FilterSuppressed)
+	return appendUvarint(b, s.FilterFlushes)
 }
 
 // DecodeSummary parses a Summary payload.
@@ -633,6 +645,8 @@ func DecodeSummary(p []byte) (Summary, error) {
 	s.TotalUS = d.uvarint()
 	s.ShadowPeakResident = d.uvarint()
 	s.ShadowLiveEvicts = d.uvarint()
+	s.FilterSuppressed = d.uvarint()
+	s.FilterFlushes = d.uvarint()
 	return s, d.done()
 }
 

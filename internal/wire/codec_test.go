@@ -64,6 +64,7 @@ func TestLaunchRoundTrip(t *testing.T) {
 			ShadowCapBytes: 1 << 30,
 			Ownership:      true,
 			StaticPrune:    true,
+			ProducerFilter: true,
 		},
 	}
 	out, err := DecodeLaunch(EncodeLaunch(in))
@@ -142,6 +143,8 @@ func TestSummaryRoundTrip(t *testing.T) {
 			ShadowPeakResident: uint64(rng.Intn(1 << 24)),
 			ShadowLiveEvicts:   uint64(rng.Intn(4)),
 			PrecisionDegraded:  rng.Intn(8) == 0,
+			FilterSuppressed:   uint64(rng.Intn(1 << 16)),
+			FilterFlushes:      uint64(rng.Intn(1 << 10)),
 		}
 		for i, n := 0, rng.Intn(40); i < n; i++ {
 			in.Races = append(in.Races, randomRace(rng))

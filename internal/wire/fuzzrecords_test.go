@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"barracuda/internal/logging"
+	"barracuda/internal/trace"
+)
+
+// recordSeeds builds the representative batches the FuzzRecords corpus
+// is grown from: per-lane spans, coalesced reads and writes, sync
+// records carrying Seq, and an OpFlush suppression-count record — every
+// encoding branch EncodeRecords has.
+func recordSeeds() [][]logging.Record {
+	laneRead := logging.Record{
+		Op: trace.OpRead, Space: logging.SpaceGlobal, Size: 4,
+		Mask: 0x0000ffff, Warp: 3, Block: 1, PC: 42,
+	}
+	for l := 0; l < 16; l++ {
+		laneRead.Addrs[l] = 0x10000 + uint64(l)*4
+	}
+	laneWrite := logging.Record{
+		Op: trace.OpWrite, Space: logging.SpaceShared, Size: 4,
+		Mask: 0x5, Warp: 3, Block: 1, PC: 43,
+	}
+	laneWrite.Addrs[0], laneWrite.Addrs[2] = 0x200, 0x208
+	laneWrite.Vals[0], laneWrite.Vals[2] = 7, 7
+	coalRead := logging.Record{
+		Op: trace.OpRead, Space: logging.SpaceGlobal, Size: 8,
+		Flags: logging.FlagCoalesced, Mask: 0xffffffff,
+		Warp: 4, Block: 2, PC: 44, Base: 0x7f0000,
+	}
+	coalWrite := logging.Record{
+		Op: trace.OpWrite, Space: logging.SpaceGlobal, Size: 4,
+		Flags: logging.FlagCoalesced, Mask: 0xff,
+		Warp: 4, Block: 2, PC: 45, Base: 0x7f8000,
+	}
+	for l := 0; l < 8; l++ {
+		coalWrite.Vals[l] = uint64(l) * 3
+	}
+	release := logging.Record{
+		Op: trace.OpRelBlk, Space: logging.SpaceShared,
+		Mask: 0xffffffff, Warp: 5, Block: 2, PC: 46, Seq: 9001,
+	}
+	flush := logging.Record{
+		Op: trace.OpFlush, Warp: 3, Block: 1, Seq: 1234,
+	}
+	return [][]logging.Record{
+		nil,
+		{laneRead},
+		{laneRead, laneWrite, coalRead, coalWrite},
+		{release, flush},
+		{coalWrite, coalWrite, coalWrite}, // delta chains with zero deltas
+	}
+}
+
+// FuzzRecords hammers the record-batch codec, the one payload format
+// carrying per-lane data. Two invariants beyond FuzzFrames' no-panic /
+// typed-error checks:
+//
+//  1. Decoding never over-allocates: the claimed record count is checked
+//     against the bytes present before the batch is built.
+//  2. Decode → encode → decode is the identity. Decoded records are in
+//     canonical form (inactive lanes zeroed, read Vals zeroed), which is
+//     exactly the form EncodeRecords expects, so any fixed point the
+//     fuzzer finds that doesn't survive a round trip is a real codec bug
+//     (lost lanes, broken delta chains, flag-dependent field drift).
+func FuzzRecords(f *testing.F) {
+	for _, batch := range recordSeeds() {
+		f.Add(EncodeRecords(nil, batch))
+	}
+	// Hostile headers: a count bomb and a truncated batch.
+	f.Add(append(appendUvarint(nil, 1<<40), 0, 0, 0, 0))
+	f.Add(EncodeRecords(nil, recordSeeds()[2])[:20])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeRecords(data)
+		if !knownErr(err) {
+			t.Fatalf("DecodeRecords: untyped error %v", err)
+		}
+		if err != nil {
+			return
+		}
+		wire := EncodeRecords(nil, recs)
+		again, err := DecodeRecords(wire)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded batch failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed batch length: %d → %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if !reflect.DeepEqual(recs[i], again[i]) {
+				t.Fatalf("record %d not a round-trip fixed point:\nfirst:  %+v\nsecond: %+v", i, recs[i], again[i])
+			}
+		}
+	})
+}
+
+// TestRecordSeedsRoundTrip keeps the seed batches honest on every plain
+// `go test` run: each must encode and decode back exactly.
+func TestRecordSeedsRoundTrip(t *testing.T) {
+	for i, batch := range recordSeeds() {
+		wire := EncodeRecords(nil, batch)
+		got, err := DecodeRecords(wire)
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		if len(got) != len(batch) {
+			t.Fatalf("seed %d: %d records decoded, want %d", i, len(got), len(batch))
+		}
+		for j := range batch {
+			want := CanonicalRecord(batch[j])
+			if !reflect.DeepEqual(got[j], want) {
+				t.Errorf("seed %d record %d:\ngot:  %+v\nwant: %+v", i, j, got[j], want)
+			}
+		}
+	}
+}
+
+// TestWriteRecordsCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz/FuzzRecords. Run with WRITE_CORPUS=1 after changing
+// recordSeeds or the record wire format.
+func TestWriteRecordsCorpus(t *testing.T) {
+	if os.Getenv("WRITE_CORPUS") == "" {
+		t.Skip("set WRITE_CORPUS=1 to regenerate the corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzRecords")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"empty_batch", "lane_read", "mixed_batch", "sync_and_flush", "zero_deltas"}
+	write := func(name string, data []byte) {
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, batch := range recordSeeds() {
+		write(names[i], EncodeRecords(nil, batch))
+	}
+	write("count_bomb", append(appendUvarint(nil, 1<<40), 0, 0, 0, 0))
+	write("truncated_batch", EncodeRecords(nil, recordSeeds()[2])[:20])
+}
